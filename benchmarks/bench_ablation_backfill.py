@@ -1,0 +1,24 @@
+"""Ablation benchmark: backfilling (the KP-SD -> KP delta)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablation_backfill import (
+    format_ablation_backfill,
+    run_ablation_backfill,
+)
+
+
+def test_ablation_backfill(benchmark) -> None:
+    result = run_once(benchmark, lambda: run_ablation_backfill(duration=25.0))
+    print()
+    print(format_ablation_backfill(result))
+    for key in result.ml_avg:
+        # Backfilling recovers CPU throughput...
+        assert result.cpu_hmean[key]["KP"] > result.cpu_hmean[key]["KP-SD"]
+        # ...at only a small ML cost (paper: ~4%).
+        assert (
+            result.ml_avg[key]["KP"]
+            >= result.ml_avg[key]["KP-SD"] - 0.06
+        )

@@ -1,0 +1,26 @@
+"""Ablation benchmark: dynamic churn (aggressor burst mid-run)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablation_churn import (
+    format_ablation_churn,
+    run_ablation_churn,
+)
+
+
+def test_ablation_churn_kelp(benchmark) -> None:
+    result = run_once(benchmark, lambda: run_ablation_churn("KP"))
+    print()
+    print(format_ablation_churn(result))
+    bl = run_ablation_churn("BL")
+    print(format_ablation_churn(bl))
+    # Kelp rides through the burst far better than Baseline...
+    assert result.phase("burst").ml_perf_norm > bl.phase("burst").ml_perf_norm + 0.3
+    # ...throttles only while the burst lasts...
+    assert result.phase("burst").lo_prefetchers_at_end < 8
+    assert result.phase("recovered").lo_prefetchers_at_end == 8
+    # ...and fully recovers afterwards.
+    assert result.phase("recovered").ml_perf_norm > 0.97
+    assert result.phase("quiet").ml_perf_norm > 0.97

@@ -1,0 +1,21 @@
+"""Ablation benchmark: the Section VI-D hardware-QoS estimate."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablation_hwqos import (
+    format_ablation_hwqos,
+    run_ablation_hwqos,
+)
+
+
+def test_ablation_hwqos(benchmark) -> None:
+    result = run_once(benchmark, lambda: run_ablation_hwqos(duration=25.0))
+    print()
+    print(format_ablation_hwqos(result))
+    # The paper's estimate: fine-grained hardware QoS achieves ML
+    # performance at least Subdomain-level while exceeding Kelp's CPU
+    # throughput (no fragmentation, full channel utilization).
+    assert result.ml_average("HW-QOS") >= result.ml_average("KP-SD") - 0.05
+    assert result.cpu_hmean("HW-QOS") >= result.cpu_hmean("KP")

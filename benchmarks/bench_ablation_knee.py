@@ -1,0 +1,21 @@
+"""Ablation benchmark: the omitted RNN1 throughput-latency knee sweep."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablation_knee import format_ablation_knee, run_ablation_knee
+
+
+def test_ablation_knee(benchmark) -> None:
+    result = run_once(benchmark, lambda: run_ablation_knee(duration=25.0))
+    print()
+    print(format_ablation_knee(result))
+    # Throughput tracks offered load while tail latency is convex in load —
+    # the knee the paper targets sits in the upper band.
+    assert result.qps == sorted(result.qps)
+    assert result.p95_latency_ms == sorted(result.p95_latency_ms)
+    growth_low = result.p95_latency_ms[1] / result.p95_latency_ms[0]
+    growth_high = result.p95_latency_ms[-1] / result.p95_latency_ms[-2]
+    assert growth_high > growth_low
+    assert 0.6 <= result.knee_fraction() <= 0.95

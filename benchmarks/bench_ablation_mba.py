@@ -1,0 +1,21 @@
+"""Ablation benchmark: MBA rate throttling vs CoreThrottle vs Kelp."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablation_mba import format_ablation_mba, run_ablation_mba
+
+
+def test_ablation_mba(benchmark) -> None:
+    result = run_once(benchmark, lambda: run_ablation_mba(duration=25.0))
+    print()
+    print(format_ablation_mba(result))
+    # MBA protects the ML task in CT's ballpark...
+    assert abs(result.ml_avg["MBA"] - result.ml_avg["CT"]) < 0.15
+    # ...but its rate controller also throttles the core-to-LLC path, so
+    # the low-priority tier keeps less throughput than under CT.
+    assert result.cpu_hmean["MBA"] < result.cpu_hmean["CT"]
+    # Kelp beats both on ML performance.
+    assert result.ml_avg["KP"] > result.ml_avg["MBA"]
+    assert result.ml_avg["KP"] > result.ml_avg["CT"]

@@ -1,0 +1,21 @@
+"""Ablation benchmark: tail amplification across the PS fan-out."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablation_tail import format_ablation_tail, run_ablation_tail
+
+
+def test_ablation_tail(benchmark) -> None:
+    result = run_once(benchmark, lambda: run_ablation_tail(duration=25.0))
+    print()
+    print(format_ablation_tail(result))
+    # The lock-step barrier amplifies node-level interference with fan-out.
+    assert result.bl_slowdown == sorted(result.bl_slowdown)
+    # At wide fan-outs, nearly every step hits an interfered shard...
+    assert result.any_interfered[-1] > 0.95
+    # ...so the unmanaged service approaches the full per-node stretch.
+    assert result.bl_slowdown[-1] > 0.85 * result.bl_stretch
+    # Kelp caps the per-node stretch, and the cap survives amplification.
+    assert result.kp_slowdown[-1] < result.bl_slowdown[-1] - 0.3

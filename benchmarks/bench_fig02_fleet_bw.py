@@ -1,0 +1,20 @@
+"""Fig 2 benchmark: fleet 99 %-ile memory-bandwidth CDF."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig02_fleet_bw import format_fig02, run_fig02
+
+
+def test_fig02_fleet_bw(benchmark) -> None:
+    result = run_once(benchmark, lambda: run_fig02(machines=1000))
+    print()
+    print(format_fig02(result))
+    # Paper: 16% of machines above 70% of peak; the CDF is smooth and full.
+    assert 0.10 <= result.fraction_above_70pct <= 0.25
+    assert result.fraction_of_machines[-1] == 1.0
+    assert all(
+        a <= b
+        for a, b in zip(result.fraction_of_machines, result.fraction_of_machines[1:])
+    )

@@ -1,0 +1,21 @@
+"""Fig 3 benchmark: RNN1 execution timeline under a DRAM aggressor."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.fig03_timeline import format_fig03, run_fig03
+
+
+def test_fig03_timeline(benchmark) -> None:
+    result = run_once(benchmark, lambda: run_fig03(requests=40))
+    print()
+    print(format_fig03(result))
+    # Paper: CPU-intensive phases stretch by up to ~51%; accelerator and
+    # communication phases are insensitive.
+    assert 1.3 <= result.cpu_stretch <= 1.9
+    assert abs(result.tpu_stretch - 1.0) < 0.02
+    assert result.colocation.communication == pytest.approx(
+        result.standalone.communication
+    )

@@ -1,0 +1,18 @@
+"""Fig 5 benchmark: workload sensitivity to LLC vs DRAM interference."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig05_sensitivity import format_fig05, run_fig05
+
+
+def test_fig05_sensitivity(benchmark) -> None:
+    result = run_once(benchmark, lambda: run_fig05(duration=30.0))
+    print()
+    print(format_fig05(result))
+    # Paper: LLC ~14% average loss, DRAM a dramatic ~40%; CNN1 worst.
+    assert 0.78 <= result.llc_average <= 0.93
+    assert 0.50 <= result.dram_average <= 0.70
+    assert result.dram_average < result.llc_average
+    assert result.dram["cnn1"] == min(result.dram.values())

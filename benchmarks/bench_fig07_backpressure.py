@@ -1,0 +1,47 @@
+"""Fig 7 benchmark: shared backpressure and prefetcher toggling."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig07_backpressure import format_fig07, run_fig07
+
+
+def test_fig07_rnn1(benchmark) -> None:
+    result = run_once(
+        benchmark, lambda: run_fig07("rnn1", duration=30.0, fractions=(0.0, 0.5, 1.0))
+    )
+    print()
+    print(format_fig07(result))
+    worst = result.point("H", 0.0)
+    # Paper: -14% QPS, +16% tail with no prefetchers disabled at H.
+    assert 0.75 <= worst.ml_perf_norm <= 0.95
+    assert worst.tail_norm is not None and worst.tail_norm > 1.05
+    assert result.point("H", 1.0).ml_perf_norm > worst.ml_perf_norm
+
+
+def test_fig07_cnn1(benchmark) -> None:
+    result = run_once(
+        benchmark, lambda: run_fig07("cnn1", duration=30.0, fractions=(0.0, 0.5, 1.0))
+    )
+    print()
+    print(format_fig07(result))
+    worst = result.point("H", 0.0)
+    # Paper: CNN1 suffers ~50% with subdomains alone.
+    assert 0.40 <= worst.ml_perf_norm <= 0.60
+    # Disabling prefetchers restores performance and drains saturation.
+    assert result.point("H", 1.0).ml_perf_norm > 0.85
+    assert result.point("H", 1.0).saturation < worst.saturation
+
+
+def test_fig07_cnn2(benchmark) -> None:
+    result = run_once(
+        benchmark, lambda: run_fig07("cnn2", duration=30.0, fractions=(0.0, 0.5, 1.0))
+    )
+    print()
+    print(format_fig07(result))
+    worst = result.point("H", 0.0)
+    # Paper: CNN2 only ~10%.
+    assert 0.80 <= worst.ml_perf_norm <= 0.95
+    # Low pressure can slightly exceed standalone (SNC latency benefit).
+    assert result.point("L", 1.0).ml_perf_norm >= 0.99

@@ -1,0 +1,28 @@
+"""Fig 9 benchmark: CNN1 + Stitch memory-pressure sweep."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig09_cnn1_stitch import format_fig09, run_fig09
+
+
+def test_fig09_cnn1_stitch(benchmark) -> None:
+    result = run_once(benchmark, lambda: run_fig09(duration=30.0))
+    print()
+    print(format_fig09(result))
+    # Fig 9a: BL collapses with load; CT recovers much of it; the subdomain
+    # configurations essentially hold standalone performance.
+    assert result.ml_perf["BL"][-1] < 0.45
+    assert result.ml_average("CT") > result.ml_average("BL") + 0.1
+    assert result.ml_average("KP-SD") >= result.ml_average("KP") - 0.02
+    assert result.ml_average("KP") > result.ml_average("CT")
+    # Fig 9b: Subdomain pays the largest CPU-throughput cost; Kelp's
+    # backfilling recovers most of it (paper: ~ -25% vs -9%).
+    assert result.cpu_harmonic_mean("KP-SD") < result.cpu_harmonic_mean("KP")
+    assert (
+        result.cpu_harmonic_mean("KP")
+        > 1.1 * result.cpu_harmonic_mean("KP-SD")
+    )
+    # Stitch throughput still scales with instances under BL (Fig 9b shape).
+    assert result.cpu_throughput["BL"][2] > 1.5 * result.cpu_throughput["BL"][0]

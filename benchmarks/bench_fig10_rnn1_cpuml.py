@@ -1,0 +1,25 @@
+"""Fig 10 benchmark: RNN1 + CPUML memory-pressure sweep."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig10_rnn1_cpuml import format_fig10, run_fig10
+
+
+def test_fig10_rnn1_cpuml(benchmark) -> None:
+    result = run_once(benchmark, lambda: run_fig10(duration=30.0))
+    print()
+    print(format_fig10(result))
+    # Fig 10a: BL QPS declines with thread count; subdomain configurations
+    # hold QPS near standalone (paper: KP-SD ~0%, KP -5%).
+    assert result.qps["BL"][-1] < 0.9
+    assert result.qps_average("KP-SD") > 0.95
+    assert result.qps_average("KP") > 0.93
+    assert result.qps_average("CT") >= result.qps_average("BL")
+    # Fig 10b: tails track the same ordering.
+    assert result.tail_average("KP") < result.tail_average("BL")
+    # Fig 10c: KP-SD pays the largest CPUML cost; backfilling recovers it
+    # (paper: -33% vs -13%).
+    assert result.cpu_harmonic_mean("KP-SD") < result.cpu_harmonic_mean("KP")
+    assert result.cpu_harmonic_mean("KP") <= result.cpu_harmonic_mean("BL") + 0.01

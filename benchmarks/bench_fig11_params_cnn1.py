@@ -1,0 +1,19 @@
+"""Fig 11 benchmark: runtime parameters for CNN1 + Stitch."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig11_params_cnn1 import format_fig11, run_fig11
+
+
+def test_fig11_params_cnn1(benchmark) -> None:
+    result = run_once(benchmark, lambda: run_fig11(duration=30.0))
+    print()
+    print(format_fig11(result))
+    # Throttling deepens with load for every mechanism.
+    assert result.ct_cores[-1] <= result.ct_cores[0]
+    assert result.kpsd_prefetchers[-1] < result.kpsd_prefetchers[0]
+    # Kelp leaves the CPU tasks more cores than CoreThrottle at high load
+    # (normalized to each mechanism's own maximum).
+    assert result.kp_cores[-1] >= result.ct_cores[-1] - 0.05

@@ -1,0 +1,19 @@
+"""Fig 12 benchmark: runtime parameters for RNN1 + CPUML."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig12_params_rnn1 import format_fig12, run_fig12
+
+
+def test_fig12_params_rnn1(benchmark) -> None:
+    result = run_once(benchmark, lambda: run_fig12(duration=30.0))
+    print()
+    print(format_fig12(result))
+    # The gentler mix throttles less: at low thread counts Subdomain keeps
+    # every prefetcher on (the paper's Fig 12b observation).
+    assert result.kpsd_prefetchers[0] == 1.0
+    # Throttling still deepens with load.
+    assert result.kpsd_prefetchers[-1] <= result.kpsd_prefetchers[0]
+    assert result.ct_cores[-1] <= result.ct_cores[0]

@@ -1,0 +1,31 @@
+"""Fig 13 benchmark: overall ML and CPU slowdown across all mixes."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig13_overall import format_fig13, run_fig13
+
+
+def test_fig13_overall(benchmark) -> None:
+    result = run_once(benchmark, lambda: run_fig13(duration=30.0))
+    print()
+    print(format_fig13(result))
+    bl_slowdown = result.ml_slowdown_average("BL")
+    kp_slowdown = result.ml_slowdown_average("KP")
+    ct_slowdown = result.ml_slowdown_average("CT")
+    sd_slowdown = result.ml_slowdown_average("KP-SD")
+    # Paper: Kelp cuts ML slowdown dramatically vs Baseline (-43%)...
+    assert kp_slowdown < 0.75 * bl_slowdown
+    # ...beats CoreThrottle on ML (-7%) at comparable CPU throughput...
+    assert kp_slowdown < ct_slowdown
+    assert (
+        result.cpu_throughput_hmean("KP")
+        > 0.85 * result.cpu_throughput_hmean("CT")
+    )
+    # ...and trades a little ML (vs Subdomain) for much more CPU (+19%).
+    assert kp_slowdown >= sd_slowdown - 0.02
+    assert (
+        result.cpu_throughput_hmean("KP")
+        > 1.10 * result.cpu_throughput_hmean("KP-SD")
+    )

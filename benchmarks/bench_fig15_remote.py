@@ -1,0 +1,22 @@
+"""Fig 15 benchmark: remote memory-interference sensitivity."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig15_remote import format_fig15, run_fig15
+
+
+def test_fig15_remote(benchmark) -> None:
+    result = run_once(benchmark, lambda: run_fig15(duration=30.0))
+    print()
+    print(format_fig15(result))
+    # Remote DRAM always costs at least as much as local DRAM.
+    for ml in ("rnn1", "cnn1", "cnn2", "cnn3"):
+        assert result.remote_dram[ml] <= result.dram[ml] + 1e-9
+    # Paper: the Cloud TPU platform (CNN1/CNN2) pays a much larger extra
+    # penalty (~16% / ~27%) than the TPU and GPU platforms.
+    assert result.remote_extra_loss("cnn1") > 0.08
+    assert result.remote_extra_loss("cnn2") > 0.10
+    assert result.remote_extra_loss("cnn2") > result.remote_extra_loss("rnn1")
+    assert result.remote_extra_loss("cnn1") > result.remote_extra_loss("cnn3")

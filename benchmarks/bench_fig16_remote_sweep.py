@@ -1,0 +1,38 @@
+"""Fig 16 benchmark: Cloud TPU remote-memory locality sweep."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig16_remote_sweep import format_fig16, run_fig16
+
+
+def test_fig16_cnn1(benchmark) -> None:
+    result = run_once(benchmark, lambda: run_fig16("cnn1", duration=30.0))
+    print()
+    print(format_fig16(result))
+    _assert_shape(result, min_peak=2.0)
+
+
+def test_fig16_cnn2(benchmark) -> None:
+    result = run_once(benchmark, lambda: run_fig16("cnn2", duration=30.0))
+    print()
+    print(format_fig16(result))
+    # CNN2 calibrates as less interference-sensitive than CNN1 throughout
+    # (Figs 5/7), so its remote sweep peaks lower than the paper's ~2.5x;
+    # the monotone shape and remote>local ordering are the checked claims.
+    _assert_shape(result, min_peak=1.5)
+
+
+def _assert_shape(result, min_peak: float) -> None:
+    # Slowdown grows as more of the antagonist's data lands on the ML
+    # socket (each thread-locality series is monotone in data locality).
+    for series in result.slowdown.values():
+        assert all(a <= b + 0.05 for a, b in zip(series, series[1:]))
+    # Remote threads hitting local data hurt more than local threads
+    # (remote traffic worse than local interference).
+    fully_remote = result.slowdown[0.0][-1]
+    fully_local = result.slowdown[1.0][-1]
+    assert fully_remote > fully_local
+    # Paper: up to ~2.5-3x slowdown on this platform.
+    assert min_peak <= result.max_slowdown() <= 4.5

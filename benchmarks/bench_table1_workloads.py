@@ -1,0 +1,20 @@
+"""Table I benchmark: workload/platform characterization."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.table1_workloads import format_table1, run_table1
+
+
+def test_table1_workloads(benchmark) -> None:
+    rows = run_once(benchmark, run_table1)
+    print()
+    print(format_table1(rows))
+    by_name = {r.name: r for r in rows}
+    assert set(by_name) == {"rnn1", "cnn1", "cnn2", "cnn3"}
+    for name, row in by_name.items():
+        assert row.cpu_intensity == row.paper_cpu_intensity, name
+        assert row.memory_intensity == row.paper_memory_intensity, name
+    assert by_name["rnn1"].interaction == "Beam search"
+    assert by_name["cnn3"].interaction == "Parameter server"

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Scenario: protecting an inference server's tail latency.
+
+RNN1 is a pipelined TPU inference service whose beam-search phases run on
+the host between accelerator calls (Fig 3 of the paper). A CPU-based
+training job (CPUML) lands on the same machine and its thread count grows
+over the day. This example sweeps the colocation intensity and reports the
+service's QPS and p95 latency under each runtime — the Fig 10 story.
+
+Run:  python examples/inference_qos.py
+"""
+
+from __future__ import annotations
+
+from repro import MixConfig, run_colocation
+
+
+def main() -> None:
+    threads = (4, 8, 12, 16)
+    print("RNN1 inference + CPUML training — QPS / p95 (normalized)\n")
+    header = f"{'policy':8}" + "".join(f"  {n:>4} thr     " for n in threads)
+    print(header)
+    for policy in ("BL", "CT", "KP-SD", "KP"):
+        row = f"{policy:8}"
+        for n in threads:
+            result = run_colocation(
+                MixConfig(ml="rnn1", policy=policy, cpu="cpuml", intensity=n)
+            )
+            row += (
+                f"  {result.ml_perf_norm:4.2f}/{result.ml_tail_norm:4.2f}x   "
+            )
+        print(row)
+    print(
+        "\nReading the table: BL loses QPS and inflates the tail as threads\n"
+        "grow; KP-SD holds the service harmless but idles half the socket;\n"
+        "KP matches its protection while backfilling the spare cores."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Scenario: how much batch work can ride along with an accelerated trainer?
+
+The operator's question behind Fig 9/13/14: given a Cloud TPU host whose
+high-priority job is CNN1 training, how many Stitch instances can be packed
+on before the accelerator investment is wasted — and which runtime gives the
+best trade? This example sweeps Stitch instances and prints per-policy ML
+performance, batch throughput, and the paper's efficiency metric
+(ML gain per unit of CPU loss, Fig 14).
+
+Run:  python examples/training_colocation.py
+"""
+
+from __future__ import annotations
+
+from repro import MixConfig, run_colocation
+from repro.metrics.efficiency import efficiency_ratio
+
+
+def main() -> None:
+    instances = (2, 4, 6)
+    baseline: dict[int, tuple[float, float]] = {}
+    print("CNN1 training + Stitch batch — ML perf / batch throughput\n")
+    print(f"{'policy':8}" + "".join(f"  {n} inst       " for n in instances))
+    rows: dict[str, dict[int, tuple[float, float]]] = {}
+    for policy in ("BL", "CT", "KP-SD", "KP"):
+        row = f"{policy:8}"
+        rows[policy] = {}
+        for n in instances:
+            result = run_colocation(
+                MixConfig(ml="cnn1", policy=policy, cpu="stitch", intensity=n)
+            )
+            rows[policy][n] = (result.ml_perf_norm, result.cpu_throughput)
+            if policy == "BL":
+                baseline[n] = rows[policy][n]
+            row += f"  {result.ml_perf_norm:4.2f}/{result.cpu_throughput:5.2f}  "
+        print(row)
+
+    print("\nEfficiency (ML gain per unit of CPU loss vs BL, higher is better):")
+    for policy in ("CT", "KP-SD", "KP"):
+        values = []
+        for n in instances:
+            ml, cpu = rows[policy][n]
+            bl_ml, bl_cpu = baseline[n]
+            values.append(
+                efficiency_ratio(ml, bl_ml, cpu / bl_cpu, 1.0)
+            )
+        mean = sum(values) / len(values)
+        print(f"  {policy:8} {mean:5.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Calibration dashboard: prints the paper's anchor numbers vs the model.
+
+Run after any parameter change:  python scripts/calibrate.py [section...]
+Sections: fig5 fig7 fig9 fig10 fig13
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments.common import MixConfig, run_colocation, standalone_performance
+from repro.metrics.slowdown import arithmetic_mean, harmonic_mean
+
+
+def fig5() -> None:
+    print("== Fig5 BL sensitivity (targets: dram avg .60, llc avg .86, CNN1 worst) ==")
+    from repro.experiments.fig05_sensitivity import run_fig05
+
+    result = run_fig05()
+    for ml in ["rnn1", "cnn1", "cnn2", "cnn3"]:
+        print(f"  {ml}: dram={result.dram[ml]:.2f} llc={result.llc[ml]:.2f}")
+    print(f"  avg: dram={result.dram_average:.2f} llc={result.llc_average:.2f}")
+
+
+def fig7() -> None:
+    print("== Fig7 KP-SD w/o pf mgmt proxy: KP-SD policy manages pf; compare BL-in-SNC ==")
+    print("   (targets at H: rnn1 -14%/tail+16%, cnn1 -50%, cnn2 -10%)")
+    # The no-management case is exercised directly via the machine model in
+    # the fig07 driver; here we sanity check the managed KP-SD endpoint.
+    for ml in ["rnn1", "cnn1", "cnn2"]:
+        for lv in ["L", "M", "H"]:
+            r = run_colocation(MixConfig(ml=ml, policy="KP-SD", cpu="dram", intensity=lv))
+            tail = f" tail={r.ml_tail_norm:.2f}x" if r.ml_tail_norm else ""
+            print(f"  KP-SD {ml} {lv}: ml={r.ml_perf_norm:.2f}{tail}")
+
+
+def fig9() -> None:
+    print("== Fig9 CNN1+Stitch sweep (targets: BL->0.4@6; CT avg ~.75; KP-SD ~.87/-25%cpu; KP ~.83/-9%cpu) ==")
+    ref_cpu = None
+    for pol in ["BL", "CT", "KP-SD", "KP"]:
+        mls, cpus = [], []
+        for n in [1, 2, 3, 4, 5, 6]:
+            r = run_colocation(MixConfig(ml="cnn1", policy=pol, cpu="stitch", intensity=n))
+            mls.append(r.ml_perf_norm)
+            cpus.append(r.cpu_throughput)
+        if pol == "BL":
+            ref_cpu = cpus[0]
+        ml_avg = arithmetic_mean(mls)
+        cpu_norm = [c / ref_cpu for c in cpus]
+        print(f"  {pol}: ml={['%.2f'%v for v in mls]} avg={ml_avg:.2f}  "
+              f"cpu={['%.2f'%v for v in cpu_norm]} hmean={harmonic_mean(cpu_norm):.2f}")
+
+
+def fig10() -> None:
+    print("== Fig10 RNN1+CPUML sweep (targets: CT -9%qps/+13%tail/-5%cpu; KP-SD ~0%/-33%cpu; KP -5%/+8%/-13%) ==")
+    ref_cpu = None
+    for pol in ["BL", "CT", "KP-SD", "KP"]:
+        qps, tails, cpus = [], [], []
+        for n in [2, 4, 6, 8, 10, 12, 14, 16]:
+            r = run_colocation(MixConfig(ml="rnn1", policy=pol, cpu="cpuml", intensity=n))
+            qps.append(r.ml_perf_norm)
+            tails.append(r.ml_tail_norm)
+            cpus.append(r.cpu_throughput)
+        if pol == "BL":
+            ref_cpu = cpus[0]
+        cpu_norm = [c / ref_cpu for c in cpus]
+        print(f"  {pol}: qps_avg={arithmetic_mean(qps):.2f} tail_avg={arithmetic_mean(tails):.2f} "
+              f"cpu_hmean={harmonic_mean(cpu_norm):.2f}")
+        print(f"      qps={['%.2f'%v for v in qps]}")
+
+
+def fig13() -> None:
+    print("== Fig13 overall (targets: KP vs BL -43% ml slowdown @ -24% cpu; KP=CT cpu, -7% slowdown; KP vs KP-SD +4% ml slowdown +19% cpu) ==")
+    mixes = [(ml, cpu, i) for ml in ["rnn1", "cnn1", "cnn2", "cnn3"]
+             for cpu, i in [("stream", 8), ("stitch", 4), ("cpuml", 12)]]
+    summary = {}
+    for pol in ["BL", "CT", "KP-SD", "KP"]:
+        sl, cp = [], []
+        for ml, cpu, i in mixes:
+            r = run_colocation(MixConfig(ml=ml, policy=pol, cpu=cpu, intensity=i))
+            bl = run_colocation(MixConfig(ml=ml, policy="BL", cpu=cpu, intensity=i))
+            sl.append(1.0 / max(r.ml_perf_norm, 1e-6))
+            cp.append(r.cpu_throughput / max(bl.cpu_throughput, 1e-9))
+        summary[pol] = (arithmetic_mean(sl), harmonic_mean(cp))
+        print(f"  {pol}: ml_slowdown={summary[pol][0]:.2f} cpu_hmean={summary[pol][1]:.2f}")
+
+
+if __name__ == "__main__":
+    wanted = sys.argv[1:] or ["fig5", "fig9", "fig10"]
+    t0 = time.time()
+    for section in wanted:
+        globals()[section]()
+    print(f"[{time.time()-t0:.0f}s]")

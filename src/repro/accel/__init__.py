@@ -1,0 +1,22 @@
+"""Accelerator device models: TPUv1, Cloud TPU and GPU.
+
+Accelerator compute is served from device-local memory (HBM/GDDR), which host
+memory contention cannot reach — the separation Fig 3 of the paper
+demonstrates. Devices are serial FIFO engines: one op executes at a time, and
+op durations follow a roofline over the device's peak throughput and local
+memory bandwidth.
+"""
+
+from repro.accel.device import AcceleratorDevice, AcceleratorSpec, OpCost
+from repro.accel.pcie import PcieLink
+from repro.accel.presets import cloud_tpu_device, gpu_device, tpu_v1_device
+
+__all__ = [
+    "AcceleratorDevice",
+    "AcceleratorSpec",
+    "OpCost",
+    "PcieLink",
+    "cloud_tpu_device",
+    "gpu_device",
+    "tpu_v1_device",
+]

@@ -1,0 +1,26 @@
+"""Device presets for the paper's three platforms."""
+
+from __future__ import annotations
+
+from repro.accel.device import AcceleratorSpec
+
+
+def tpu_v1_device() -> AcceleratorSpec:
+    """First-generation TPU: 92 TOPS (int8 MAC array), 34 GB/s DDR3."""
+    return AcceleratorSpec(
+        name="tpu-v1", peak_tflops=92.0, local_bw_gbps=34.0, local_capacity_gb=8.0
+    )
+
+
+def cloud_tpu_device() -> AcceleratorSpec:
+    """Cloud TPU (TPUv2): 180 TFLOPS, 64 GB HBM at 600 GB/s per device."""
+    return AcceleratorSpec(
+        name="cloud-tpu", peak_tflops=180.0, local_bw_gbps=600.0, local_capacity_gb=64.0
+    )
+
+
+def gpu_device() -> AcceleratorSpec:
+    """A contemporary training GPU (P100-class): 10.6 TFLOPS, 732 GB/s HBM2."""
+    return AcceleratorSpec(
+        name="gpu", peak_tflops=10.6, local_bw_gbps=732.0, local_capacity_gb=16.0
+    )

@@ -1,0 +1,122 @@
+"""Command-line entry point: run experiments and colocation mixes.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig05
+    python -m repro run fig07 --ml cnn1
+    python -m repro mix --ml cnn1 --policy KP --cpu stitch --intensity 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.common import MixConfig, run_colocation
+from repro.experiments.registry import experiment_ids, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Kelp: QoS for Accelerated Machine Learning "
+            "Systems' (HPCA 2019)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run = sub.add_parser("run", help="run one experiment and print its table")
+    run.add_argument("experiment", help="experiment id (see 'list')")
+    run.add_argument("--ml", help="workload for per-workload experiments")
+    run.add_argument(
+        "--duration", type=float, default=None,
+        help="simulated measurement horizon, seconds",
+    )
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write one report"
+    )
+    report.add_argument(
+        "--out", default="report.md", help="output path (markdown)"
+    )
+    report.add_argument("--duration", type=float, default=30.0)
+    report.add_argument(
+        "--only", nargs="*", default=None,
+        help="subset of experiment ids (default: all)",
+    )
+
+    mix = sub.add_parser("mix", help="run a single colocation mix")
+    mix.add_argument("--ml", required=True, help="rnn1 | cnn1 | cnn2 | cnn3")
+    mix.add_argument("--policy", default="BL", help="BL | CT | KP-SD | KP | HW-QOS")
+    mix.add_argument("--cpu", default=None, help="stream | stitch | cpuml | ...")
+    mix.add_argument("--intensity", default="1", help="instances/threads/level")
+    mix.add_argument("--duration", type=float, default=40.0)
+    mix.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for exp_id in experiment_ids():
+            print(exp_id)
+        return 0
+
+    if args.command == "run":
+        kwargs = {}
+        if args.ml:
+            kwargs["ml"] = args.ml
+        if args.duration is not None:
+            kwargs["duration"] = args.duration
+        _, text = run_experiment(args.experiment, **kwargs)
+        print(text)
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.suite import format_suite, run_suite
+
+        entries = run_suite(experiments=args.only, duration=args.duration)
+        text = format_suite(entries)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out} ({len(entries)} experiments)")
+        return 0
+
+    if args.command == "mix":
+        intensity: int | str = args.intensity
+        if isinstance(intensity, str) and intensity.isdigit():
+            intensity = int(intensity)
+        result = run_colocation(
+            MixConfig(
+                ml=args.ml,
+                policy=args.policy,
+                cpu=args.cpu,
+                intensity=intensity,
+                duration=args.duration,
+                seed=args.seed,
+            )
+        )
+        print(f"ml_perf_norm     {result.ml_perf_norm:.3f}")
+        if result.ml_tail_norm is not None:
+            print(f"ml_tail_norm     {result.ml_tail_norm:.3f}")
+        print(f"cpu_throughput   {result.cpu_throughput:.3f}")
+        if result.params:
+            last = result.params[-1]
+            print(
+                f"controller       lo_cores={last.lo_cores} "
+                f"lo_prefetchers={last.lo_prefetchers} "
+                f"backfill_cores={last.backfill_cores}"
+            )
+        return 0
+
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

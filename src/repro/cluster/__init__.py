@@ -1,0 +1,13 @@
+"""Node- and fleet-level layers.
+
+* :class:`~repro.cluster.node.Node` — one accelerated server with its host
+  control interfaces, playing the role of the machine the Borglet + Kelp pair
+  manages.
+* :mod:`repro.cluster.fleet` — the synthetic fleet used to regenerate the
+  Fig 2 memory-bandwidth survey.
+"""
+
+from repro.cluster.fleet import FleetSurvey, fleet_bandwidth_cdf
+from repro.cluster.node import Node
+
+__all__ = ["FleetSurvey", "Node", "fleet_bandwidth_cdf"]

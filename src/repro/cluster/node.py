@@ -1,0 +1,96 @@
+"""A managed node: machine + host control interfaces + task bookkeeping.
+
+The :class:`Node` is what an isolation policy manipulates — it bundles the
+hardware model with the simulated kernel surfaces (perf, MSR, cpuset,
+resctrl, numactl) and tracks which tasks play which role (the high-priority
+ML task, low-priority CPU tasks, and any backfilled CPU tasks in the
+high-priority subdomain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hostif.cpuset import CpusetController, PlaceableTask
+from repro.hostif.msr import MsrInterface
+from repro.hostif.numactl import NumaPolicy
+from repro.hostif.perf import PerfCounters
+from repro.hostif.resctrl import ResctrlFs
+from repro.hw.machine import Machine
+from repro.hw.spec import MachineSpec
+from repro.sim import Simulator
+
+#: The socket hosting the accelerator and therefore the experiments.
+ACCEL_SOCKET = 0
+#: The subdomain Kelp dedicates to the high-priority ML task.
+HI_SUBDOMAIN = 0
+#: The subdomain Kelp assigns to low-priority CPU tasks.
+LO_SUBDOMAIN = 1
+
+
+@dataclass
+class Node:
+    """One accelerated server under runtime management."""
+
+    machine: Machine
+    msr: MsrInterface
+    cpuset: CpusetController
+    resctrl: ResctrlFs
+    numa: NumaPolicy
+    perf: PerfCounters
+    #: Low-priority tasks living in the low-priority subdomain (or anywhere,
+    #: for policies without subdomains).
+    lo_tasks: list[PlaceableTask] = field(default_factory=list)
+    #: Low-priority tasks backfilled into the high-priority subdomain.
+    backfill_tasks: list[PlaceableTask] = field(default_factory=list)
+
+    @classmethod
+    def create(cls, spec: MachineSpec, sim: Simulator) -> "Node":
+        """Assemble a node with all host interfaces over a fresh machine."""
+        machine = Machine(spec, sim)
+        return cls(
+            machine=machine,
+            msr=MsrInterface(machine),
+            cpuset=CpusetController(machine),
+            resctrl=ResctrlFs(machine),
+            numa=NumaPolicy(machine),
+            perf=PerfCounters(machine),
+        )
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulator this node lives in."""
+        return self.machine.sim
+
+    # ------------------------------------------------------------ topology
+    def accel_socket_cores(self) -> tuple[int, ...]:
+        """All cores of the accelerator-local socket."""
+        return self.machine.topology.cores_of_socket(ACCEL_SOCKET)
+
+    def hi_subdomain_cores(self) -> tuple[int, ...]:
+        """Cores of the high-priority subdomain."""
+        return self.machine.topology.cores_of_subdomain(HI_SUBDOMAIN)
+
+    def lo_subdomain_cores(self) -> tuple[int, ...]:
+        """Cores of the low-priority subdomain."""
+        return self.machine.topology.cores_of_subdomain(LO_SUBDOMAIN)
+
+    # -------------------------------------------------------- prefetchers
+    def lo_prefetchers_enabled(self) -> int:
+        """Cores among the low-priority subdomain with prefetching on."""
+        return sum(
+            1
+            for core in self.lo_subdomain_cores()
+            if self.machine.prefetchers.is_enabled(core)
+        )
+
+    def set_lo_prefetchers_enabled(self, count: int) -> None:
+        """Enable prefetchers on exactly ``count`` low-subdomain cores.
+
+        Cores are enabled lowest-id first, mirroring how the runtime writes
+        MSR 0x1A4 per logical CPU in a fixed order.
+        """
+        cores = self.lo_subdomain_cores()
+        count = max(0, min(count, len(cores)))
+        for index, core in enumerate(cores):
+            self.msr.set_prefetchers(core, index < count)

@@ -1,0 +1,94 @@
+"""Algorithm 2: the per-subdomain resource-configuration procedures.
+
+The plans are small pure-state objects so the procedures can be tested in
+isolation; enforcement (writing cpusets and MSRs) happens in the runtime.
+
+``ConfigHiPriority`` adjusts the number of cores granted to CPU tasks
+*backfilled into the high-priority subdomain*; ``ConfigLoPriority`` first
+halves the number of enabled prefetchers (aggressive, to prioritize the ML
+task) and only then removes cores, and boosts in the opposite order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+
+class Action(enum.Enum):
+    """The three controller decisions of Algorithm 1."""
+
+    THROTTLE = "throttle"
+    BOOST = "boost"
+    NOP = "nop"
+
+
+@dataclass(frozen=True)
+class HiPriorityPlan:
+    """Resource state for backfilled tasks in the high-priority subdomain."""
+
+    core_num: int
+    min_core_num: int
+    max_core_num: int
+
+    def __post_init__(self) -> None:
+        if not self.min_core_num <= self.core_num <= self.max_core_num:
+            raise ConfigurationError(
+                f"core_num {self.core_num} outside "
+                f"[{self.min_core_num}, {self.max_core_num}]"
+            )
+
+
+@dataclass(frozen=True)
+class LoPriorityPlan:
+    """Resource state for tasks in the low-priority subdomain."""
+
+    core_num: int
+    prefetcher_num: int
+    min_core_num: int
+    max_core_num: int
+
+    def __post_init__(self) -> None:
+        if not self.min_core_num <= self.core_num <= self.max_core_num:
+            raise ConfigurationError(
+                f"core_num {self.core_num} outside "
+                f"[{self.min_core_num}, {self.max_core_num}]"
+            )
+        if not 0 <= self.prefetcher_num <= self.max_core_num:
+            raise ConfigurationError(
+                f"prefetcher_num {self.prefetcher_num} outside "
+                f"[0, {self.max_core_num}]"
+            )
+
+
+def config_hi_priority(plan: HiPriorityPlan, action: Action) -> HiPriorityPlan:
+    """Algorithm 2, lines 1-7: one core at a time, within bounds."""
+    if action is Action.THROTTLE and plan.core_num > plan.min_core_num:
+        return replace(plan, core_num=plan.core_num - 1)
+    if action is Action.BOOST and plan.core_num < plan.max_core_num:
+        return replace(plan, core_num=plan.core_num + 1)
+    return plan
+
+
+def config_lo_priority(plan: LoPriorityPlan, action: Action) -> LoPriorityPlan:
+    """Algorithm 2, lines 9-19.
+
+    Throttle: halve enabled prefetchers first (``prefetcherNum /= 2``), then
+    shrink cores. Boost: re-enable prefetchers one core at a time up to the
+    current core count, then grow cores.
+    """
+    if action is Action.THROTTLE:
+        if plan.prefetcher_num > 0:
+            return replace(plan, prefetcher_num=plan.prefetcher_num // 2)
+        if plan.core_num > plan.min_core_num:
+            return replace(plan, core_num=plan.core_num - 1)
+        return plan
+    if action is Action.BOOST:
+        if plan.prefetcher_num < plan.core_num:
+            return replace(plan, prefetcher_num=plan.prefetcher_num + 1)
+        if plan.core_num < plan.max_core_num:
+            return replace(plan, core_num=plan.core_num + 1)
+        return plan
+    return plan

@@ -1,0 +1,41 @@
+"""The four runtime measurements Kelp samples each interval (Section IV-D).
+
+``MeasureSocket`` and ``MeasureHiPriority`` of Algorithm 1 map to one
+windowed perf read: socket bandwidth and latency from the IMC counters,
+saturation from the ``FAST_ASSERTED`` uncore event, and the high-priority
+subdomain's bandwidth from that channel group's CAS counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.node import ACCEL_SOCKET, HI_SUBDOMAIN, Node
+
+
+@dataclass(frozen=True)
+class KelpMeasurements:
+    """One control-interval sample on the accelerator-local socket."""
+
+    #: ``bw_s``: socket memory bandwidth, GB/s.
+    socket_bw: float
+    #: ``lat_s``: loaded-latency factor (1.0 = unloaded).
+    socket_latency: float
+    #: ``sat_s``: fraction of cycles the distress signal was asserted.
+    saturation: float
+    #: ``bw_h``: high-priority-subdomain bandwidth, GB/s.
+    hipri_bw: float
+    #: Window length, simulated seconds.
+    elapsed: float
+
+
+def measure_node(node: Node, reader: str = "kelp") -> KelpMeasurements:
+    """Sample all four measurements since this reader's previous call."""
+    reading = node.perf.read(reader)
+    return KelpMeasurements(
+        socket_bw=reading.socket_bandwidth_gbps.get(ACCEL_SOCKET, 0.0),
+        socket_latency=reading.socket_latency_factor.get(ACCEL_SOCKET, 1.0),
+        saturation=reading.socket_saturation.get(ACCEL_SOCKET, 0.0),
+        hipri_bw=reading.subdomain_bandwidth_gbps.get(HI_SUBDOMAIN, 0.0),
+        elapsed=reading.elapsed,
+    )

@@ -1,0 +1,119 @@
+"""Policy interface shared by the four evaluated configurations.
+
+A policy decides machine-level preparation (SNC, CAT, priority mode), where
+the ML task and the CPU tasks are placed, and what — if anything — its
+control loop does every interval. The experiment harness is policy-agnostic:
+it asks the policy for placements, builds the tasks, registers them, and
+drives ``tick()`` on the policy's interval.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.cluster.node import Node
+from repro.core.watermarks import QosProfile
+from repro.hw.placement import Placement
+from repro.workloads.cpu.base import BatchProfile
+
+#: resctrl class of service dedicated to the accelerated ML task.
+ML_CLOS = 1
+#: LLC ways dedicated to the ML task's CLOS by managed policies.
+ML_DEDICATED_WAYS = 6
+
+#: Roles a CPU task can occupy on the node.
+ROLE_LO = "lo"
+ROLE_BACKFILL = "backfill"
+
+
+@dataclass(frozen=True)
+class CpuTaskPlan:
+    """One CPU task the policy wants created."""
+
+    task_id: str
+    profile: BatchProfile
+    placement: Placement
+    role: str
+
+
+@dataclass(frozen=True)
+class ParameterSample:
+    """One control-interval sample of the policy's knobs (Figs 11-12)."""
+
+    time: float
+    lo_cores: int
+    lo_prefetchers: int
+    backfill_cores: int
+
+
+class IsolationPolicy(abc.ABC):
+    """Base class for BL / CT / KP-SD / KP / HW-QoS."""
+
+    #: Registry name, set by subclasses.
+    name: str = "abstract"
+
+    def __init__(
+        self, node: Node, ml_cores: int, profile: QosProfile, interval: float = 1.0
+    ) -> None:
+        self.node = node
+        self.ml_cores = ml_cores
+        self.profile = profile
+        self.interval = interval
+
+    @classmethod
+    def default_qos_profile(cls, spec, ml_cores: int) -> QosProfile:
+        """Watermarks this policy runs with when none are supplied.
+
+        Subclasses override to encode their operating point (CoreThrottle
+        must run the shared channels hotter to preserve throughput).
+        """
+        from repro.core.watermarks import default_profile
+
+        return default_profile(spec, ml_cores=ml_cores)
+
+    # ------------------------------------------------------------ set-up
+    @abc.abstractmethod
+    def prepare(self) -> None:
+        """Apply machine-level configuration (SNC, CAT, priority mode)."""
+
+    @abc.abstractmethod
+    def ml_placement(self) -> Placement:
+        """Where the high-priority ML task runs."""
+
+    @abc.abstractmethod
+    def plan_cpu(self, profile: BatchProfile) -> list[CpuTaskPlan]:
+        """Split/place one CPU workload into concrete tasks."""
+
+    def register(self, tasks_by_role: dict[str, list]) -> None:
+        """Record created tasks in the node's role lists."""
+        self.node.lo_tasks.extend(tasks_by_role.get(ROLE_LO, []))
+        self.node.backfill_tasks.extend(tasks_by_role.get(ROLE_BACKFILL, []))
+
+    # ----------------------------------------------------------- control
+    @property
+    def has_control_loop(self) -> bool:
+        """Whether the harness should schedule periodic ticks."""
+        return True
+
+    @abc.abstractmethod
+    def tick(self) -> None:
+        """One control interval."""
+
+    @abc.abstractmethod
+    def parameter_history(self) -> list[ParameterSample]:
+        """Knob values over time, for the Fig 11/12 plots."""
+
+    # ------------------------------------------------------------ helpers
+    def _spare_socket_cores(self) -> tuple[int, ...]:
+        """Socket-0 cores not reserved for the ML task (SNC-off layouts)."""
+        return self.node.accel_socket_cores()[self.ml_cores:]
+
+    def _spare_hi_cores(self) -> tuple[int, ...]:
+        """Hi-subdomain cores not reserved for the ML task (SNC-on layouts)."""
+        return self.node.hi_subdomain_cores()[self.ml_cores:]
+
+    def _apply_cat(self) -> None:
+        """Dedicate an LLC partition to the ML task's class of service."""
+        self.node.resctrl.create_group(ML_CLOS)
+        self.node.resctrl.dedicate_ways(ML_CLOS, ML_DEDICATED_WAYS)

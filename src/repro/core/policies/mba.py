@@ -1,0 +1,111 @@
+"""MBA: Memory Bandwidth Allocation throttling (Section VI-D discussion).
+
+Intel's MBA feature rate-controls a class of service's memory requests.
+The paper notes its flaw for this use case: the rate controller sits between
+the core and the LLC, so "throttling decisions also impact last-level cache
+BW in addition to main memory BW" — low-priority tasks pay an extra compute
+tax per unit of bandwidth reclaimed. This policy closes the loop on the MB%
+knob the way CT closes it on core counts, and exists to quantify that
+trade against CT/Kelp (the ``ablation-mba`` experiment).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import ACCEL_SOCKET
+from repro.core.measurements import measure_node
+from repro.core.policies.base import (
+    CpuTaskPlan,
+    IsolationPolicy,
+    ML_CLOS,
+    ParameterSample,
+    ROLE_LO,
+)
+from repro.hw.placement import Placement
+from repro.workloads.cpu.base import BatchProfile
+
+#: resctrl class of service holding the throttled low-priority tasks.
+LO_CLOS = 2
+#: MBA exposes coarse steps; we use 10 % granularity like real hardware.
+MBA_STEP = 10
+MBA_MIN = 10
+MBA_MAX = 100
+
+
+class MbaPolicy(IsolationPolicy):
+    """Feedback control over the low-priority CLOS's MB% throttle."""
+
+    name = "MBA"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._history: list[ParameterSample] = []
+        self._mb_percent = MBA_MAX
+
+    @classmethod
+    def default_qos_profile(cls, spec, ml_cores: int):
+        """MBA runs with CT's throughput-preserving watermarks."""
+        from repro.core.policies.core_throttle import CoreThrottlePolicy
+
+        return CoreThrottlePolicy.default_qos_profile(spec, ml_cores)
+
+    def prepare(self) -> None:
+        self.node.machine.set_snc(False)
+        self._apply_cat()
+        self.node.resctrl.create_group(LO_CLOS)
+        self.node.resctrl.set_mb_percent(LO_CLOS, MBA_MAX)
+
+    def ml_placement(self) -> Placement:
+        topo = self.node.machine.topology
+        return Placement(
+            cores=frozenset(self.node.accel_socket_cores()[: self.ml_cores]),
+            mem_weights=topo.socket_memory_weights(ACCEL_SOCKET),
+            clos=ML_CLOS,
+        )
+
+    def plan_cpu(self, profile: BatchProfile) -> list[CpuTaskPlan]:
+        topo = self.node.machine.topology
+        return [
+            CpuTaskPlan(
+                task_id=profile.name,
+                profile=profile,
+                placement=Placement(
+                    cores=frozenset(self._spare_socket_cores()),
+                    mem_weights=topo.socket_memory_weights(ACCEL_SOCKET),
+                    clos=LO_CLOS,
+                ),
+                role=ROLE_LO,
+            )
+        ]
+
+    def tick(self) -> None:
+        m = measure_node(self.node, reader="mba")
+        if self.profile.socket_bw.above(m.socket_bw) or self.profile.socket_latency.above(
+            m.socket_latency
+        ):
+            self._mb_percent = max(MBA_MIN, self._mb_percent - MBA_STEP)
+            self.node.resctrl.set_mb_percent(LO_CLOS, self._mb_percent)
+        elif self.profile.socket_bw.below(m.socket_bw) and self.profile.socket_latency.below(
+            m.socket_latency
+        ):
+            self._mb_percent = min(MBA_MAX, self._mb_percent + MBA_STEP)
+            self.node.resctrl.set_mb_percent(LO_CLOS, self._mb_percent)
+        spare = len(self._spare_socket_cores())
+        self._history.append(
+            ParameterSample(
+                time=self.node.sim.now,
+                lo_cores=spare,
+                # Report the throttle as "effective prefetchers" equivalent:
+                # the history consumer only needs the raw knob, stored here
+                # as a percentage in the prefetcher slot's units.
+                lo_prefetchers=self._mb_percent,
+                backfill_cores=0,
+            )
+        )
+
+    def parameter_history(self) -> list[ParameterSample]:
+        return list(self._history)
+
+    @property
+    def mb_percent(self) -> int:
+        """The current MB% throttle applied to the low-priority CLOS."""
+        return self._mb_percent

@@ -1,0 +1,83 @@
+"""Kelp Subdomain (KP-SD): NUMA subdomains + prefetcher toggling only.
+
+The simplified Kelp of Section V-A: SNC/CoD splits the socket, the ML task
+owns the high-priority subdomain, CPU tasks own the low-priority one, and
+the only runtime knob is the number of low-priority cores with L2
+prefetchers enabled — used to keep memory saturation (and with it the
+socket-wide distress throttling) below the watermark. No core throttling,
+no backfilling; the hi-subdomain cores beyond the ML task sit idle, which is
+exactly the fragmentation cost Fig 13/14 charge this configuration with.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import HI_SUBDOMAIN, LO_SUBDOMAIN
+from repro.core.kelp import KelpRuntime
+from repro.core.policies.base import (
+    CpuTaskPlan,
+    IsolationPolicy,
+    ML_CLOS,
+    ParameterSample,
+    ROLE_LO,
+)
+from repro.hw.placement import Placement
+from repro.workloads.cpu.base import BatchProfile
+
+
+class SubdomainPolicy(IsolationPolicy):
+    """SNC isolation with saturation-driven prefetcher management."""
+
+    name = "KP-SD"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._runtime: KelpRuntime | None = None
+
+    def prepare(self) -> None:
+        self.node.machine.set_snc(True)
+        self._apply_cat()
+        self._runtime = KelpRuntime(
+            node=self.node,
+            profile=self.profile,
+            manage_lo_cores=False,
+            manage_backfill=False,
+            manage_prefetchers=True,
+        )
+
+    def ml_placement(self) -> Placement:
+        cores = self.node.hi_subdomain_cores()[: self.ml_cores]
+        return Placement(
+            cores=frozenset(cores),
+            mem_weights={HI_SUBDOMAIN: 1.0},
+            clos=ML_CLOS,
+        )
+
+    def plan_cpu(self, profile: BatchProfile) -> list[CpuTaskPlan]:
+        return [
+            CpuTaskPlan(
+                task_id=profile.name,
+                profile=profile,
+                placement=Placement(
+                    cores=frozenset(self.node.lo_subdomain_cores()),
+                    mem_weights={LO_SUBDOMAIN: 1.0},
+                ),
+                role=ROLE_LO,
+            )
+        ]
+
+    def tick(self) -> None:
+        if self._runtime is not None:
+            self._runtime.tick()
+
+    def parameter_history(self) -> list[ParameterSample]:
+        if self._runtime is None:
+            return []
+        return [
+            ParameterSample(
+                time=r.time,
+                lo_cores=r.lo_cores,
+                lo_prefetchers=r.lo_prefetchers,
+                backfill_cores=0,
+            )
+            for r in self._runtime.history
+        ]

@@ -1,0 +1,21 @@
+"""Distributed training substrate: parameter servers and lock-step barriers.
+
+CNN3 trains with the distributed-TensorFlow architecture of Fig 1: workers
+compute gradients on accelerators, push them to parameter-server shards, and
+wait for updated variables. Training steps are processed in lock-step, so
+the *slowest* shard bounds service-level throughput — the "tail at scale"
+amplification the paper cites. This package models the shard fan-out and the
+barrier; the local shard's latency comes from the contention simulation while
+remote shards are drawn from calibrated distributions.
+"""
+
+from repro.distributed.parameter_server import ParameterServerShard, PsUpdateModel
+from repro.distributed.sync import LockStepBarrier
+from repro.distributed.worker import WorkerModel
+
+__all__ = [
+    "LockStepBarrier",
+    "ParameterServerShard",
+    "PsUpdateModel",
+    "WorkerModel",
+]

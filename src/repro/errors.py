@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors (``TypeError``, ``AttributeError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was built or reconfigured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class SchedulingError(ReproError):
+    """A task could not be placed or an event could not be scheduled."""
+
+
+class TopologyError(ReproError):
+    """A hardware-topology lookup failed (unknown core, socket, domain...)."""
+
+
+class HostInterfaceError(ReproError):
+    """A simulated host control interface (msr/resctrl/cpuset) was misused."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition or runtime state is invalid."""
+
+
+class MeasurementError(ReproError):
+    """A metric or counter read was requested in an invalid state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was invoked with unusable parameters."""

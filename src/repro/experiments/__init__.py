@@ -1,0 +1,24 @@
+"""Experiment drivers: one module per paper figure/table.
+
+Each driver exposes a ``run_*`` function returning a plain-dataclass result
+and a ``format_*`` helper printing the same rows/series the paper reports.
+The registry in :mod:`repro.experiments.registry` maps experiment ids
+("fig05", "fig13", ...) to their drivers.
+"""
+
+from repro.experiments.common import (
+    ColocationResult,
+    MixConfig,
+    run_colocation,
+    standalone_performance,
+)
+from repro.experiments.registry import experiment_ids, run_experiment
+
+__all__ = [
+    "ColocationResult",
+    "MixConfig",
+    "experiment_ids",
+    "run_colocation",
+    "run_experiment",
+    "standalone_performance",
+]

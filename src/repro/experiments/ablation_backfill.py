@@ -1,0 +1,74 @@
+"""Ablation: what backfilling alone buys (Section IV-C).
+
+KP-SD and KP differ exactly by backfilling + the Algorithm 1 hi-subdomain
+throttle. Running both over the Fig 9/10 sweeps isolates that delta: the
+paper credits backfilling with ~17 % higher system efficiency at a ~4 % ML
+performance cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import MixConfig, run_colocation
+from repro.experiments.report import format_table
+from repro.metrics.slowdown import arithmetic_mean, harmonic_mean
+
+SWEEPS: tuple[tuple[str, str, tuple[int, ...]], ...] = (
+    ("cnn1", "stitch", (2, 4, 6)),
+    ("rnn1", "cpuml", (8, 12, 16)),
+)
+
+
+@dataclass(frozen=True)
+class BackfillAblationResult:
+    """KP-SD vs KP deltas per sweep."""
+
+    ml_avg: dict[tuple[str, str], dict[str, float]]
+    cpu_hmean: dict[tuple[str, str], dict[str, float]]
+
+
+def run_ablation_backfill(duration: float = 40.0) -> BackfillAblationResult:
+    """Run KP-SD and KP over both sweeps."""
+    ml_avg: dict[tuple[str, str], dict[str, float]] = {}
+    cpu_hmean: dict[tuple[str, str], dict[str, float]] = {}
+    for ml, cpu, intensities in SWEEPS:
+        ml_avg[(ml, cpu)] = {}
+        cpu_hmean[(ml, cpu)] = {}
+        for policy in ("KP-SD", "KP"):
+            perfs, cpus = [], []
+            for n in intensities:
+                r = run_colocation(
+                    MixConfig(ml=ml, policy=policy, cpu=cpu, intensity=n,
+                              duration=duration)
+                )
+                bl = run_colocation(
+                    MixConfig(ml=ml, policy="BL", cpu=cpu, intensity=n,
+                              duration=duration)
+                )
+                perfs.append(r.ml_perf_norm)
+                cpus.append(r.cpu_throughput / max(bl.cpu_throughput, 1e-9))
+            ml_avg[(ml, cpu)][policy] = arithmetic_mean(perfs)
+            cpu_hmean[(ml, cpu)][policy] = harmonic_mean(
+                max(v, 1e-6) for v in cpus
+            )
+    return BackfillAblationResult(ml_avg=ml_avg, cpu_hmean=cpu_hmean)
+
+
+def format_ablation_backfill(result: BackfillAblationResult) -> str:
+    """Render the KP-SD vs KP deltas."""
+    rows = []
+    for key in result.ml_avg:
+        ml, cpu = key
+        rows.append([
+            f"{ml}+{cpu}",
+            result.ml_avg[key]["KP-SD"], result.cpu_hmean[key]["KP-SD"],
+            result.ml_avg[key]["KP"], result.cpu_hmean[key]["KP"],
+            result.cpu_hmean[key]["KP"] / max(result.cpu_hmean[key]["KP-SD"], 1e-9),
+        ])
+    return format_table(
+        "Ablation: backfilling (KP-SD -> KP)",
+        ["sweep", "KP-SD ml", "KP-SD cpu", "KP ml", "KP cpu", "cpu gain"],
+        rows,
+        note="paper: backfilling recovers ~17% system efficiency for ~4% ML cost",
+    )

@@ -1,0 +1,82 @@
+"""Ablation: the RNN1 throughput-latency curve and its knee.
+
+Section III-A: "we sweep the query throughput (measured in queries-per-
+second or QPS) and analyze the tail latency. The target throughput we use in
+the paper is at the knee of the tail latency curve. The sweep plot is
+omitted for brevity."
+
+This driver reconstructs that omitted sweep with the open-loop generator:
+arrival rate as a fraction of analytic standalone capacity on the x-axis,
+achieved QPS and p95 latency on the y-axes. The knee — where tail latency
+departs from its flat region — sits in the 0.8-0.9 load band the evaluation
+targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.node import ACCEL_SOCKET, Node
+from repro.experiments.report import format_series
+from repro.hw.placement import Placement
+from repro.sim import Simulator
+from repro.workloads.ml.catalog import ml_workload
+
+LOAD_FRACTIONS = (0.3, 0.5, 0.7, 0.8, 0.9, 0.95)
+
+
+@dataclass(frozen=True)
+class KneeResult:
+    """The throughput-latency curve for RNN1."""
+
+    load_fractions: tuple[float, ...]
+    qps: list[float]
+    p95_latency_ms: list[float]
+
+    def knee_fraction(self) -> float:
+        """First load fraction where p95 exceeds 1.5x the lightest load's."""
+        floor = self.p95_latency_ms[0]
+        for fraction, latency in zip(self.load_fractions, self.p95_latency_ms):
+            if latency > 1.5 * floor:
+                return fraction
+        return self.load_fractions[-1]
+
+
+def run_ablation_knee(
+    duration: float = 30.0,
+    warmup: float = 5.0,
+    load_fractions: tuple[float, ...] = LOAD_FRACTIONS,
+) -> KneeResult:
+    """Sweep open-loop load for the standalone RNN1 server."""
+    factory = ml_workload("rnn1")
+    qps, tails = [], []
+    for fraction in load_fractions:
+        sim = Simulator()
+        node = Node.create(factory.host_spec(), sim)
+        topo = node.machine.topology
+        placement = Placement(
+            cores=frozenset(node.accel_socket_cores()[: factory.default_cores()]),
+            mem_weights=topo.socket_memory_weights(ACCEL_SOCKET),
+        )
+        instance = factory.build(
+            node.machine, placement, warmup_until=warmup, load_fraction=fraction
+        )
+        instance.start()
+        sim.run_until(duration)
+        qps.append(instance.performance(duration))
+        tails.append(instance.tail_latency() * 1e3)
+    return KneeResult(
+        load_fractions=tuple(load_fractions), qps=qps, p95_latency_ms=tails
+    )
+
+
+def format_ablation_knee(result: KneeResult) -> str:
+    """Render the throughput-latency sweep."""
+    return format_series(
+        "Ablation (RNN1): open-loop throughput-latency curve",
+        "load fraction",
+        list(result.load_fractions),
+        {"QPS": result.qps, "p95 (ms)": result.p95_latency_ms},
+        note=f"knee at ~{result.knee_fraction():.2f} of capacity "
+             "(the evaluation's target operating point)",
+    )

@@ -1,0 +1,79 @@
+"""Fig 9: the CNN1 + Stitch memory-pressure sweep (Section V-B, case 1).
+
+CNN1 is the workload most sensitive to bandwidth contention; Stitch is the
+most aggressive consumer. Stitch instance count sweeps 1-6 under all four
+configurations. Fig 9a plots CNN1 performance normalized to standalone;
+Fig 9b plots Stitch throughput normalized to Baseline with one instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import MixConfig, run_colocation
+from repro.experiments.report import format_series
+from repro.metrics.slowdown import arithmetic_mean, harmonic_mean
+
+POLICIES = ("BL", "CT", "KP-SD", "KP")
+INSTANCES = (1, 2, 3, 4, 5, 6)
+
+
+@dataclass(frozen=True)
+class Fig09Result:
+    """Per-policy series over the instance sweep."""
+
+    instances: tuple[int, ...]
+    ml_perf: dict[str, list[float]]
+    cpu_throughput: dict[str, list[float]]
+
+    def ml_average(self, policy: str) -> float:
+        """Mean CNN1 performance over the sweep."""
+        return arithmetic_mean(self.ml_perf[policy])
+
+    def cpu_harmonic_mean(self, policy: str) -> float:
+        """Harmonic-mean Stitch throughput over the sweep."""
+        return harmonic_mean(self.cpu_throughput[policy])
+
+
+def run_fig09(
+    instances: tuple[int, ...] = INSTANCES,
+    policies: tuple[str, ...] = POLICIES,
+    duration: float = 40.0,
+) -> Fig09Result:
+    """Run the full sweep; Stitch throughput normalized to BL @ 1 instance."""
+    ml_perf: dict[str, list[float]] = {p: [] for p in policies}
+    cpu_raw: dict[str, list[float]] = {p: [] for p in policies}
+    for policy in policies:
+        for n in instances:
+            result = run_colocation(
+                MixConfig(ml="cnn1", policy=policy, cpu="stitch", intensity=n,
+                          duration=duration)
+            )
+            ml_perf[policy].append(result.ml_perf_norm)
+            cpu_raw[policy].append(result.cpu_throughput)
+    reference = cpu_raw.get("BL", [1.0])[0] or 1.0
+    cpu_norm = {
+        p: [value / reference for value in values] for p, values in cpu_raw.items()
+    }
+    return Fig09Result(
+        instances=tuple(instances), ml_perf=ml_perf, cpu_throughput=cpu_norm
+    )
+
+
+def format_fig09(result: Fig09Result) -> str:
+    """Render Fig 9a and Fig 9b."""
+    a = format_series(
+        "Fig 9a: CNN1 performance (normalized to standalone)",
+        "stitch_instances",
+        list(result.instances),
+        {p: result.ml_perf[p] for p in result.ml_perf},
+        note="paper: BL falls to ~0.4; KP-SD highest; KP ~= CT + 8%",
+    )
+    b = format_series(
+        "Fig 9b: Stitch throughput (normalized to BL @ 1 instance)",
+        "stitch_instances",
+        list(result.instances),
+        {p: result.cpu_throughput[p] for p in result.cpu_throughput},
+        note="paper: KP-SD -25% avg vs BL; KP -9%; CT -11%",
+    )
+    return a + "\n\n" + b

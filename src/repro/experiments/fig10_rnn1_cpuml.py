@@ -1,0 +1,88 @@
+"""Fig 10: the RNN1 + CPUML memory-pressure sweep (Section V-B, case 2).
+
+A gentler mix: RNN1 is less bandwidth-sensitive and CPUML less aggressive.
+CPUML's thread count sweeps 2-16 under all four configurations. Fig 10a
+plots RNN1 QPS and Fig 10b its 95 %-ile tail latency, both normalized to
+standalone; Fig 10c plots CPUML throughput normalized to Baseline with two
+threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import MixConfig, run_colocation
+from repro.experiments.report import format_series
+from repro.metrics.slowdown import arithmetic_mean, harmonic_mean
+
+POLICIES = ("BL", "CT", "KP-SD", "KP")
+THREADS = (2, 4, 6, 8, 10, 12, 14, 16)
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Per-policy series over the thread sweep."""
+
+    threads: tuple[int, ...]
+    qps: dict[str, list[float]]
+    tail: dict[str, list[float]]
+    cpu_throughput: dict[str, list[float]]
+
+    def qps_average(self, policy: str) -> float:
+        """Mean normalized QPS over the sweep."""
+        return arithmetic_mean(self.qps[policy])
+
+    def tail_average(self, policy: str) -> float:
+        """Mean normalized tail latency over the sweep."""
+        return arithmetic_mean(self.tail[policy])
+
+    def cpu_harmonic_mean(self, policy: str) -> float:
+        """Harmonic-mean CPUML throughput over the sweep."""
+        return harmonic_mean(self.cpu_throughput[policy])
+
+
+def run_fig10(
+    threads: tuple[int, ...] = THREADS,
+    policies: tuple[str, ...] = POLICIES,
+    duration: float = 40.0,
+) -> Fig10Result:
+    """Run the sweep; CPUML throughput normalized to BL @ 2 threads."""
+    qps: dict[str, list[float]] = {p: [] for p in policies}
+    tail: dict[str, list[float]] = {p: [] for p in policies}
+    cpu_raw: dict[str, list[float]] = {p: [] for p in policies}
+    for policy in policies:
+        for n in threads:
+            result = run_colocation(
+                MixConfig(ml="rnn1", policy=policy, cpu="cpuml", intensity=n,
+                          duration=duration)
+            )
+            qps[policy].append(result.ml_perf_norm)
+            tail[policy].append(result.ml_tail_norm or 0.0)
+            cpu_raw[policy].append(result.cpu_throughput)
+    reference = cpu_raw.get("BL", [1.0])[0] or 1.0
+    cpu_norm = {
+        p: [value / reference for value in values] for p, values in cpu_raw.items()
+    }
+    return Fig10Result(
+        threads=tuple(threads), qps=qps, tail=tail, cpu_throughput=cpu_norm
+    )
+
+
+def format_fig10(result: Fig10Result) -> str:
+    """Render Fig 10a-c."""
+    a = format_series(
+        "Fig 10a: RNN1 QPS (normalized to standalone)",
+        "cpuml_threads", list(result.threads), result.qps,
+        note="paper averages: CT -9%, KP-SD ~0%, KP -5%",
+    )
+    b = format_series(
+        "Fig 10b: RNN1 p95 tail latency (normalized to standalone)",
+        "cpuml_threads", list(result.threads), result.tail,
+        note="paper averages: CT +13%, KP +8%",
+    )
+    c = format_series(
+        "Fig 10c: CPUML throughput (normalized to BL @ 2 threads)",
+        "cpuml_threads", list(result.threads), result.cpu_throughput,
+        note="paper averages: CT -5%, KP-SD -33%, KP -13%",
+    )
+    return "\n\n".join([a, b, c])

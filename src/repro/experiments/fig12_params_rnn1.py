@@ -1,0 +1,25 @@
+"""Fig 12: runtime parameters for the RNN1 + CPUML mixes.
+
+Same measurement as Fig 11, on the gentler mix: the paper's observation is
+that this workload exerts less bandwidth stress, so all mechanisms throttle
+less — in particular vanilla Subdomain achieves isolation without disabling
+any prefetchers at low thread counts.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig11_params_cnn1 import (
+    ParamSweepResult,
+    format_params,
+    run_param_sweep,
+)
+
+
+def run_fig12(duration: float = 40.0) -> ParamSweepResult:
+    """The RNN1 + CPUML parameter sweep (Fig 12a-c)."""
+    return run_param_sweep("rnn1", "cpuml", (2, 4, 6, 8, 10, 12), duration)
+
+
+def format_fig12(result: ParamSweepResult) -> str:
+    """Render Fig 12."""
+    return format_params(result, "Fig 12")

@@ -1,0 +1,69 @@
+"""Fig 14: runtime efficiency — ML gain per unit of CPU throughput loss.
+
+For each mix and each managed configuration, efficiency is the ML task's
+performance gain over Baseline divided by the CPU tasks' throughput loss
+versus Baseline (Section V-C). Shape targets: Subdomain lowest overall
+(fragmentation); Kelp ~17 % above CoreThrottle and ~37 % above Subdomain on
+average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.fig13_overall import Fig13Result, run_fig13
+from repro.experiments.report import format_table
+from repro.metrics.efficiency import efficiency_ratio
+from repro.metrics.slowdown import arithmetic_mean
+
+MANAGED = ("CT", "KP-SD", "KP")
+
+
+@dataclass(frozen=True)
+class Fig14Result:
+    """Per-mix and average efficiency for the managed configurations."""
+
+    efficiency: dict[tuple[str, str], dict[str, float]]
+
+    def average(self, policy: str) -> float:
+        """Mean efficiency across mixes."""
+        return arithmetic_mean(v[policy] for v in self.efficiency.values())
+
+
+def efficiency_from_fig13(fig13: Fig13Result) -> Fig14Result:
+    """Derive Fig 14 from an existing Fig 13 run."""
+    mixes = sorted({(c.ml, c.cpu) for c in fig13.cells})
+    table: dict[tuple[str, str], dict[str, float]] = {}
+    for ml, cpu in mixes:
+        bl = fig13.cell(ml, cpu, "BL")
+        bl_ml_perf = 1.0 / bl.ml_slowdown
+        row: dict[str, float] = {}
+        for policy in MANAGED:
+            cell = fig13.cell(ml, cpu, policy)
+            row[policy] = efficiency_ratio(
+                ml_perf=1.0 / cell.ml_slowdown,
+                ml_perf_baseline=bl_ml_perf,
+                cpu_throughput=cell.cpu_norm_throughput,
+                cpu_throughput_baseline=bl.cpu_norm_throughput,
+            )
+        table[(ml, cpu)] = row
+    return Fig14Result(efficiency=table)
+
+
+def run_fig14(duration: float = 40.0) -> Fig14Result:
+    """Run the Fig 13 matrix and derive efficiency."""
+    return efficiency_from_fig13(run_fig13(duration=duration))
+
+
+def format_fig14(result: Fig14Result) -> str:
+    """Render per-mix efficiency plus averages."""
+    rows = []
+    for (ml, cpu), values in sorted(result.efficiency.items()):
+        rows.append([f"{ml}+{cpu}"] + [values[p] for p in MANAGED])
+    rows.append(["average"] + [result.average(p) for p in MANAGED])
+    return format_table(
+        "Fig 14: ML gain / CPU loss (higher is better)",
+        ["mix"] + list(MANAGED),
+        rows,
+        note="paper: KP +17% vs CT, +37% vs KP-SD on average; KP-SD lowest",
+    )

@@ -1,0 +1,48 @@
+"""Plain-text rendering of experiment results.
+
+Every driver prints its rows/series through these helpers so benchmark
+output is uniform and diffable against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: str = "",
+) -> str:
+    """Render an ASCII table with a title and an optional footnote."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells)) if cells
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str, xs: Sequence[object],
+                  series: dict[str, Sequence[float]], note: str = "") -> str:
+    """Render one x-axis with several named series as a table."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [values[i] for values in series.values()])
+    return format_table(title, headers, rows, note=note)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

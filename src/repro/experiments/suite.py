@@ -1,0 +1,76 @@
+"""Run every registered experiment and assemble one report.
+
+``python -m repro report`` (or :func:`run_suite`) executes the full
+per-figure registry at configurable scale and writes a single markdown/text
+document — the regenerated evaluation section of the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.experiments.registry import experiment_ids, run_experiment
+
+#: Experiments taking a workload argument, run once per listed workload.
+_PER_WORKLOAD: dict[str, tuple[str, ...]] = {
+    "fig07": ("rnn1", "cnn1", "cnn2"),
+    "fig16": ("cnn1", "cnn2"),
+}
+
+#: Experiments that do not accept a duration override.
+_NO_DURATION = {"fig02", "table1", "ablation-churn", "ablation-hwprefetch"}
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One executed experiment in the report."""
+
+    exp_id: str
+    text: str
+    seconds: float
+
+
+def run_suite(
+    experiments: list[str] | None = None,
+    duration: float = 30.0,
+) -> list[SuiteEntry]:
+    """Execute the registry (or a subset) and collect formatted outputs."""
+    wanted = experiments if experiments is not None else experiment_ids()
+    entries: list[SuiteEntry] = []
+    for exp_id in wanted:
+        for ml in _PER_WORKLOAD.get(exp_id, (None,)):
+            kwargs: dict = {}
+            if exp_id not in _NO_DURATION:
+                kwargs["duration"] = duration
+            if ml is not None:
+                kwargs["ml"] = ml
+            started = time.perf_counter()
+            _, text = run_experiment(exp_id, **kwargs)
+            entries.append(
+                SuiteEntry(
+                    exp_id=exp_id if ml is None else f"{exp_id}:{ml}",
+                    text=text,
+                    seconds=time.perf_counter() - started,
+                )
+            )
+    return entries
+
+
+def format_suite(entries: list[SuiteEntry]) -> str:
+    """Assemble the suite report."""
+    total = sum(e.seconds for e in entries)
+    lines = [
+        "# Kelp reproduction — full experiment report",
+        "",
+        f"{len(entries)} experiment runs, {total:.0f}s wall clock.",
+        "",
+    ]
+    for entry in entries:
+        lines.append(f"## {entry.exp_id}  ({entry.seconds:.1f}s)")
+        lines.append("")
+        lines.append("```")
+        lines.append(entry.text)
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Simulated Linux host-control interfaces.
+
+Kelp on real hardware actuates and observes through a handful of kernel
+surfaces: perf uncore counters (IMC bandwidth, the ``FAST_ASSERTED`` distress
+event), MSR ``0x1A4`` (per-core L2 prefetcher bits), cgroup cpusets (CPU
+masks), resctrl (CAT way masks and MBA throttling), and numactl memory
+policies. This package reproduces those surfaces with the same shapes and
+granularity, backed by the :class:`~repro.hw.machine.Machine` model, so the
+runtime in :mod:`repro.core` reads like the production implementation.
+"""
+
+from repro.hostif.cpuset import CpusetController
+from repro.hostif.msr import MsrInterface, PREFETCH_DISABLE_ALL, PREFETCH_ENABLE_ALL
+from repro.hostif.numactl import NumaPolicy
+from repro.hostif.perf import PerfCounters, PerfReading
+from repro.hostif.resctrl import ResctrlFs
+
+__all__ = [
+    "CpusetController",
+    "MsrInterface",
+    "NumaPolicy",
+    "PREFETCH_DISABLE_ALL",
+    "PREFETCH_ENABLE_ALL",
+    "PerfCounters",
+    "PerfReading",
+    "ResctrlFs",
+]

@@ -1,0 +1,71 @@
+"""cgroup cpuset interface: per-task CPU masks.
+
+CoreThrottle and Kelp limit low-priority tasks by shrinking the set of cores
+their cgroup may run on. The simulated controller manipulates the ``cores``
+field of a task's :class:`~repro.hw.placement.Placement`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.errors import HostInterfaceError
+from repro.hw.machine import Machine
+from repro.hw.placement import Placement
+
+
+class PlaceableTask(Protocol):
+    """Tasks whose placement the host interfaces may mutate."""
+
+    task_id: str
+    placement: Placement
+
+    def set_placement(self, placement: Placement) -> None:
+        """Adopt a new placement (the task notifies its machine)."""
+
+
+class CpusetController:
+    """Assigns and resizes CPU masks for attached tasks."""
+
+    def __init__(self, machine: Machine) -> None:
+        self._machine = machine
+
+    def set_cpus(self, task: PlaceableTask, cores: frozenset[int] | set[int]) -> None:
+        """Pin ``task`` to exactly ``cores``."""
+        cores = frozenset(cores)
+        if not cores:
+            raise HostInterfaceError("cpuset.cpus cannot be empty")
+        total = self._machine.spec.total_cores
+        bad = [c for c in cores if not 0 <= c < total]
+        if bad:
+            raise HostInterfaceError(f"cores out of range: {sorted(bad)}")
+        if cores != task.placement.cores:
+            task.set_placement(task.placement.with_cores(cores))
+
+    def shrink(self, task: PlaceableTask, count: int = 1) -> int:
+        """Remove up to ``count`` cores (highest ids first); returns removed.
+
+        Never shrinks below one core — a cgroup must remain schedulable.
+        """
+        cores = sorted(task.placement.cores)
+        removable = min(count, len(cores) - 1)
+        if removable <= 0:
+            return 0
+        self.set_cpus(task, frozenset(cores[: len(cores) - removable]))
+        return removable
+
+    def grow(
+        self, task: PlaceableTask, candidates: list[int], count: int = 1
+    ) -> int:
+        """Add up to ``count`` cores from ``candidates``; returns added."""
+        current = set(task.placement.cores)
+        added = 0
+        for core in candidates:
+            if added >= count:
+                break
+            if core not in current:
+                current.add(core)
+                added += 1
+        if added:
+            self.set_cpus(task, frozenset(current))
+        return added

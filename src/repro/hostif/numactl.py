@@ -1,0 +1,66 @@
+"""numactl-style memory policy: bind a task's pages to NUMA nodes.
+
+Node numbering follows the kernel's view: with SNC **off** the nodes are the
+sockets; with SNC **on** each subdomain is a node. Internally the library
+always routes by subdomain, so this module translates OS-level node ids into
+subdomain routing weights for the task's placement.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HostInterfaceError
+from repro.hostif.cpuset import PlaceableTask
+from repro.hw.machine import Machine
+
+
+class NumaPolicy:
+    """Apply ``membind``/``interleave`` policies to simulated tasks."""
+
+    def __init__(self, machine: Machine) -> None:
+        self._machine = machine
+
+    def visible_nodes(self) -> list[int]:
+        """OS-visible NUMA node ids under the current SNC setting."""
+        topo = self._machine.topology
+        if self._machine.snc_enabled:
+            return list(range(topo.num_subdomains))
+        return list(range(topo.num_sockets))
+
+    def membind(self, task: PlaceableTask, nodes: list[int]) -> None:
+        """Bind the task's memory to ``nodes`` (interleaved across them)."""
+        weights = self._weights_for(nodes)
+        if weights != task.placement.mem_weights:
+            task.set_placement(task.placement.with_mem_weights(weights))
+
+    def membind_weighted(
+        self, task: PlaceableTask, node_weights: dict[int, float]
+    ) -> None:
+        """Bind with explicit per-node weights (for remote-traffic sweeps)."""
+        subdomain_weights: dict[int, float] = {}
+        for node, weight in node_weights.items():
+            for subdomain, sub_weight in self._node_subdomains(node).items():
+                subdomain_weights[subdomain] = (
+                    subdomain_weights.get(subdomain, 0.0) + weight * sub_weight
+                )
+        task.set_placement(task.placement.with_mem_weights(subdomain_weights))
+
+    # ------------------------------------------------------------ helpers
+    def _node_subdomains(self, node: int) -> dict[int, float]:
+        topo = self._machine.topology
+        if self._machine.snc_enabled:
+            if not 0 <= node < topo.num_subdomains:
+                raise HostInterfaceError(f"NUMA node {node} out of range (SNC on)")
+            return {node: 1.0}
+        if not 0 <= node < topo.num_sockets:
+            raise HostInterfaceError(f"NUMA node {node} out of range (SNC off)")
+        return topo.socket_memory_weights(node)
+
+    def _weights_for(self, nodes: list[int]) -> dict[int, float]:
+        if not nodes:
+            raise HostInterfaceError("membind needs at least one node")
+        weights: dict[int, float] = {}
+        share = 1.0 / len(nodes)
+        for node in nodes:
+            for subdomain, sub_weight in self._node_subdomains(node).items():
+                weights[subdomain] = weights.get(subdomain, 0.0) + share * sub_weight
+        return weights

@@ -1,0 +1,83 @@
+"""Simulated perf-counter interface.
+
+Kelp makes four measurements every control interval (Section IV-D):
+
+* **socket memory bandwidth** — IMC CAS counters, summed per socket;
+* **memory latency** — a loaded-latency proxy (occupancy/inserts ratio);
+* **memory saturation** — the ``FAST_ASSERTED`` uncore event divided by
+  elapsed cycles (fraction of time the distress signal was asserted);
+* **high-priority subdomain bandwidth** — CAS counters of that subdomain's
+  channel group only.
+
+Counters are windowed: each named reader keeps its own last-read snapshot, so
+multiple consumers (the policy loop, experiment recorders) can sample at
+different frequencies without disturbing one another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.machine import Machine
+from repro.hw.telemetry import TelemetrySnapshot
+
+
+@dataclass(frozen=True)
+class PerfReading:
+    """One windowed sample of the Kelp measurement set."""
+
+    #: Window length, simulated seconds.
+    elapsed: float
+    #: Average bandwidth per socket, GB/s.
+    socket_bandwidth_gbps: dict[int, float]
+    #: Worst average loaded-latency factor per socket (>= 1 unloaded).
+    socket_latency_factor: dict[int, float]
+    #: Worst average FAST_ASSERTED fraction per socket, [0, 1].
+    socket_saturation: dict[int, float]
+    #: Average bandwidth per subdomain, GB/s.
+    subdomain_bandwidth_gbps: dict[int, float]
+    #: Average distress core-throttle factor per socket (diagnostics).
+    socket_throttle: dict[int, float]
+
+
+class PerfCounters:
+    """Windowed reads over the machine's telemetry integrals."""
+
+    def __init__(self, machine: Machine) -> None:
+        self._machine = machine
+        self._marks: dict[str, TelemetrySnapshot] = {}
+
+    def read(self, reader: str = "default") -> PerfReading:
+        """Sample all Kelp counters since this reader's previous call.
+
+        The first call for a reader covers the window since t=0.
+        """
+        telemetry = self._machine.telemetry
+        now = self._machine.sim.now
+        previous = self._marks.get(reader)
+        if previous is None:
+            previous = TelemetrySnapshot()
+        window = telemetry.window_since(previous, now)
+        self._marks[reader] = telemetry.copy_snapshot()
+
+        topo = self._machine.topology
+        socket_bw: dict[int, float] = {}
+        socket_lat: dict[int, float] = {}
+        socket_sat: dict[int, float] = {}
+        for socket_id in range(topo.num_sockets):
+            subdomains = topo.subdomains_of_socket(socket_id)
+            socket_bw[socket_id] = window.bandwidth_of(subdomains)
+            socket_lat[socket_id] = window.max_latency_factor(subdomains)
+            socket_sat[socket_id] = window.max_saturation(subdomains)
+        return PerfReading(
+            elapsed=window.elapsed,
+            socket_bandwidth_gbps=socket_bw,
+            socket_latency_factor=socket_lat,
+            socket_saturation=socket_sat,
+            subdomain_bandwidth_gbps=dict(window.mc_bandwidth_gbps),
+            socket_throttle=dict(window.socket_throttle),
+        )
+
+    def reset(self, reader: str = "default") -> None:
+        """Forget a reader's mark; its next read starts a fresh window."""
+        self._marks.pop(reader, None)

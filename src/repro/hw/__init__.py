@@ -1,0 +1,44 @@
+"""Host hardware model.
+
+This package is the substrate the paper's runtime manipulates: a dual-socket
+server with per-socket cores, a last-level cache partitionable with CAT, two
+memory controllers per socket that can be exposed as NUMA subdomains
+(SNC/Cluster-on-Die), a cross-socket UPI link, PCIe-attached accelerators,
+per-core L2 prefetchers, and the socket-wide memory-backpressure (distress)
+mechanism.
+
+The model is *fluid*: workloads declare bandwidth demands and compute needs;
+the :class:`~repro.hw.contention.ContentionSolver` resolves them into per-task
+speed multipliers every time anything changes, and the discrete-event engine
+advances work analytically between changes.
+"""
+
+from repro.hw.machine import Machine
+from repro.hw.placement import Placement
+from repro.hw.spec import (
+    LlcSpec,
+    MachineSpec,
+    MemoryControllerSpec,
+    PcieSpec,
+    SocketSpec,
+    UpiSpec,
+    cloud_tpu_host_spec,
+    gpu_host_spec,
+    tpu_host_spec,
+)
+from repro.hw.topology import Topology
+
+__all__ = [
+    "LlcSpec",
+    "Machine",
+    "MachineSpec",
+    "MemoryControllerSpec",
+    "PcieSpec",
+    "Placement",
+    "SocketSpec",
+    "Topology",
+    "UpiSpec",
+    "cloud_tpu_host_spec",
+    "gpu_host_spec",
+    "tpu_host_spec",
+]

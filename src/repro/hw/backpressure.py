@@ -1,0 +1,41 @@
+"""Socket-wide memory backpressure (the distress / ``FAST_ASSERTED`` model).
+
+When any memory controller on a socket is pushed past its distress threshold,
+it broadcasts a distress signal that throttles *every* core on that socket —
+including cores in the other NUMA subdomain whose own controller is idle.
+This deliberately subdomain-oblivious behaviour is the central hardware
+pathology of Section IV-B: it is why NUMA subdomains alone cannot isolate an
+accelerated task, and why Kelp manages saturation by disabling low-priority
+prefetchers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.memory import McLoad
+from repro.units import clamp
+
+
+@dataclass(frozen=True)
+class SocketPressure:
+    """Distress state of one socket for the current fluid epoch."""
+
+    #: Fraction of cycles the distress signal is asserted, in [0, 1].
+    saturation: float
+    #: Multiplicative issue-rate factor applied to every core on the socket.
+    core_throttle: float
+
+
+def socket_pressure(
+    mc_loads: list[McLoad], backpressure_strength: float
+) -> SocketPressure:
+    """Combine controller saturations into the socket's distress state.
+
+    The broadcast wire is shared: the most-saturated controller dominates,
+    and the throttle factor is ``1 - strength * saturation``.
+    """
+    saturation = max((load.saturation for load in mc_loads), default=0.0)
+    saturation = clamp(saturation, 0.0, 1.0)
+    throttle = 1.0 - backpressure_strength * saturation
+    return SocketPressure(saturation=saturation, core_throttle=throttle)

@@ -1,0 +1,472 @@
+"""The fluid contention solver.
+
+Every time anything in the machine changes (a phase starts or ends, a policy
+reconfigures placements, prefetchers are toggled), the solver converts the
+set of active *traffic sources* into a :class:`SolveResult`: per-controller
+loads, per-socket distress pressure, UPI state, and per-source rate factors.
+Workloads combine those factors with their own phase profiles to obtain the
+speed at which their fluid work drains.
+
+The solve is a small fixed-point iteration: the distress-driven core
+throttling reduces the demand cores can generate, which reduces distress.
+Damped iteration converges in a handful of rounds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.hw.backpressure import SocketPressure, socket_pressure
+from repro.hw.interconnect import UpiLoad, UpiModel
+from repro.hw.llc import LlcModel, LlcRequest
+from repro.hw.memory import McLoad, MemoryControllerModel, idle_load
+from repro.hw.prefetcher import PrefetchProfile, PrefetcherBank
+from repro.hw.spec import MachineSpec
+from repro.hw.topology import Topology
+from repro.units import clamp
+
+#: Cross-subdomain (same socket) access latency penalty when SNC is on.
+_SNC_CROSS_PENALTY = 1.05
+
+
+class Priority(enum.IntEnum):
+    """Task priority classes (the paper's high-priority ML vs best-effort)."""
+
+    LOW = 0
+    HIGH = 1
+
+
+@dataclass(frozen=True)
+class TrafficSource:
+    """One stream of host activity competing for shared resources.
+
+    A task usually contributes a single source; the RNN1 inference server
+    aggregates all lanes currently in a CPU phase into one source whose demand
+    scales with the number of active lanes.
+    """
+
+    source_id: str
+    task_id: str
+    #: Useful memory-bandwidth demand at full speed, GB/s, before prefetch
+    #: inflation, LLC-miss inflation, CPU-share and throttle scaling.
+    demand_gbps: float
+    #: Subdomain id -> fraction of traffic routed there (normalized).
+    mem_weights: dict[int, float]
+    #: Cores the generating threads run on (must be on a single socket).
+    cores: frozenset[int]
+    #: Number of runnable threads (for CPU-share computation).
+    threads: int = 1
+    clos: int = 0
+    priority: Priority = Priority.LOW
+    prefetch: PrefetchProfile = field(default_factory=PrefetchProfile)
+    #: Hot working set in the socket LLC, MB (0 = cache-oblivious).
+    working_set_mb: float = 0.0
+    #: Relative LLC access intensity (see :class:`~repro.hw.llc.LlcRequest`).
+    llc_intensity: float = 1.0
+    #: Demand multiplier at 0 % LLC hit rate (misses become DRAM traffic).
+    llc_miss_traffic_gain: float = 0.0
+    #: Speed multiplier lost at 0 % LLC hit rate.
+    llc_speed_sensitivity: float = 0.0
+    #: How strongly this source degrades SMT siblings sharing its cores.
+    smt_aggression: float = 0.0
+    #: How strongly this source suffers from SMT siblings on its cores.
+    smt_sensitivity: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.demand_gbps < 0:
+            raise ConfigurationError("demand_gbps must be >= 0")
+        if self.threads <= 0:
+            raise ConfigurationError("threads must be positive")
+        if not self.cores:
+            raise ConfigurationError("source needs at least one core")
+
+
+@dataclass(frozen=True)
+class SourceRates:
+    """Per-source factors produced by one solve."""
+
+    #: Achieved/offered bandwidth ratio across the source's routing, (0, 1].
+    bw_grant: float
+    #: Effective loaded-latency factor (weighted over routing; includes SNC
+    #: bonus/penalty, UPI hop latency and home-socket coherence injection).
+    latency_factor: float
+    #: Socket-wide distress throttle applied to the source's cores.
+    core_throttle: float
+    #: Prefetcher latency-hiding speed factor for the source's cores.
+    prefetch_speed: float
+    #: LLC hit fraction resolved for this source.
+    llc_hit: float
+    #: Speed multiplier from LLC misses, (0, 1].
+    llc_speed: float
+    #: Speed multiplier from SMT sibling pressure, (0, 1].
+    smt_factor: float
+    #: min(1, cores/threads): core-count share from CPU-mask throttling.
+    cpu_share: float
+    #: Core-path slowdown from the MBA rate controller. Intel's MBA sits
+    #: between the core and the LLC, so throttling a CLOS's memory requests
+    #: also costs it LLC bandwidth — the Section VI-D criticism. 1.0 when
+    #: the CLOS is uncapped.
+    mba_core_factor: float = 1.0
+    #: Request-issue share left by the MBA throttle (the MB% cap itself);
+    #: stretches the memory-bound part of the capped task's phases.
+    mba_issue: float = 1.0
+
+    def compute_speed(self) -> float:
+        """Multiplier for the non-memory-bound (compute) part of a phase.
+
+        Core occupancy effects — SMT sibling pressure, CPU-mask sharing and
+        the MBA core-to-LLC rate controller — slow instruction execution
+        itself; memory-side effects do not.
+        """
+        return self.smt_factor * self.cpu_share * self.mba_core_factor
+
+    def memory_stretch(self, bw_bound_weight: float) -> float:
+        """Time-stretch of the memory-bound part of a phase.
+
+        ``bw_bound_weight`` blends bandwidth-bound behaviour (stretch =
+        1/grant) with latency-bound behaviour (stretch = latency factor).
+        The distress core-throttle slows request issue, disabled prefetchers
+        stop hiding latency, and LLC misses add trips to DRAM — all three
+        stretch the memory-bound portion of a phase, not its compute.
+        """
+        w = clamp(bw_bound_weight, 0.0, 1.0)
+        bw_stretch = 1.0 / max(self.bw_grant, 1e-9)
+        raw = w * bw_stretch + (1.0 - w) * self.latency_factor
+        issue = max(
+            self.core_throttle
+            * self.prefetch_speed
+            * self.llc_speed
+            * self.mba_issue,
+            1e-6,
+        )
+        return raw / issue
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Machine-wide outcome of one contention solve."""
+
+    mc_loads: dict[int, McLoad]
+    socket_pressures: dict[int, SocketPressure]
+    upi_loads: dict[tuple[int, int], UpiLoad]
+    source_rates: dict[str, SourceRates]
+
+    def rates_for(self, source_id: str) -> SourceRates:
+        """Rates for ``source_id``; unknown sources see an idle machine."""
+        rates = self.source_rates.get(source_id)
+        if rates is not None:
+            return rates
+        return IDLE_RATES
+
+
+#: Rates seen by a source on an otherwise idle machine.
+IDLE_RATES = SourceRates(
+    bw_grant=1.0,
+    latency_factor=1.0,
+    core_throttle=1.0,
+    prefetch_speed=1.0,
+    llc_hit=1.0,
+    llc_speed=1.0,
+    smt_factor=1.0,
+    cpu_share=1.0,
+)
+
+
+def empty_solve_result(spec: MachineSpec) -> SolveResult:
+    """The solve result of a machine with no active sources."""
+    topo = Topology(spec)
+    mc_loads = {}
+    for socket_id, socket in enumerate(spec.sockets):
+        for local_index, mc_spec in enumerate(socket.memory_controllers):
+            mc_loads[2 * socket_id + local_index] = idle_load(mc_spec)
+    pressures = {
+        s: SocketPressure(saturation=0.0, core_throttle=1.0)
+        for s in range(topo.num_sockets)
+    }
+    return SolveResult(
+        mc_loads=mc_loads, socket_pressures=pressures, upi_loads={}, source_rates={}
+    )
+
+
+class ContentionSolver:
+    """Resolves traffic sources into rate factors for one machine."""
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        topology: Topology,
+        prefetchers: PrefetcherBank,
+        llcs: dict[int, LlcModel],
+    ) -> None:
+        self.spec = spec
+        self.topology = topology
+        self.prefetchers = prefetchers
+        self.llcs = llcs
+        self._mc_models: dict[int, MemoryControllerModel] = {}
+        for socket_id, socket in enumerate(spec.sockets):
+            for local_index, mc_spec in enumerate(socket.memory_controllers):
+                self._mc_models[2 * socket_id + local_index] = MemoryControllerModel(
+                    mc_spec
+                )
+        self._upi = UpiModel(spec.upi)
+        #: Request-level prioritization at the controllers (HW-QoS estimate).
+        self.priority_mode = False
+        #: Per-CLOS offered-demand caps (the resctrl MBA actuator), 0..1.
+        self.mba_caps: dict[int, float] = {}
+        #: Whether sub-NUMA clustering is enabled (affects latency bonuses).
+        self.snc_enabled = False
+        #: QoS-aware hardware prefetching (Section VI-B): low-priority
+        #: prefetchers self-throttle instantly in proportion to the home
+        #: socket's memory saturation — no software sampling loop involved.
+        self.qos_aware_prefetch = False
+
+    # ------------------------------------------------------------ helpers
+    def _socket_of_source(self, source: TrafficSource) -> int:
+        sockets = {self.topology.socket_of_core(c) for c in source.cores}
+        if len(sockets) != 1:
+            raise ConfigurationError(
+                f"source {source.source_id} spans sockets {sorted(sockets)}"
+            )
+        return next(iter(sockets))
+
+    def _subdomains_of_source(self, source: TrafficSource) -> set[int]:
+        return {self.topology.subdomain_of_core(c) for c in source.cores}
+
+    def _static_factors(
+        self, sources: list[TrafficSource]
+    ) -> tuple[dict[str, float], dict[str, float], dict[str, float], dict[str, float]]:
+        """Per-source factors that do not depend on the fixed point.
+
+        Returns (prefetch_demand, prefetch_speed, llc_hit, smt_factor) maps.
+        """
+        pf_demand: dict[str, float] = {}
+        pf_speed: dict[str, float] = {}
+        for source in sources:
+            enabled = self.prefetchers.enabled_fraction(source.cores)
+            pf_demand[source.source_id] = source.prefetch.demand_factor(enabled)
+            pf_speed[source.source_id] = source.prefetch.speed_factor(enabled)
+
+        # LLC hit fractions, resolved per socket.
+        llc_hit: dict[str, float] = {}
+        by_socket: dict[int, list[TrafficSource]] = {}
+        for source in sources:
+            by_socket.setdefault(self._socket_of_source(source), []).append(source)
+        for socket_id, socket_sources in by_socket.items():
+            requests = [
+                LlcRequest(
+                    task_id=s.source_id,
+                    working_set_mb=s.working_set_mb,
+                    clos=s.clos,
+                    intensity=s.llc_intensity,
+                )
+                for s in socket_sources
+            ]
+            llc_hit.update(self.llcs[socket_id].hit_fractions(requests))
+
+        # SMT sibling pressure from core overlap.
+        smt: dict[str, float] = {}
+        for source in sources:
+            worst = 0.0
+            for other in sources:
+                if other.source_id == source.source_id:
+                    continue
+                overlap = len(source.cores & other.cores)
+                if not overlap:
+                    continue
+                fraction = overlap / len(source.cores)
+                worst = max(worst, other.smt_aggression * fraction)
+            smt[source.source_id] = clamp(
+                1.0 - source.smt_sensitivity * worst, 0.05, 1.0
+            )
+        return pf_demand, pf_speed, llc_hit, smt
+
+    def _routing_latency_adjust(self, source: TrafficSource, subdomain: int) -> float:
+        """SNC locality bonus/penalty for traffic to ``subdomain``."""
+        if not self.snc_enabled:
+            return 1.0
+        source_subdomains = self._subdomains_of_source(source)
+        if subdomain in source_subdomains:
+            return 1.0 - self.spec.snc_local_latency_bonus
+        if self.topology.socket_of_subdomain(subdomain) == self._socket_of_source(
+            source
+        ):
+            return _SNC_CROSS_PENALTY
+        return 1.0  # cross-socket handled via UPI terms
+
+    # -------------------------------------------------------------- solve
+    def solve(self, sources: list[TrafficSource]) -> SolveResult:
+        """Resolve the machine state for the given active sources."""
+        if not sources:
+            return empty_solve_result(self.spec)
+
+        pf_demand, pf_speed, llc_hit, smt = self._static_factors(sources)
+        source_socket = {s.source_id: self._socket_of_source(s) for s in sources}
+
+        def offered_demand(source: TrafficSource) -> float:
+            # Offered demand is the *queue pressure* a source exerts on the
+            # controllers. It is deliberately NOT scaled by the distress
+            # throttle: prefetch streams and retried demand misses keep the
+            # queues full even while the issuing cores are being throttled —
+            # which is exactly why the paper manages saturation by disabling
+            # prefetchers rather than relying on the throttle to resolve it.
+            hit = llc_hit[source.source_id]
+            miss_inflation = 1.0 + source.llc_miss_traffic_gain * (1.0 - hit)
+            cpu_share = min(1.0, len(source.cores) / source.threads)
+            mba = self.mba_caps.get(source.clos, 1.0)
+            return (
+                source.demand_gbps
+                * pf_demand[source.source_id]
+                * miss_inflation
+                * cpu_share
+                * mba
+            )
+
+        def resolve_pass():
+            demand_hi = {m: 0.0 for m in self._mc_models}
+            demand_lo = {m: 0.0 for m in self._mc_models}
+            upi_demand: dict[tuple[int, int], float] = {}
+            for source in sources:
+                home_socket = source_socket[source.source_id]
+                demand = offered_demand(source)
+                for subdomain, weight in source.mem_weights.items():
+                    slice_demand = demand * weight
+                    target_socket = self.topology.socket_of_subdomain(subdomain)
+                    if target_socket != home_socket:
+                        slice_demand *= 1.0 + self.spec.upi.coherence_overhead
+                        key = (home_socket, target_socket)
+                        upi_demand[key] = upi_demand.get(key, 0.0) + slice_demand
+                    bucket = (
+                        demand_hi if source.priority == Priority.HIGH else demand_lo
+                    )
+                    bucket[subdomain] += slice_demand
+
+            mc_loads: dict[int, McLoad] = {}
+            hi_grants: dict[int, float] = {}
+            lo_grants: dict[int, float] = {}
+            for mc_id, model in self._mc_models.items():
+                if self.priority_mode:
+                    load, hi_g, lo_g = model.resolve_prioritized(
+                        demand_hi[mc_id], demand_lo[mc_id]
+                    )
+                    hi_grants[mc_id] = hi_g
+                    lo_grants[mc_id] = lo_g
+                else:
+                    load = model.resolve(demand_hi[mc_id] + demand_lo[mc_id])
+                    hi_grants[mc_id] = load.grant_ratio
+                    lo_grants[mc_id] = load.grant_ratio
+                mc_loads[mc_id] = load
+
+            upi_loads = {
+                key: self._upi.resolve(demand)
+                for key, demand in upi_demand.items()
+            }
+
+            pressures = {}
+            for socket_id in range(self.topology.num_sockets):
+                subdomains = self.topology.subdomains_of_socket(socket_id)
+                pressures[socket_id] = socket_pressure(
+                    [mc_loads[m] for m in subdomains],
+                    self.spec.sockets[socket_id].backpressure_strength,
+                )
+            return mc_loads, hi_grants, lo_grants, upi_loads, pressures
+
+        mc_loads, hi_grants, lo_grants, upi_loads, pressures = resolve_pass()
+
+        if self.qos_aware_prefetch and any(
+            p.saturation > 0 for p in pressures.values()
+        ):
+            # Section VI-B: hardware prefetchers observe memory-resource
+            # state directly and throttle low-priority prefetch streams in
+            # the same cycle saturation appears — modeled as scaling each
+            # low-priority source's prefetcher effect by (1 - saturation)
+            # and re-resolving once.
+            for source in sources:
+                if source.priority == Priority.HIGH:
+                    continue
+                sat = pressures[source_socket[source.source_id]].saturation
+                enabled = self.prefetchers.enabled_fraction(source.cores)
+                effective = enabled * (1.0 - sat)
+                pf_demand[source.source_id] = source.prefetch.demand_factor(
+                    effective
+                )
+                pf_speed[source.source_id] = source.prefetch.speed_factor(
+                    effective
+                )
+            mc_loads, hi_grants, lo_grants, upi_loads, pressures = resolve_pass()
+
+        # Latency injection from inbound coherence traffic, per home socket.
+        home_injection = {s: 0.0 for s in range(self.topology.num_sockets)}
+        for (_, target_socket), load in upi_loads.items():
+            home_injection[target_socket] += self._upi.home_latency_injection(
+                load.utilization, self.spec.remote_sensitivity
+            )
+
+        source_rates: dict[str, SourceRates] = {}
+        for source in sources:
+            home_socket = source_socket[source.source_id]
+            grant = 0.0
+            latency = 0.0
+            grants = (
+                hi_grants if source.priority == Priority.HIGH else lo_grants
+            )
+            for subdomain, weight in source.mem_weights.items():
+                target_socket = self.topology.socket_of_subdomain(subdomain)
+                mc = mc_loads[subdomain]
+                slice_grant = grants[subdomain]
+                mc_latency = (
+                    mc.hi_latency_factor
+                    if source.priority == Priority.HIGH
+                    else mc.latency_factor
+                )
+                slice_latency = mc_latency * self._routing_latency_adjust(
+                    source, subdomain
+                )
+                if self.snc_enabled:
+                    # Shared-mesh residual coupling from the sibling
+                    # subdomain on the same socket. Convex in the sibling's
+                    # utilization: negligible at moderate load (preserving
+                    # the paper's better-than-standalone behaviour under
+                    # light pressure), material only near saturation.
+                    sibling = subdomain ^ 1
+                    slice_latency += (
+                        self.spec.mesh_coupling
+                        * mc_loads[sibling].utilization ** 3
+                    )
+                slice_latency += home_injection[target_socket]
+                if target_socket != home_socket:
+                    upi = upi_loads.get((home_socket, target_socket))
+                    if upi is not None:
+                        slice_grant *= upi.grant_ratio
+                        slice_latency *= upi.remote_latency_factor
+                grant += weight * slice_grant
+                latency += weight * slice_latency
+            mba_cap = self.mba_caps.get(source.clos, 1.0)
+            source_rates[source.source_id] = SourceRates(
+                bw_grant=clamp(grant, 1e-9, 1.0),
+                latency_factor=max(latency, 0.5),
+                core_throttle=pressures[home_socket].core_throttle,
+                prefetch_speed=pf_speed[source.source_id],
+                llc_hit=llc_hit[source.source_id],
+                llc_speed=clamp(
+                    1.0
+                    - source.llc_speed_sensitivity
+                    * (1.0 - llc_hit[source.source_id]),
+                    0.05,
+                    1.0,
+                ),
+                smt_factor=smt[source.source_id],
+                cpu_share=min(1.0, len(source.cores) / source.threads),
+                # The MBA rate controller throttles the core-to-LLC path,
+                # so part of the cap lands on compute (Section VI-D).
+                mba_core_factor=0.45 + 0.55 * mba_cap,
+                mba_issue=mba_cap,
+            )
+
+        return SolveResult(
+            mc_loads=mc_loads,
+            socket_pressures=pressures,
+            upi_loads=upi_loads,
+            source_rates=source_rates,
+        )

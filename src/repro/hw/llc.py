@@ -1,0 +1,103 @@
+"""Last-level cache model with CAT way partitioning.
+
+The LLC determines, for each task, a *hit fraction*: how much of its hot
+working set actually fits in the cache capacity it effectively owns. Misses
+convert into extra memory traffic and a speed penalty — the workload supplies
+the sensitivities, the cache supplies the hit fraction.
+
+CAT (Intel Cache Allocation Technology) is modeled via resctrl way masks: a
+class of service owns a set of ways; tasks in a CLOS share the capacity of
+that CLOS's ways proportionally to their working sets. Overlapping way masks
+share capacity between classes the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.spec import LlcSpec
+from repro.units import clamp
+
+
+@dataclass(frozen=True)
+class LlcRequest:
+    """One task's cache footprint inside a socket's LLC."""
+
+    task_id: str
+    #: Hot working-set size, MB. Zero means the task is cache-oblivious.
+    working_set_mb: float
+    #: resctrl class of service (selects the way mask).
+    clos: int
+    #: Relative access intensity; hotter tasks win more of a shared
+    #: partition, matching LRU behaviour under unequal access rates.
+    intensity: float = 1.0
+
+
+def full_mask(spec: LlcSpec) -> int:
+    """A way mask covering the entire cache."""
+    return (1 << spec.ways) - 1
+
+
+class LlcModel:
+    """Computes per-task hit fractions for a single socket's LLC."""
+
+    def __init__(self, spec: LlcSpec) -> None:
+        self.spec = spec
+        self._clos_masks: dict[int, int] = {0: full_mask(spec)}
+
+    # -------------------------------------------------------------- masks
+    def set_clos_mask(self, clos: int, mask: int) -> None:
+        """Assign a CAT way mask to a class of service."""
+        if mask <= 0 or mask >= (1 << (self.spec.ways + 1)):
+            raise ConfigurationError(
+                f"way mask {mask:#x} invalid for {self.spec.ways}-way cache"
+            )
+        self._clos_masks[clos] = mask
+
+    def clos_mask(self, clos: int) -> int:
+        """The way mask of ``clos`` (unknown classes default to all ways)."""
+        return self._clos_masks.get(clos, full_mask(self.spec))
+
+    def clos_capacity_mb(self, clos: int) -> float:
+        """Capacity reachable by ``clos``, MB."""
+        mask = self.clos_mask(clos)
+        return bin(mask).count("1") * self.spec.mb_per_way
+
+    def reset(self) -> None:
+        """Drop all masks back to the default (everyone sees all ways)."""
+        self._clos_masks = {0: full_mask(self.spec)}
+
+    # -------------------------------------------------------------- solve
+    def hit_fractions(self, requests: list[LlcRequest]) -> dict[str, float]:
+        """Resolve hit fractions for all tasks sharing this LLC.
+
+        Each way's capacity is divided among the tasks whose CLOS mask covers
+        it, weighted by ``working_set * intensity``; a task's allocation is
+        the sum over its ways, and its hit fraction is ``min(1, alloc/ws)``.
+        """
+        if not requests:
+            return {}
+        per_way = self.spec.mb_per_way
+        allocations = {r.task_id: 0.0 for r in requests}
+        weights = {
+            r.task_id: max(0.0, r.working_set_mb) * max(0.0, r.intensity)
+            for r in requests
+        }
+        for way in range(self.spec.ways):
+            bit = 1 << way
+            sharers = [r for r in requests if self.clos_mask(r.clos) & bit]
+            total_weight = sum(weights[r.task_id] for r in sharers)
+            if total_weight <= 0:
+                continue
+            for r in sharers:
+                allocations[r.task_id] += per_way * weights[r.task_id] / total_weight
+        fractions: dict[str, float] = {}
+        for r in requests:
+            if r.working_set_mb <= 0:
+                fractions[r.task_id] = 1.0
+            else:
+                fractions[r.task_id] = clamp(
+                    allocations[r.task_id] / r.working_set_mb, 0.0, 1.0
+                )
+        return fractions

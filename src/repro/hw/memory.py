@@ -1,0 +1,143 @@
+"""Memory-controller contention model.
+
+Each channel group (NUMA subdomain) is a fluid server: demands are summed,
+bandwidth over-subscription is resolved by proportional (or priority-ordered)
+sharing, loaded latency follows a queueing-style curve, and heavy
+over-subscription asserts the *distress* signal — the ``FAST_ASSERTED``
+analogue — whose socket-wide throttling effect is computed in
+:mod:`repro.hw.backpressure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.spec import MemoryControllerSpec
+from repro.units import clamp
+
+
+@dataclass(frozen=True)
+class McLoad:
+    """Resolved state of one memory controller for the current fluid epoch."""
+
+    #: Total raw demand offered (GB/s), before any grant scaling.
+    demand_gbps: float
+    #: Bandwidth actually delivered (GB/s), <= peak.
+    delivered_gbps: float
+    #: delivered/demand for proportional requesters, in (0, 1].
+    grant_ratio: float
+    #: delivered/peak utilization, in [0, 1].
+    utilization: float
+    #: Loaded-latency factor over the unloaded baseline, >= 1.
+    latency_factor: float
+    #: Fraction of cycles the distress signal is asserted, in [0, 1].
+    saturation: float
+    #: Latency factor seen by prioritized (high-priority) requesters; equals
+    #: ``latency_factor`` except under request-level prioritization.
+    hi_latency_factor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.hi_latency_factor <= 0.0:
+            object.__setattr__(self, "hi_latency_factor", self.latency_factor)
+
+
+class MemoryControllerModel:
+    """Analytic model of one channel group.
+
+    The model is stateless between solves; it converts an offered demand into
+    an :class:`McLoad`. Priority-ordered allocation (used by the hardware-QoS
+    policy estimate of Section VI-D) serves high-priority demand first and
+    gives low priority the remainder.
+    """
+
+    def __init__(self, spec: MemoryControllerSpec) -> None:
+        self.spec = spec
+
+    # ------------------------------------------------------------- curves
+    def latency_factor(self, utilization: float) -> float:
+        """Loaded-latency multiplier at ``utilization`` of peak bandwidth."""
+        u = clamp(utilization, 0.0, 0.999)
+        spec = self.spec
+        factor = 1.0 + spec.latency_curve_a * (u ** spec.latency_curve_b) / (1.0 - u)
+        return min(factor, spec.latency_factor_cap)
+
+    def saturation(self, demand_ratio: float) -> float:
+        """Fraction of cycles distress is asserted, given demand/peak."""
+        spec = self.spec
+        return clamp((demand_ratio - spec.distress_start) / spec.distress_span, 0.0, 1.0)
+
+    # -------------------------------------------------------------- solve
+    def resolve(self, demand_gbps: float) -> McLoad:
+        """Resolve a purely proportional-sharing controller."""
+        if demand_gbps < 0:
+            raise ConfigurationError(f"negative demand {demand_gbps}")
+        peak = self.spec.peak_bw_gbps
+        delivered = min(demand_gbps, peak)
+        grant = 1.0 if demand_gbps <= peak else peak / demand_gbps
+        utilization = delivered / peak
+        return McLoad(
+            demand_gbps=demand_gbps,
+            delivered_gbps=delivered,
+            grant_ratio=grant,
+            utilization=utilization,
+            latency_factor=self.latency_factor(utilization),
+            saturation=self.saturation(demand_gbps / peak),
+        )
+
+    def resolve_prioritized(
+        self, hi_demand_gbps: float, lo_demand_gbps: float
+    ) -> tuple[McLoad, float, float]:
+        """Resolve with strict priority: high-priority demand served first.
+
+        Returns ``(load, hi_grant, lo_grant)``. The latency factor seen by the
+        high-priority stream is computed at *its own* utilization share plus a
+        fraction of the low-priority load (request-level prioritization hides
+        most, not all, of the queueing behind low-priority traffic).
+        """
+        if hi_demand_gbps < 0 or lo_demand_gbps < 0:
+            raise ConfigurationError("negative prioritized demand")
+        peak = self.spec.peak_bw_gbps
+        hi_delivered = min(hi_demand_gbps, peak)
+        hi_grant = 1.0 if hi_demand_gbps <= peak else peak / hi_demand_gbps
+        residual = peak - hi_delivered
+        lo_delivered = min(lo_demand_gbps, residual)
+        lo_grant = (
+            1.0
+            if lo_demand_gbps <= residual
+            else (lo_delivered / lo_demand_gbps if lo_demand_gbps > 0 else 1.0)
+        )
+        total_demand = hi_demand_gbps + lo_demand_gbps
+        delivered = hi_delivered + lo_delivered
+        utilization = delivered / peak
+        # Prioritized requests jump the queue: the high-priority stream only
+        # queues behind itself plus a small unhideable slice of in-flight
+        # low-priority requests (bank/bus occupancy it cannot preempt).
+        hi_effective_util = min(
+            0.999, (hi_delivered + 0.15 * lo_delivered) / peak
+        )
+        load = McLoad(
+            demand_gbps=total_demand,
+            delivered_gbps=delivered,
+            grant_ratio=delivered / total_demand if total_demand > 0 else 1.0,
+            utilization=utilization,
+            latency_factor=self.latency_factor(utilization),
+            # With request prioritization the distress signal is only driven
+            # by traffic the controller cannot re-order away: saturation is
+            # computed on delivered (capped) traffic, so it never asserts.
+            saturation=self.saturation(delivered / peak),
+            hi_latency_factor=self.latency_factor(hi_effective_util),
+        )
+        return load, hi_grant, lo_grant
+
+
+def idle_load(spec: MemoryControllerSpec) -> McLoad:
+    """The :class:`McLoad` of a controller with zero offered demand."""
+    return McLoad(
+        demand_gbps=0.0,
+        delivered_gbps=0.0,
+        grant_ratio=1.0,
+        utilization=0.0,
+        latency_factor=1.0,
+        saturation=0.0,
+    )

@@ -1,0 +1,96 @@
+"""Per-core L2 prefetcher state and its traffic/performance effects.
+
+Intel exposes four prefetchers per core behind MSR ``0x1A4``; the paper's
+KP-SD/KP policies progressively disable prefetchers on the cores running
+low-priority tasks to cut speculative memory traffic (Section IV-B). We model
+each core's prefetchers as a single on/off state (the paper also sweeps a
+*fraction* of prefetchers disabled, which maps to the fraction of a task's
+cores with prefetching off).
+
+Effects are interpolated per task between two endpoints supplied by the
+workload profile:
+
+* prefetchers **on**: demand inflated by ``traffic_gain`` (speculative
+  over-fetch), full speed;
+* prefetchers **off**: demand scaled by ``off_demand`` (< 1 — demand misses
+  only; streaming kernels lose most of their achieved bandwidth), speed
+  scaled by ``off_speed`` (< 1 — no latency hiding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import clamp
+
+
+@dataclass(frozen=True)
+class PrefetchProfile:
+    """How a workload responds to its prefetchers being toggled."""
+
+    #: Traffic multiplier with prefetchers enabled (>= 1).
+    traffic_gain: float = 1.30
+    #: Useful-demand multiplier with prefetchers disabled (0..1].
+    off_demand: float = 0.55
+    #: Speed multiplier with prefetchers disabled (0..1].
+    off_speed: float = 0.60
+
+    def __post_init__(self) -> None:
+        if self.traffic_gain < 1.0:
+            raise ConfigurationError("traffic_gain must be >= 1")
+        if not 0.0 < self.off_demand <= 1.0:
+            raise ConfigurationError("off_demand must be in (0, 1]")
+        if not 0.0 < self.off_speed <= 1.0:
+            raise ConfigurationError("off_speed must be in (0, 1]")
+
+    def demand_factor(self, enabled_fraction: float) -> float:
+        """Traffic multiplier when ``enabled_fraction`` of cores prefetch."""
+        f = clamp(enabled_fraction, 0.0, 1.0)
+        return self.off_demand + f * (self.traffic_gain - self.off_demand)
+
+    def speed_factor(self, enabled_fraction: float) -> float:
+        """Speed multiplier when ``enabled_fraction`` of cores prefetch."""
+        f = clamp(enabled_fraction, 0.0, 1.0)
+        return self.off_speed + f * (1.0 - self.off_speed)
+
+
+class PrefetcherBank:
+    """Per-core prefetcher enable bits for a whole machine."""
+
+    def __init__(self, total_cores: int) -> None:
+        if total_cores <= 0:
+            raise ConfigurationError("total_cores must be positive")
+        self._enabled = [True] * total_cores
+
+    @property
+    def total_cores(self) -> int:
+        """Number of cores tracked."""
+        return len(self._enabled)
+
+    def is_enabled(self, core: int) -> bool:
+        """Whether ``core``'s prefetchers are on."""
+        self._check(core)
+        return self._enabled[core]
+
+    def set_enabled(self, core: int, enabled: bool) -> None:
+        """Enable or disable ``core``'s prefetchers."""
+        self._check(core)
+        self._enabled[core] = enabled
+
+    def enabled_fraction(self, cores: frozenset[int]) -> float:
+        """Fraction of the given cores with prefetchers enabled."""
+        if not cores:
+            return 1.0
+        for core in cores:
+            self._check(core)
+        on = sum(1 for core in cores if self._enabled[core])
+        return on / len(cores)
+
+    def enable_all(self) -> None:
+        """Re-enable prefetchers on every core."""
+        self._enabled = [True] * len(self._enabled)
+
+    def _check(self, core: int) -> None:
+        if not 0 <= core < len(self._enabled):
+            raise ConfigurationError(f"core {core} out of range")

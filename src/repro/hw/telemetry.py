@@ -1,0 +1,136 @@
+"""Time-integrated hardware telemetry.
+
+The contention state is piecewise constant between solves; the accumulator
+integrates each signal over time so that the simulated perf-counter interface
+(:mod:`repro.hostif.perf`) can expose *windowed averages* exactly the way a
+runtime samples real counters: read, wait, read again, divide by elapsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.contention import SolveResult
+
+
+@dataclass
+class TelemetrySnapshot:
+    """Raw integral values at one instant (monotonically non-decreasing)."""
+
+    time: float = 0.0
+    #: Integral of delivered GB/s per controller (i.e. gigabytes moved).
+    mc_bytes: dict[int, float] = field(default_factory=dict)
+    #: Integral of the latency factor per controller (factor-seconds).
+    mc_latency: dict[int, float] = field(default_factory=dict)
+    #: Integral of saturation per controller (distress-seconds).
+    mc_saturation: dict[int, float] = field(default_factory=dict)
+    #: Integral of the distress throttle per socket (factor-seconds).
+    socket_throttle: dict[int, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TelemetryWindow:
+    """Averages over the interval between two snapshots."""
+
+    elapsed: float
+    mc_bandwidth_gbps: dict[int, float]
+    mc_latency_factor: dict[int, float]
+    mc_saturation: dict[int, float]
+    socket_throttle: dict[int, float]
+
+    def bandwidth_of(self, subdomains: tuple[int, ...] | list[int]) -> float:
+        """Summed average bandwidth over a set of controllers, GB/s."""
+        return sum(self.mc_bandwidth_gbps.get(m, 0.0) for m in subdomains)
+
+    def max_latency_factor(self, subdomains: tuple[int, ...] | list[int]) -> float:
+        """Worst average latency factor over a set of controllers."""
+        return max(
+            (self.mc_latency_factor.get(m, 1.0) for m in subdomains), default=1.0
+        )
+
+    def max_saturation(self, subdomains: tuple[int, ...] | list[int]) -> float:
+        """Worst average saturation over a set of controllers."""
+        return max((self.mc_saturation.get(m, 0.0) for m in subdomains), default=0.0)
+
+
+class TelemetryAccumulator:
+    """Integrates solve-state signals over simulated time."""
+
+    def __init__(self) -> None:
+        self._snapshot = TelemetrySnapshot()
+        self._last_time = 0.0
+        self._state: SolveResult | None = None
+
+    @property
+    def snapshot(self) -> TelemetrySnapshot:
+        """The current integral values (advance first via :meth:`advance`)."""
+        return self._snapshot
+
+    def set_state(self, state: SolveResult, now: float) -> None:
+        """Switch to a new constant state, integrating the previous one."""
+        self.advance(now)
+        self._state = state
+
+    def advance(self, now: float) -> None:
+        """Integrate the current state up to ``now``."""
+        dt = now - self._last_time
+        if dt < 0:
+            dt = 0.0
+        if self._state is not None and dt > 0:
+            snap = self._snapshot
+            for mc_id, load in self._state.mc_loads.items():
+                snap.mc_bytes[mc_id] = (
+                    snap.mc_bytes.get(mc_id, 0.0) + load.delivered_gbps * dt
+                )
+                snap.mc_latency[mc_id] = (
+                    snap.mc_latency.get(mc_id, 0.0) + load.latency_factor * dt
+                )
+                snap.mc_saturation[mc_id] = (
+                    snap.mc_saturation.get(mc_id, 0.0) + load.saturation * dt
+                )
+            for socket_id, pressure in self._state.socket_pressures.items():
+                snap.socket_throttle[socket_id] = (
+                    snap.socket_throttle.get(socket_id, 0.0)
+                    + pressure.core_throttle * dt
+                )
+        self._last_time = max(self._last_time, now)
+        self._snapshot.time = self._last_time
+
+    def window_since(self, previous: TelemetrySnapshot, now: float) -> TelemetryWindow:
+        """Averages between a previously-copied snapshot and ``now``."""
+        self.advance(now)
+        current = self._snapshot
+        elapsed = max(current.time - previous.time, 1e-12)
+
+        def averages(
+            cur: dict[int, float], prev: dict[int, float], default: float
+        ) -> dict[int, float]:
+            keys = set(cur) | set(prev)
+            out = {}
+            for key in keys:
+                delta = cur.get(key, 0.0) - prev.get(key, 0.0)
+                out[key] = delta / elapsed if elapsed > 0 else default
+            return out
+
+        return TelemetryWindow(
+            elapsed=elapsed,
+            mc_bandwidth_gbps=averages(current.mc_bytes, previous.mc_bytes, 0.0),
+            mc_latency_factor=averages(current.mc_latency, previous.mc_latency, 1.0),
+            mc_saturation=averages(
+                current.mc_saturation, previous.mc_saturation, 0.0
+            ),
+            socket_throttle=averages(
+                current.socket_throttle, previous.socket_throttle, 1.0
+            ),
+        )
+
+    def copy_snapshot(self) -> TelemetrySnapshot:
+        """A deep copy of the current integrals, for later windowed reads."""
+        snap = self._snapshot
+        return TelemetrySnapshot(
+            time=snap.time,
+            mc_bytes=dict(snap.mc_bytes),
+            mc_latency=dict(snap.mc_latency),
+            mc_saturation=dict(snap.mc_saturation),
+            socket_throttle=dict(snap.socket_throttle),
+        )

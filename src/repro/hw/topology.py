@@ -1,0 +1,101 @@
+"""Core / socket / NUMA-subdomain topology queries.
+
+Numbering conventions used throughout the library:
+
+* **Cores** are numbered globally: socket ``s`` owns cores
+  ``[s * cores_per_socket, (s+1) * cores_per_socket)``.
+* **Subdomains** (== channel groups == memory controllers) are numbered
+  globally as well: socket ``s`` owns subdomains ``2s`` and ``2s + 1``.
+  These ids double as NUMA node ids when SNC is enabled.
+* When SNC is **off**, the OS-visible NUMA nodes are the sockets, and memory
+  bound to a socket interleaves across both of its subdomain controllers.
+  The library always routes traffic in terms of subdomain ids; binding to a
+  socket simply means a 50/50 weight across its two subdomains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.hw.spec import MachineSpec
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Derived topology facts for a :class:`~repro.hw.spec.MachineSpec`."""
+
+    spec: MachineSpec
+
+    # ----------------------------------------------------------- sockets
+    @property
+    def num_sockets(self) -> int:
+        """Number of processor packages."""
+        return len(self.spec.sockets)
+
+    @property
+    def num_subdomains(self) -> int:
+        """Total channel groups (two per socket)."""
+        return 2 * self.num_sockets
+
+    def cores_per_socket(self, socket: int) -> int:
+        """Physical core count of ``socket``."""
+        self._check_socket(socket)
+        return self.spec.sockets[socket].cores
+
+    # -------------------------------------------------------------- cores
+    def socket_of_core(self, core: int) -> int:
+        """Socket owning global core id ``core``."""
+        remaining = core
+        for socket_id, socket in enumerate(self.spec.sockets):
+            if remaining < socket.cores:
+                return socket_id
+            remaining -= socket.cores
+        raise TopologyError(f"core {core} out of range")
+
+    def subdomain_of_core(self, core: int) -> int:
+        """Subdomain owning ``core`` (lower half of a socket's cores belong
+        to its even subdomain, upper half to the odd one)."""
+        socket = self.socket_of_core(core)
+        base = self.first_core(socket)
+        half = self.spec.sockets[socket].cores // 2
+        return 2 * socket + (0 if core - base < half else 1)
+
+    def first_core(self, socket: int) -> int:
+        """Global id of the first core on ``socket``."""
+        self._check_socket(socket)
+        return sum(s.cores for s in self.spec.sockets[:socket])
+
+    def cores_of_socket(self, socket: int) -> tuple[int, ...]:
+        """All global core ids on ``socket``."""
+        base = self.first_core(socket)
+        return tuple(range(base, base + self.spec.sockets[socket].cores))
+
+    def cores_of_subdomain(self, subdomain: int) -> tuple[int, ...]:
+        """All global core ids in ``subdomain``."""
+        socket = self.socket_of_subdomain(subdomain)
+        cores = self.cores_of_socket(socket)
+        half = len(cores) // 2
+        return cores[:half] if subdomain % 2 == 0 else cores[half:]
+
+    # --------------------------------------------------------- subdomains
+    def socket_of_subdomain(self, subdomain: int) -> int:
+        """Socket owning ``subdomain``."""
+        if not 0 <= subdomain < self.num_subdomains:
+            raise TopologyError(f"subdomain {subdomain} out of range")
+        return subdomain // 2
+
+    def subdomains_of_socket(self, socket: int) -> tuple[int, int]:
+        """The two subdomain ids of ``socket``."""
+        self._check_socket(socket)
+        return (2 * socket, 2 * socket + 1)
+
+    def socket_memory_weights(self, socket: int) -> dict[int, float]:
+        """Interleaved routing weights for memory bound to a whole socket."""
+        a, b = self.subdomains_of_socket(socket)
+        return {a: 0.5, b: 0.5}
+
+    # ------------------------------------------------------------ helpers
+    def _check_socket(self, socket: int) -> None:
+        if not 0 <= socket < self.num_sockets:
+            raise TopologyError(f"socket {socket} out of range")

@@ -1,0 +1,26 @@
+"""Measurement utilities: percentiles, latency/throughput recording,
+slowdown aggregation and the paper's efficiency metric (Fig 14)."""
+
+from repro.metrics.efficiency import efficiency_ratio
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.percentile import StreamingPercentiles
+from repro.metrics.slowdown import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    normalized_performance,
+    slowdown,
+)
+from repro.metrics.throughput import ThroughputMeter
+
+__all__ = [
+    "LatencyRecorder",
+    "StreamingPercentiles",
+    "ThroughputMeter",
+    "arithmetic_mean",
+    "efficiency_ratio",
+    "geometric_mean",
+    "harmonic_mean",
+    "normalized_performance",
+    "slowdown",
+]

@@ -1,0 +1,42 @@
+"""The paper's runtime-efficiency metric (Section V-C, Fig 14).
+
+Efficiency of a managed configuration is defined as the ML-task performance
+*gain* over Baseline divided by the CPU-task throughput *loss* versus
+Baseline — "ML performance gained per unit of CPU throughput given up";
+higher is better.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MeasurementError
+
+#: Loss denominators below this are clamped; a runtime that recovers ML
+#: performance while giving up (numerically) no CPU throughput would
+#: otherwise divide by zero. The paper's configurations always trade some
+#: CPU throughput, so the clamp only guards degenerate simulated points.
+_MIN_LOSS = 0.02
+
+
+def efficiency_ratio(
+    ml_perf: float,
+    ml_perf_baseline: float,
+    cpu_throughput: float,
+    cpu_throughput_baseline: float,
+) -> float:
+    """ML gain over Baseline per unit of CPU throughput loss over Baseline.
+
+    All four inputs are normalized performances (standalone = 1.0 for ML;
+    Baseline single-instance = 1.0 for CPU). Negative gains clamp to zero —
+    a runtime that *hurts* the ML task has zero efficiency.
+    """
+    for name, value in (
+        ("ml_perf", ml_perf),
+        ("ml_perf_baseline", ml_perf_baseline),
+        ("cpu_throughput", cpu_throughput),
+        ("cpu_throughput_baseline", cpu_throughput_baseline),
+    ):
+        if value < 0:
+            raise MeasurementError(f"{name} must be non-negative, got {value}")
+    gain = max(0.0, ml_perf - ml_perf_baseline)
+    loss = max(_MIN_LOSS, cpu_throughput_baseline - cpu_throughput)
+    return gain / loss

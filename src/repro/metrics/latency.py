@@ -1,0 +1,48 @@
+"""Request-latency recording for inference workloads (RNN1 tail latency)."""
+
+from __future__ import annotations
+
+from repro.metrics.percentile import StreamingPercentiles
+
+
+class LatencyRecorder:
+    """Records per-request latencies with optional warmup exclusion."""
+
+    def __init__(self, warmup_until: float = 0.0) -> None:
+        self._warmup_until = warmup_until
+        self._percentiles = StreamingPercentiles()
+        self._completed = 0
+        self._completed_after_warmup = 0
+        self._first_completion: float | None = None
+        self._last_completion: float | None = None
+
+    @property
+    def completed(self) -> int:
+        """Total completions, including warmup."""
+        return self._completed
+
+    def record(self, start: float, end: float) -> None:
+        """Record a request that started at ``start`` and finished at ``end``."""
+        self._completed += 1
+        if end < self._warmup_until:
+            return
+        self._completed_after_warmup += 1
+        if self._first_completion is None:
+            self._first_completion = end
+        self._last_completion = end
+        self._percentiles.add(end - start)
+
+    def tail(self, q: float = 95.0) -> float:
+        """The ``q``-th percentile latency over post-warmup requests."""
+        return self._percentiles.percentile(q)
+
+    def mean_latency(self) -> float:
+        """Mean post-warmup latency."""
+        return self._percentiles.mean()
+
+    def qps(self, measurement_end: float) -> float:
+        """Completion throughput over the post-warmup window."""
+        window = measurement_end - self._warmup_until
+        if window <= 0:
+            return 0.0
+        return self._completed_after_warmup / window

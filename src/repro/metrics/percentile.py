@@ -1,0 +1,58 @@
+"""Streaming percentile estimation.
+
+Experiments record at most a few hundred thousand samples, so an exact
+reservoir with lazy sorting is both simpler and more accurate than sketching.
+A cap with uniform reservoir sampling protects pathological runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+class StreamingPercentiles:
+    """Exact percentiles over a (capped) stream of samples."""
+
+    def __init__(self, max_samples: int = 1_000_000, seed: int = 0) -> None:
+        if max_samples <= 0:
+            raise MeasurementError("max_samples must be positive")
+        self._max = max_samples
+        self._samples: list[float] = []
+        self._seen = 0
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def count(self) -> int:
+        """Number of samples offered (including any evicted by the cap)."""
+        return self._seen
+
+    def add(self, value: float) -> None:
+        """Record one sample (reservoir-sampled past the cap)."""
+        self._seen += 1
+        if len(self._samples) < self._max:
+            self._samples.append(float(value))
+            return
+        slot = int(self._rng.integers(0, self._seen))
+        if slot < self._max:
+            self._samples[slot] = float(value)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of recorded samples."""
+        if not 0.0 <= q <= 100.0:
+            raise MeasurementError(f"percentile {q} out of [0, 100]")
+        if not self._samples:
+            raise MeasurementError("no samples recorded")
+        return float(np.percentile(self._samples, q))
+
+    def mean(self) -> float:
+        """Arithmetic mean of recorded samples."""
+        if not self._samples:
+            raise MeasurementError("no samples recorded")
+        return float(np.mean(self._samples))
+
+    def clear(self) -> None:
+        """Drop all samples."""
+        self._samples.clear()
+        self._seen = 0

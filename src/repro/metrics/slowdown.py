@@ -1,0 +1,59 @@
+"""Slowdown / normalized-performance aggregation helpers.
+
+The paper reports ML-task averages as arithmetic means of slowdowns and
+CPU-task averages as harmonic means of normalized throughputs (Fig 13
+caption); these helpers keep that convention in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import MeasurementError
+
+
+def normalized_performance(measured: float, reference: float) -> float:
+    """``measured / reference``; 1.0 means parity with the reference run."""
+    if reference <= 0:
+        raise MeasurementError(f"non-positive reference {reference}")
+    return measured / reference
+
+
+def slowdown(measured: float, reference: float) -> float:
+    """``reference / measured``: 1.0 is parity, larger is worse."""
+    if measured <= 0:
+        raise MeasurementError(f"non-positive measurement {measured}")
+    if reference <= 0:
+        raise MeasurementError(f"non-positive reference {reference}")
+    return reference / measured
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain average; raises on empty input."""
+    values = list(values)
+    if not values:
+        raise MeasurementError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean; raises on empty or non-positive input."""
+    values = list(values)
+    if not values:
+        raise MeasurementError("harmonic mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise MeasurementError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; raises on empty or non-positive input."""
+    values = list(values)
+    if not values:
+        raise MeasurementError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise MeasurementError("geometric mean requires positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,203 @@
+"""The discrete-event simulator core."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventHandle
+
+#: Event priority for controller/runtime actions (run after phase updates).
+PRIORITY_CONTROL = 10
+#: Default event priority for workload phase completions and arrivals.
+PRIORITY_DEFAULT = 20
+#: Priority for bookkeeping that must observe everything else (e.g. samplers).
+PRIORITY_OBSERVE = 30
+
+
+class Simulator:
+    """A deterministic calendar-queue discrete-event simulator.
+
+    In addition to plain event scheduling, the simulator supports *rate
+    listeners*: components whose progress rates depend on global shared
+    state (the hardware contention solver). Any mutation of that shared state
+    calls :meth:`invalidate_rates`; before the next event is dispatched — and
+    once at the moment of invalidation — all registered listeners get a
+    ``sync(now)`` callback so they can integrate progress at the old rates and
+    re-schedule their completion events at the new ones.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._rate_listeners: list[Callable[[float], None]] = []
+        self._rates_dirty = False
+        self._running = False
+        self._dispatched = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    @property
+    def dispatched_events(self) -> int:
+        """Total events dispatched so far (diagnostics/testing)."""
+        return self._dispatched
+
+    # ------------------------------------------------------------ scheduling
+    def at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        label: str = "",
+        priority: int = PRIORITY_DEFAULT,
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at {time} < now {self._now}"
+            )
+        event = Event(time=time, priority=priority, callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def after(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        label: str = "",
+        priority: int = PRIORITY_DEFAULT,
+    ) -> EventHandle:
+        """Schedule ``callback`` after a relative ``delay`` (>= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for event {label!r}")
+        return self.at(self._now + delay, callback, label=label, priority=priority)
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        label: str = "",
+        priority: int = PRIORITY_DEFAULT,
+        start_after: float | None = None,
+    ) -> Callable[[], None]:
+        """Schedule ``callback`` periodically; returns a cancel function.
+
+        The first firing happens after ``start_after`` (defaults to
+        ``interval``). The period is fixed; the callback's own runtime is
+        instantaneous in simulated time.
+        """
+        if interval <= 0:
+            raise SimulationError(f"non-positive interval {interval} for {label!r}")
+        state = {"handle": None, "stopped": False}
+
+        def fire() -> None:
+            if state["stopped"]:
+                return
+            callback()
+            if not state["stopped"]:
+                state["handle"] = self.after(
+                    interval, fire, label=label, priority=priority
+                )
+
+        first = interval if start_after is None else start_after
+        state["handle"] = self.after(first, fire, label=label, priority=priority)
+
+        def cancel() -> None:
+            state["stopped"] = True
+            handle = state["handle"]
+            if handle is not None:
+                handle.cancel()
+
+        return cancel
+
+    # ------------------------------------------------------- rate listeners
+    def add_rate_listener(self, sync: Callable[[float], None]) -> Callable[[], None]:
+        """Register a listener called with ``now`` whenever rates change.
+
+        Returns an unregister function.
+        """
+        self._rate_listeners.append(sync)
+
+        def remove() -> None:
+            try:
+                self._rate_listeners.remove(sync)
+            except ValueError:
+                pass
+
+        return remove
+
+    def invalidate_rates(self) -> None:
+        """Mark shared rate state as changed and notify listeners now.
+
+        Listeners are synchronised immediately so that code running right
+        after a reconfiguration observes consistent progress. Re-entrant
+        invalidations from inside a listener are coalesced.
+        """
+        if self._rates_dirty:
+            return
+        self._rates_dirty = True
+        try:
+            for sync in list(self._rate_listeners):
+                sync(self._now)
+        finally:
+            self._rates_dirty = False
+
+    # ---------------------------------------------------------------- run
+    def run_until(self, end_time: float, *, max_events: int | None = None) -> None:
+        """Dispatch events in order until simulated time reaches ``end_time``.
+
+        Events scheduled exactly at ``end_time`` are executed. ``max_events``
+        guards against runaway feedback loops in tests.
+        """
+        if self._running:
+            raise SimulationError("run_until is not re-entrant")
+        if end_time < self._now:
+            raise SimulationError(
+                f"end_time {end_time} is in the past (now={self._now})"
+            )
+        self._running = True
+        budget = max_events
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.time > end_time:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+                self._dispatched += 1
+                if budget is not None:
+                    budget -= 1
+                    if budget <= 0:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} "
+                            f"(last: {event.label!r} at t={event.time})"
+                        )
+            self._now = end_time
+        finally:
+            self._running = False
+
+    def drain(self, labels: Iterable[str] = ()) -> int:
+        """Cancel all pending events (optionally only matching labels).
+
+        Returns the number of events cancelled. With no labels, everything
+        pending is cancelled — used to tear a scenario down between runs.
+        """
+        wanted = set(labels)
+        count = 0
+        for event in self._heap:
+            if event.cancelled:
+                continue
+            if not wanted or event.label in wanted:
+                event.cancelled = True
+                count += 1
+        return count

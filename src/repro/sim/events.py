@@ -1,0 +1,62 @@
+"""Event objects and cancellation handles for the simulator."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+_SEQUENCE = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, priority, sequence)``. ``priority`` breaks ties
+    between events at the same instant — lower runs first — which matters when
+    a controller tick and a phase completion land on the same timestamp.
+    ``sequence`` keeps ordering deterministic for equal (time, priority).
+    """
+
+    time: float
+    priority: int
+    sequence: int = field(init=False)
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def __post_init__(self) -> None:
+        self.sequence = next(_SEQUENCE)
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled :class:`Event`.
+
+    The engine never removes cancelled events from the heap eagerly; it skips
+    them when they surface. Cancellation is therefore O(1).
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """The simulated time the event is scheduled for."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """The human-readable label given at scheduling time."""
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event's callback from running. Idempotent."""
+        self._event.cancelled = True

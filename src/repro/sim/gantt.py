@@ -1,0 +1,67 @@
+"""ASCII Gantt rendering for timeline traces (the Fig 3 visual).
+
+Turns a :class:`~repro.sim.tracing.TimelineTracer`'s intervals into a
+fixed-width text chart, one row per interval kind, so the Fig 3 comparison
+(standalone vs colocation) can be eyeballed in a terminal::
+
+    cpu            ████████░░░░░░░░██████████░░░░░
+    communication  ░░░░░░░░█░░░░░░░░░░░░░░░░░█░░░░
+    tpu            ░░░░░░░░░█████░░░░░░░░░░░░░████
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.tracing import TraceInterval
+
+#: Glyph for time covered by an interval of the row's kind.
+FILLED = "#"
+#: Glyph for idle time on a row.
+EMPTY = "."
+
+
+def render_gantt(
+    intervals: list[TraceInterval],
+    width: int = 72,
+    start: float | None = None,
+    end: float | None = None,
+    kinds: list[str] | None = None,
+) -> str:
+    """Render intervals as one ASCII row per kind.
+
+    ``start``/``end`` default to the trace extents; ``kinds`` defaults to
+    the kinds present, in order of first appearance.
+    """
+    if width <= 0:
+        raise ConfigurationError("width must be positive")
+    if not intervals:
+        return "(empty trace)"
+    t0 = min(i.start for i in intervals) if start is None else start
+    t1 = max(i.end for i in intervals) if end is None else end
+    if t1 <= t0:
+        raise ConfigurationError(f"empty time window [{t0}, {t1}]")
+
+    if kinds is None:
+        kinds = []
+        for interval in intervals:
+            if interval.kind not in kinds:
+                kinds.append(interval.kind)
+
+    label_width = max(len(k) for k in kinds) + 2
+    scale = width / (t1 - t0)
+    lines = []
+    for kind in kinds:
+        cells = [EMPTY] * width
+        for interval in intervals:
+            if interval.kind != kind:
+                continue
+            lo = max(0, int((interval.start - t0) * scale))
+            hi = min(width, max(lo + 1, int((interval.end - t0) * scale)))
+            for x in range(lo, hi):
+                cells[x] = FILLED
+        lines.append(kind.ljust(label_width) + "".join(cells))
+    span_ms = (t1 - t0) * 1e3
+    lines.append(
+        "".ljust(label_width) + f"|<-- {span_ms:.1f} ms -->|".ljust(width)
+    )
+    return "\n".join(lines)

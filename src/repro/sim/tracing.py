@@ -1,0 +1,83 @@
+"""Timeline tracing: records phase intervals for execution-timeline plots.
+
+Figure 3 of the paper shows an RNN1 iteration broken into CPU-assist,
+CPU-accelerator communication, and TPU-compute intervals, standalone vs under
+a DRAM aggressor. :class:`TimelineTracer` captures exactly that: labelled
+``(start, end)`` intervals per track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceInterval:
+    """One labelled interval on a timeline track."""
+
+    track: str
+    kind: str
+    start: float
+    end: float
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Interval length in seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class TimelineTracer:
+    """Collects :class:`TraceInterval` records, optionally filtered by track."""
+
+    enabled: bool = True
+    intervals: list[TraceInterval] = field(default_factory=list)
+    _open: dict[tuple[str, str], tuple[float, str]] = field(default_factory=dict)
+
+    def begin(self, track: str, kind: str, now: float, detail: str = "") -> None:
+        """Open an interval of ``kind`` on ``track`` at time ``now``."""
+        if not self.enabled:
+            return
+        self._open[(track, kind)] = (now, detail)
+
+    def end(self, track: str, kind: str, now: float) -> None:
+        """Close the matching open interval; silently ignores unmatched ends."""
+        if not self.enabled:
+            return
+        opened = self._open.pop((track, kind), None)
+        if opened is None:
+            return
+        start, detail = opened
+        self.intervals.append(
+            TraceInterval(track=track, kind=kind, start=start, end=now, detail=detail)
+        )
+
+    def record(
+        self, track: str, kind: str, start: float, end: float, detail: str = ""
+    ) -> None:
+        """Record a complete interval directly."""
+        if not self.enabled:
+            return
+        self.intervals.append(
+            TraceInterval(track=track, kind=kind, start=start, end=end, detail=detail)
+        )
+
+    def for_track(self, track: str) -> list[TraceInterval]:
+        """All closed intervals on ``track``, in completion order."""
+        return [i for i in self.intervals if i.track == track]
+
+    def kinds(self) -> set[str]:
+        """The set of interval kinds recorded so far."""
+        return {i.kind for i in self.intervals}
+
+    def total_time(self, track: str, kind: str) -> float:
+        """Summed duration of all intervals of ``kind`` on ``track``."""
+        return sum(
+            i.duration for i in self.intervals if i.track == track and i.kind == kind
+        )
+
+    def clear(self) -> None:
+        """Discard all recorded and open intervals."""
+        self.intervals.clear()
+        self._open.clear()

@@ -1,0 +1,75 @@
+"""Fluid work quantities that drain at externally-set rates."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+#: Work remainders below this are treated as complete (floating-point slack).
+_EPSILON = 1e-12
+
+
+class FluidWork:
+    """A quantity of work draining at a piecewise-constant rate.
+
+    The owner is responsible for calling :meth:`sync` whenever the rate may
+    have changed (the :class:`~repro.sim.engine.Simulator` rate-listener hook
+    does this), then :meth:`set_rate` with the new rate. Between syncs the
+    rate is constant, so completion time is analytic.
+    """
+
+    __slots__ = ("_remaining", "_rate", "_last_sync", "total")
+
+    def __init__(self, amount: float, *, now: float = 0.0) -> None:
+        if amount < 0:
+            raise SimulationError(f"negative work amount {amount}")
+        self.total = amount
+        self._remaining = amount
+        self._rate = 0.0
+        self._last_sync = now
+
+    @property
+    def remaining(self) -> float:
+        """Remaining work as of the last sync (call :meth:`sync` first)."""
+        return self._remaining
+
+    @property
+    def rate(self) -> float:
+        """Current drain rate (work units per second)."""
+        return self._rate
+
+    @property
+    def done(self) -> bool:
+        """True once remaining work has drained to (numerically) zero."""
+        return self._remaining <= _EPSILON
+
+    def sync(self, now: float) -> None:
+        """Integrate progress at the current rate up to ``now``."""
+        if now < self._last_sync - 1e-9:
+            raise SimulationError(
+                f"sync moving backwards: {now} < {self._last_sync}"
+            )
+        elapsed = max(0.0, now - self._last_sync)
+        if elapsed > 0.0 and self._rate > 0.0:
+            self._remaining = max(0.0, self._remaining - self._rate * elapsed)
+        self._last_sync = now
+
+    def set_rate(self, rate: float, *, now: float) -> None:
+        """Sync to ``now`` and switch to a new drain ``rate`` (>= 0)."""
+        if rate < 0:
+            raise SimulationError(f"negative rate {rate}")
+        self.sync(now)
+        self._rate = rate
+
+    def eta(self) -> float:
+        """Seconds until completion at the current rate (inf if stalled)."""
+        if self.done:
+            return 0.0
+        if self._rate <= 0.0:
+            return float("inf")
+        return self._remaining / self._rate
+
+    def progress_fraction(self) -> float:
+        """Fraction of the original amount completed, in [0, 1]."""
+        if self.total <= 0:
+            return 1.0
+        return 1.0 - self._remaining / self.total

@@ -1,0 +1,36 @@
+"""Workload models.
+
+Two families:
+
+* :mod:`repro.workloads.cpu` — low-priority batch CPU tasks: the synthetic
+  Stream and LLC/DRAM/Remote-DRAM aggressors, plus the production-like Stitch
+  (image stitching) and CPUML (CPU TensorFlow training) workloads.
+* :mod:`repro.workloads.ml` — the high-priority accelerated workloads:
+  RNN1 (TPU inference with beam search), CNN1/CNN2 (Cloud TPU training with
+  data in-feed), CNN3 (GPU training behind parameter servers).
+
+The shared phase framework lives in :mod:`repro.workloads.base`.
+"""
+
+from repro.workloads.base import HostPhaseProfile, Task, phase_speed
+from repro.workloads.cpu.base import BatchTask, BatchProfile
+from repro.workloads.cpu.catalog import (
+    cpu_workload,
+    cpu_workload_names,
+)
+from repro.workloads.ml.catalog import (
+    ml_workload,
+    ml_workload_names,
+)
+
+__all__ = [
+    "BatchProfile",
+    "BatchTask",
+    "HostPhaseProfile",
+    "Task",
+    "cpu_workload",
+    "cpu_workload_names",
+    "ml_workload",
+    "ml_workload_names",
+    "phase_speed",
+]

@@ -1,0 +1,25 @@
+"""Low-priority CPU workloads and synthetic aggressors."""
+
+from repro.workloads.cpu.aggressors import (
+    dram_aggressor_profile,
+    llc_aggressor_profile,
+    remote_dram_profile,
+)
+from repro.workloads.cpu.base import BatchProfile, BatchTask
+from repro.workloads.cpu.catalog import cpu_workload, cpu_workload_names
+from repro.workloads.cpu.cpuml import cpuml_profile
+from repro.workloads.cpu.stitch import stitch_profile
+from repro.workloads.cpu.stream import stream_profile
+
+__all__ = [
+    "BatchProfile",
+    "BatchTask",
+    "cpu_workload",
+    "cpu_workload_names",
+    "cpuml_profile",
+    "dram_aggressor_profile",
+    "llc_aggressor_profile",
+    "remote_dram_profile",
+    "stitch_profile",
+    "stream_profile",
+]

@@ -1,0 +1,87 @@
+"""Synthetic antagonists from the sensitivity studies (Sections III-B, VI-A).
+
+* **LLC** — dataset sized to just fit the LLC; contends for the last-level
+  cache, private caches and in-pipeline resources through SMT.
+* **DRAM** — traverses an array far larger than the LLC; contends for DRAM
+  bandwidth. Built at three aggressiveness levels (L/M/H) for Fig 7.
+* **Remote DRAM** — the DRAM aggressor with part of its dataset and threads
+  on the remote socket; the locality split itself is applied by the
+  experiment through :class:`~repro.hostif.numactl.NumaPolicy`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.hw.prefetcher import PrefetchProfile
+from repro.workloads.base import HostPhaseProfile
+from repro.workloads.cpu.base import BatchProfile
+
+#: (threads, per-thread GB/s) for the paper's three aggressor levels.
+AGGRESSOR_LEVELS: dict[str, tuple[int, float]] = {
+    "L": (4, 5.5),
+    "M": (6, 6.5),
+    "H": (8, 7.0),
+}
+
+
+def llc_aggressor_profile(threads: int = 8) -> BatchProfile:
+    """The LLC/pipeline antagonist: hot set just fitting the cache."""
+    return BatchProfile(
+        name="llc-aggressor",
+        phase=HostPhaseProfile(
+            bw_gbps=0.4 * threads,
+            mem_fraction=0.55,
+            bw_bound_weight=0.1,
+            working_set_mb=30.0,
+            llc_intensity=3.0,
+            llc_miss_traffic_gain=1.5,
+            llc_speed_sensitivity=0.5,
+            smt_aggression=0.70,
+            smt_sensitivity=0.1,
+            prefetch=PrefetchProfile(
+                traffic_gain=1.05, off_demand=0.9, off_speed=0.92
+            ),
+            threads=threads,
+        ),
+        unit_rate_per_thread=1.0,
+    )
+
+
+def dram_aggressor_profile(level: str = "H") -> BatchProfile:
+    """The DRAM-bandwidth antagonist at aggressiveness ``level`` (L/M/H)."""
+    try:
+        threads, per_thread_gbps = AGGRESSOR_LEVELS[level]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown aggressor level {level!r}; expected one of "
+            f"{sorted(AGGRESSOR_LEVELS)}"
+        ) from None
+    return BatchProfile(
+        name=f"dram-aggressor-{level}",
+        phase=HostPhaseProfile(
+            bw_gbps=per_thread_gbps * threads,
+            mem_fraction=0.97,
+            bw_bound_weight=1.0,
+            working_set_mb=0.0,
+            smt_aggression=0.1,
+            smt_sensitivity=0.05,
+            prefetch=PrefetchProfile(
+                traffic_gain=1.30, off_demand=0.50, off_speed=0.50
+            ),
+            threads=threads,
+        ),
+        unit_rate_per_thread=1.0,
+    )
+
+
+def remote_dram_profile(level: str = "H") -> BatchProfile:
+    """The Remote-DRAM antagonist: identical traffic shape to DRAM.
+
+    The remote data/thread split is configured by the experiment via
+    ``NumaPolicy.membind_weighted`` and core placement; the profile itself is
+    the same stream of traffic.
+    """
+    profile = dram_aggressor_profile(level)
+    from dataclasses import replace
+
+    return replace(profile, name=f"remote-dram-aggressor-{level}")

@@ -1,0 +1,48 @@
+"""Registry of low-priority CPU workloads by name.
+
+Experiments refer to CPU workloads by the names the paper uses; the catalog
+maps a name plus an intensity knob (instances / threads / level) to a
+:class:`~repro.workloads.cpu.base.BatchProfile`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.cpu.aggressors import (
+    dram_aggressor_profile,
+    llc_aggressor_profile,
+    remote_dram_profile,
+)
+from repro.workloads.cpu.base import BatchProfile
+from repro.workloads.cpu.cpuml import cpuml_profile
+from repro.workloads.cpu.stitch import stitch_profile
+from repro.workloads.cpu.stream import stream_profile
+
+
+def cpu_workload_names() -> list[str]:
+    """Names accepted by :func:`cpu_workload`."""
+    return ["stream", "stitch", "cpuml", "llc", "dram", "remote-dram"]
+
+
+def cpu_workload(name: str, intensity: int | str = 1) -> BatchProfile:
+    """Build a CPU workload profile.
+
+    ``intensity`` means: Stitch — instance count; CPUML — thread count;
+    Stream — thread count; aggressors — the level string ("L"/"M"/"H").
+    """
+    key = name.lower()
+    if key == "stream":
+        return stream_profile(threads=int(intensity) if intensity else 8)
+    if key == "stitch":
+        return stitch_profile(instances=int(intensity))
+    if key == "cpuml":
+        return cpuml_profile(threads=int(intensity))
+    if key == "llc":
+        return llc_aggressor_profile()
+    if key == "dram":
+        return dram_aggressor_profile(str(intensity))
+    if key == "remote-dram":
+        return remote_dram_profile(str(intensity))
+    raise WorkloadError(
+        f"unknown CPU workload {name!r}; expected one of {cpu_workload_names()}"
+    )

@@ -1,0 +1,35 @@
+"""CPUML: production CPU-based CNN training (TensorFlow-Slim; Section V-A).
+
+CPU training is compute-dominant with moderate memory traffic — a much
+gentler aggressor than Stitch, which is why the RNN1+CPUML mix in Fig 10
+exerts less bandwidth pressure than CNN1+Stitch in Fig 9.
+"""
+
+from __future__ import annotations
+
+from repro.hw.prefetcher import PrefetchProfile
+from repro.workloads.base import HostPhaseProfile
+from repro.workloads.cpu.base import BatchProfile
+
+
+def cpuml_profile(threads: int = 2) -> BatchProfile:
+    """CPUML training with ``threads`` worker threads (the Fig 10 sweep)."""
+    return BatchProfile(
+        name="cpuml",
+        phase=HostPhaseProfile(
+            bw_gbps=3.8 * threads,
+            mem_fraction=0.35,
+            bw_bound_weight=0.55,
+            working_set_mb=14.0,
+            llc_intensity=1.3,
+            llc_miss_traffic_gain=0.3,
+            llc_speed_sensitivity=0.25,
+            smt_aggression=0.25,
+            smt_sensitivity=0.2,
+            prefetch=PrefetchProfile(
+                traffic_gain=1.30, off_demand=0.70, off_speed=0.78
+            ),
+            threads=threads,
+        ),
+        unit_rate_per_thread=1.0,
+    )

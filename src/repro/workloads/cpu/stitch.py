@@ -1,0 +1,39 @@
+"""Stitch: production batch job stitching Street View panoramas (Section V-A).
+
+Image stitching streams pixel tiles through blending kernels: heavily
+memory-bound with a modest reusable tile cache, and an aggressive bandwidth
+consumer — the paper pairs it with CNN1 as the most challenging mix.
+"""
+
+from __future__ import annotations
+
+from repro.hw.prefetcher import PrefetchProfile
+from repro.workloads.base import HostPhaseProfile
+from repro.workloads.cpu.base import BatchProfile
+
+#: Threads one Stitch instance runs (the paper sweeps instance count).
+STITCH_THREADS_PER_INSTANCE = 4
+
+
+def stitch_profile(instances: int = 1) -> BatchProfile:
+    """``instances`` Stitch jobs (4 threads each) as one aggregate task."""
+    threads = STITCH_THREADS_PER_INSTANCE * instances
+    return BatchProfile(
+        name="stitch",
+        phase=HostPhaseProfile(
+            bw_gbps=4.6 * threads,
+            mem_fraction=0.80,
+            bw_bound_weight=0.85,
+            working_set_mb=6.0 * instances,
+            llc_intensity=1.0,
+            llc_miss_traffic_gain=0.15,
+            llc_speed_sensitivity=0.12,
+            smt_aggression=0.2,
+            smt_sensitivity=0.15,
+            prefetch=PrefetchProfile(
+                traffic_gain=1.35, off_demand=0.55, off_speed=0.60
+            ),
+            threads=threads,
+        ),
+        unit_rate_per_thread=1.0,
+    )

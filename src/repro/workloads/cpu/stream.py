@@ -1,0 +1,34 @@
+"""Stream: the synthetic streaming-traversal batch workload (Section V-A).
+
+Stream traverses a large array that does not fit in any platform's LLC: it is
+almost purely bandwidth-bound, benefits enormously from hardware prefetching,
+and leaves essentially no reusable cache footprint.
+"""
+
+from __future__ import annotations
+
+from repro.hw.prefetcher import PrefetchProfile
+from repro.workloads.base import HostPhaseProfile
+from repro.workloads.cpu.base import BatchProfile
+
+
+def stream_profile(threads: int = 8) -> BatchProfile:
+    """The Stream workload running ``threads`` traversal threads."""
+    return BatchProfile(
+        name="stream",
+        phase=HostPhaseProfile(
+            bw_gbps=6.5 * threads,
+            mem_fraction=0.95,
+            bw_bound_weight=1.0,
+            working_set_mb=0.0,
+            llc_miss_traffic_gain=0.0,
+            llc_speed_sensitivity=0.0,
+            smt_aggression=0.15,
+            smt_sensitivity=0.1,
+            prefetch=PrefetchProfile(
+                traffic_gain=1.25, off_demand=0.50, off_speed=0.50
+            ),
+            threads=threads,
+        ),
+        unit_rate_per_thread=1.0,
+    )

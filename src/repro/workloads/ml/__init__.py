@@ -1,0 +1,23 @@
+"""High-priority accelerated ML workloads (Table I)."""
+
+from repro.workloads.ml.base import (
+    InferenceServerTask,
+    InferenceSpec,
+    TrainingSpec,
+    TrainingTask,
+)
+from repro.workloads.ml.catalog import (
+    MlWorkloadFactory,
+    ml_workload,
+    ml_workload_names,
+)
+
+__all__ = [
+    "InferenceServerTask",
+    "InferenceSpec",
+    "MlWorkloadFactory",
+    "TrainingSpec",
+    "TrainingTask",
+    "ml_workload",
+    "ml_workload_names",
+]

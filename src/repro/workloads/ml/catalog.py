@@ -1,0 +1,198 @@
+"""Registry and factory for the accelerated ML workloads.
+
+Experiments ask for a workload by name; the factory knows which host
+platform and accelerator device it runs on and assembles the live task —
+including, for inference, the knee-load open-loop generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.accel.device import AcceleratorDevice
+from repro.accel.pcie import PcieLink
+from repro.accel.presets import cloud_tpu_device, gpu_device, tpu_v1_device
+from repro.distributed.sync import LockStepBarrier
+from repro.errors import WorkloadError
+from repro.hw.machine import Machine
+from repro.hw.placement import Placement
+from repro.hw.spec import (
+    MachineSpec,
+    cloud_tpu_host_spec,
+    gpu_host_spec,
+    tpu_host_spec,
+)
+from repro.sim.tracing import TimelineTracer
+from repro.workloads.loadgen import ClosedLoopGenerator, OpenLoopGenerator
+from repro.workloads.ml.base import (
+    InferenceServerTask,
+    InferenceSpec,
+    TrainingSpec,
+    TrainingTask,
+)
+from repro.workloads.ml.cnn1 import cnn1_spec
+from repro.workloads.ml.cnn2 import cnn2_spec
+from repro.workloads.ml.cnn3 import cnn3_spec
+from repro.workloads.ml.rnn1 import rnn1_spec
+
+_HOST_SPECS = {
+    "tpu": tpu_host_spec,
+    "cloud-tpu": cloud_tpu_host_spec,
+    "gpu": gpu_host_spec,
+}
+
+_DEVICE_SPECS = {
+    "tpu": tpu_v1_device,
+    "cloud-tpu": cloud_tpu_device,
+    "gpu": gpu_device,
+}
+
+
+@dataclass
+class MlInstance:
+    """A live accelerated workload: the task plus its drivers."""
+
+    name: str
+    kind: str  # "training" | "inference"
+    task: TrainingTask | InferenceServerTask
+    loadgen: OpenLoopGenerator | ClosedLoopGenerator | None = None
+
+    def start(self) -> None:
+        """Start the task (and its load generator, for inference)."""
+        self.task.start()
+        if self.loadgen is not None:
+            self.loadgen.start()
+
+    def stop(self) -> None:
+        """Stop the load generator and the task."""
+        if self.loadgen is not None:
+            self.loadgen.stop()
+        self.task.stop()
+
+    def performance(self, measurement_end: float) -> float:
+        """Steps/s (training) or completed QPS (inference), post-warmup."""
+        return self.task.performance(measurement_end)
+
+    def tail_latency(self, q: float = 95.0) -> float | None:
+        """Tail latency for inference; None for training workloads."""
+        if isinstance(self.task, InferenceServerTask):
+            return self.task.tail_latency(q)
+        return None
+
+
+@dataclass(frozen=True)
+class MlWorkloadFactory:
+    """Builds live instances of one named ML workload."""
+
+    name: str
+    kind: str
+    spec: TrainingSpec | InferenceSpec
+
+    @property
+    def platform(self) -> str:
+        """The host platform this workload runs on."""
+        return self.spec.platform
+
+    def host_spec(self) -> MachineSpec:
+        """The host machine specification for this workload's platform."""
+        return _HOST_SPECS[self.spec.platform]()
+
+    def default_cores(self) -> int:
+        """Host cores the node scheduler allots the ML task."""
+        return self.spec.default_cores
+
+    def build(
+        self,
+        machine: Machine,
+        placement: Placement,
+        warmup_until: float = 0.0,
+        seed: int = 0,
+        tracer: TimelineTracer | None = None,
+        load_fraction: float | None = None,
+    ) -> MlInstance:
+        """Assemble a live instance on ``machine`` at ``placement``."""
+        if self.kind == "training":
+            spec = self.spec
+            assert isinstance(spec, TrainingSpec)
+            barrier = None
+            if not spec.overlap and spec.barrier_shards > 1:
+                barrier = LockStepBarrier(
+                    shards=spec.barrier_shards,
+                    nominal_latency=spec.host_time,
+                    latency_cv=spec.barrier_cv,
+                    rng=np.random.default_rng(seed + 101),
+                )
+            task = TrainingTask(
+                task_id=self.name,
+                machine=machine,
+                placement=placement,
+                spec=spec,
+                warmup_until=warmup_until,
+                barrier=barrier,
+            )
+            return MlInstance(name=self.name, kind=self.kind, task=task)
+
+        spec = self.spec
+        assert isinstance(spec, InferenceSpec)
+        device_spec = _DEVICE_SPECS[spec.platform]()
+        device = AcceleratorDevice(device_spec, machine.sim)
+        pcie_in = PcieLink(machine.spec.pcie, machine.sim, name="pcie-in")
+        pcie_out = PcieLink(machine.spec.pcie, machine.sim, name="pcie-out")
+        task = InferenceServerTask(
+            task_id=self.name,
+            machine=machine,
+            placement=placement,
+            spec=spec,
+            device=device,
+            pcie_in=pcie_in,
+            pcie_out=pcie_out,
+            warmup_until=warmup_until,
+            tracer=tracer,
+        )
+        loadgen: OpenLoopGenerator | ClosedLoopGenerator | None
+        if load_fraction is None:
+            # The paper's default: pipelined, fixed-concurrency generation.
+            loadgen = ClosedLoopGenerator(task, spec.pipeline_concurrency)
+        elif load_fraction > 0:
+            rate = load_fraction * spec.standalone_capacity(
+                device_spec, len(placement.cores)
+            )
+            loadgen = OpenLoopGenerator(
+                sim=machine.sim,
+                rate_qps=rate,
+                submit=task.submit,
+                rng=np.random.default_rng(seed + 7),
+            )
+        else:
+            loadgen = None
+        return MlInstance(name=self.name, kind=self.kind, task=task, loadgen=loadgen)
+
+
+_CATALOG: dict[str, MlWorkloadFactory] = {}
+
+
+def _register(factory: MlWorkloadFactory) -> None:
+    _CATALOG[factory.name] = factory
+
+
+_register(MlWorkloadFactory(name="rnn1", kind="inference", spec=rnn1_spec()))
+_register(MlWorkloadFactory(name="cnn1", kind="training", spec=cnn1_spec()))
+_register(MlWorkloadFactory(name="cnn2", kind="training", spec=cnn2_spec()))
+_register(MlWorkloadFactory(name="cnn3", kind="training", spec=cnn3_spec()))
+
+
+def ml_workload_names() -> list[str]:
+    """Names accepted by :func:`ml_workload`."""
+    return sorted(_CATALOG)
+
+
+def ml_workload(name: str) -> MlWorkloadFactory:
+    """Look up the factory for ``name`` (rnn1/cnn1/cnn2/cnn3)."""
+    try:
+        return _CATALOG[name.lower()]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown ML workload {name!r}; expected one of {ml_workload_names()}"
+        ) from None

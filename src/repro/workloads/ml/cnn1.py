@@ -1,0 +1,49 @@
+"""CNN1: Cloud TPU image-recognition training, variant one (Table I).
+
+CPU-accelerator interaction: **data in-feed** — the host decodes and reshapes
+input examples while the accelerator crunches the previous batch. CNN1 is low
+CPU intensity and low host memory intensity, yet it is the workload most
+sensitive to bandwidth interference in the paper (Figs 7b, 9a): its in-feed
+runs barely ahead of the accelerator, so any stretch of the in-feed phase
+lands directly on the training-step critical path.
+"""
+
+from __future__ import annotations
+
+from repro.hw.prefetcher import PrefetchProfile
+from repro.workloads.base import HostPhaseProfile
+from repro.workloads.ml.base import TrainingSpec
+
+
+def cnn1_spec() -> TrainingSpec:
+    """The CNN1 training specification."""
+    return TrainingSpec(
+        name="cnn1",
+        platform="cloud-tpu",
+        accel_step_time=100e-3,
+        host_time=98e-3,
+        host=HostPhaseProfile(
+            bw_gbps=3.5,
+            mem_fraction=0.88,
+            bw_bound_weight=0.45,
+            working_set_mb=10.0,
+            llc_intensity=1.0,
+            llc_miss_traffic_gain=0.35,
+            llc_speed_sensitivity=0.22,
+            smt_sensitivity=0.25,
+            smt_aggression=0.1,
+            prefetch=PrefetchProfile(
+                traffic_gain=1.20, off_demand=0.75, off_speed=0.82
+            ),
+            threads=2,
+        ),
+        sync_time=4e-3,
+        sync=HostPhaseProfile(
+            bw_gbps=0.8,
+            mem_fraction=0.25,
+            bw_bound_weight=0.2,
+            threads=1,
+        ),
+        overlap=True,
+        default_cores=2,
+    )

@@ -1,0 +1,48 @@
+"""CNN2: Cloud TPU image-recognition training, variant two (Table I).
+
+Also an in-feed workload, but with **high CPU intensity and medium host
+memory intensity**: the in-feed pipeline does heavier decode/augmentation
+work across more threads, moves more bytes, and keeps more slack against the
+accelerator step — so it degrades less than CNN1 under the same pressure
+(Fig 7c) but leans harder on the memory system when it does run.
+"""
+
+from __future__ import annotations
+
+from repro.hw.prefetcher import PrefetchProfile
+from repro.workloads.base import HostPhaseProfile
+from repro.workloads.ml.base import TrainingSpec
+
+
+def cnn2_spec() -> TrainingSpec:
+    """The CNN2 training specification."""
+    return TrainingSpec(
+        name="cnn2",
+        platform="cloud-tpu",
+        accel_step_time=100e-3,
+        host_time=80e-3,
+        host=HostPhaseProfile(
+            bw_gbps=7.5,
+            mem_fraction=0.42,
+            bw_bound_weight=0.6,
+            working_set_mb=16.0,
+            llc_intensity=1.1,
+            llc_miss_traffic_gain=0.3,
+            llc_speed_sensitivity=0.2,
+            smt_sensitivity=0.3,
+            smt_aggression=0.15,
+            prefetch=PrefetchProfile(
+                traffic_gain=1.25, off_demand=0.72, off_speed=0.80
+            ),
+            threads=4,
+        ),
+        sync_time=5e-3,
+        sync=HostPhaseProfile(
+            bw_gbps=1.0,
+            mem_fraction=0.25,
+            bw_bound_weight=0.2,
+            threads=1,
+        ),
+        overlap=True,
+        default_cores=4,
+    )

@@ -1,0 +1,62 @@
+"""CNN3: GPU image-recognition training behind parameter servers (Table I).
+
+CPU-accelerator interaction: **parameter server** — after each GPU step the
+gradients are pushed to PS shards whose optimizer update is a
+bandwidth-hungry scan over the variable partition (low CPU intensity, high
+host memory intensity). Steps are lock-step across shards, so the slowest
+shard bounds throughput; the local shard's latency comes from the contention
+simulation and the remaining shards from the barrier model.
+"""
+
+from __future__ import annotations
+
+from repro.distributed.parameter_server import PsUpdateModel
+from repro.hw.prefetcher import PrefetchProfile
+from repro.workloads.base import HostPhaseProfile
+from repro.workloads.ml.base import TrainingSpec
+
+#: Lock-step fan-out used by the CNN3 experiments.
+CNN3_SHARDS = 4
+
+#: The per-shard optimizer update cost backing ``host_time``: 0.27 GB of
+#: parameters, 4 bytes moved per parameter byte, 18 GB/s standalone.
+CNN3_PS_UPDATE = PsUpdateModel(
+    shard_params_gb=0.27, optimizer_traffic_factor=4.0, standalone_bw_gbps=18.0
+)
+
+
+def cnn3_spec() -> TrainingSpec:
+    """The CNN3 training specification."""
+    return TrainingSpec(
+        name="cnn3",
+        platform="gpu",
+        accel_step_time=60e-3,
+        # 0.27 GB * 4 / 18 GB/s = 60 ms standalone PS update.
+        host_time=CNN3_PS_UPDATE.standalone_update_time,
+        host=HostPhaseProfile(
+            bw_gbps=11.0,
+            mem_fraction=0.85,
+            bw_bound_weight=0.45,
+            working_set_mb=4.0,
+            llc_intensity=0.8,
+            llc_miss_traffic_gain=0.1,
+            llc_speed_sensitivity=0.1,
+            smt_sensitivity=0.2,
+            smt_aggression=0.1,
+            prefetch=PrefetchProfile(
+                traffic_gain=1.25, off_demand=0.6, off_speed=0.65
+            ),
+            threads=4,
+        ),
+        sync_time=4e-3,
+        sync=HostPhaseProfile(
+            bw_gbps=0.8,
+            mem_fraction=0.2,
+            bw_bound_weight=0.2,
+            threads=1,
+        ),
+        overlap=False,
+        barrier_shards=CNN3_SHARDS,
+        barrier_cv=0.10,
+        default_cores=4,
+    )

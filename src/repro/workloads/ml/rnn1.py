@@ -1,0 +1,51 @@
+"""RNN1: the TPU natural-language-processing inference server (Table I).
+
+CPU-accelerator interaction: **beam search** — the host sorts and expands
+partial hypotheses between accelerator calls. Medium CPU intensity, low host
+memory intensity; latency-sensitive (pointer-heavy) rather than
+bandwidth-bound. Requests are pipelined; each query runs several iterations
+of host beam search, PCIe transfer, TPU matrix compute, and transfer back
+(the Fig 3 timeline).
+"""
+
+from __future__ import annotations
+
+from repro.accel.device import OpCost
+from repro.hw.prefetcher import PrefetchProfile
+from repro.workloads.base import HostPhaseProfile
+from repro.workloads.ml.base import InferenceSpec
+
+
+def rnn1_spec() -> InferenceSpec:
+    """The RNN1 inference-server specification."""
+    return InferenceSpec(
+        name="rnn1",
+        platform="tpu",
+        iterations_per_query=2,
+        host_time=9e-3,
+        host=HostPhaseProfile(
+            bw_gbps=1.6,
+            mem_fraction=0.22,
+            bw_bound_weight=0.2,
+            working_set_mb=3.0,
+            llc_intensity=1.2,
+            llc_miss_traffic_gain=0.4,
+            llc_speed_sensitivity=0.20,
+            smt_sensitivity=0.25,
+            smt_aggression=0.1,
+            prefetch=PrefetchProfile(
+                traffic_gain=1.10, off_demand=0.85, off_speed=0.88
+            ),
+            threads=1,
+        ),
+        # ~3.6 MB each way over a 12 GB/s link: ~0.3 ms, matching the short
+        # communication slices in Fig 3.
+        pcie_in_gb=0.0036,
+        pcie_out_gb=0.0036,
+        # TPUv1 is local-memory bound on this model: 0.102 GB over 34 GB/s
+        # gives a 3 ms matrix step per iteration.
+        accel_op=OpCost(gflops=180.0, local_bytes_gb=0.102),
+        max_inflight=8,
+        target_load_fraction=0.85,
+        default_cores=3,
+    )

@@ -1,0 +1,69 @@
+"""Tests for the accelerator device model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.device import AcceleratorDevice, AcceleratorSpec, OpCost
+from repro.errors import ConfigurationError
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def device(sim: Simulator) -> AcceleratorDevice:
+    spec = AcceleratorSpec(
+        name="test", peak_tflops=100.0, local_bw_gbps=100.0, local_capacity_gb=8.0
+    )
+    return AcceleratorDevice(spec, sim)
+
+
+class TestOpCost:
+    def test_compute_bound(self) -> None:
+        spec = AcceleratorSpec("x", 1.0, 1000.0, 1.0)
+        cost = OpCost(gflops=1000.0, local_bytes_gb=0.001)
+        assert cost.duration_on(spec) == pytest.approx(1.0)
+
+    def test_memory_bound(self) -> None:
+        spec = AcceleratorSpec("x", 1000.0, 10.0, 1.0)
+        cost = OpCost(gflops=1.0, local_bytes_gb=10.0)
+        assert cost.duration_on(spec) == pytest.approx(1.0)
+
+    def test_roofline_takes_max(self) -> None:
+        spec = AcceleratorSpec("x", 1.0, 1.0, 1.0)
+        cost = OpCost(gflops=500.0, local_bytes_gb=2.0)
+        assert cost.duration_on(spec) == pytest.approx(2.0)
+
+    def test_invalid_spec(self) -> None:
+        with pytest.raises(ConfigurationError):
+            AcceleratorSpec("x", 0.0, 1.0, 1.0)
+
+
+class TestDevice:
+    def test_serial_fifo_execution(self, sim: Simulator, device: AcceleratorDevice) -> None:
+        done: list[int] = []
+        cost = OpCost(local_bytes_gb=100.0)  # 1 s each
+        device.submit(cost, lambda: done.append(1))
+        device.submit(cost, lambda: done.append(2))
+        sim.run_until(1.5)
+        assert done == [1]
+        sim.run_until(2.5)
+        assert done == [1, 2]
+
+    def test_queue_depth(self, sim: Simulator, device: AcceleratorDevice) -> None:
+        cost = OpCost(local_bytes_gb=100.0)
+        for _ in range(3):
+            device.submit(cost, lambda: None)
+        assert device.busy
+        assert device.queue_depth == 2
+
+    def test_utilization(self, sim: Simulator, device: AcceleratorDevice) -> None:
+        device.submit(OpCost(local_bytes_gb=100.0), lambda: None)
+        sim.run_until(2.0)
+        assert device.utilization(2.0) == pytest.approx(0.5)
+        assert device.ops_completed == 1
+
+    def test_idle_after_drain(self, sim: Simulator, device: AcceleratorDevice) -> None:
+        device.submit(OpCost(local_bytes_gb=50.0), lambda: None)
+        sim.run_until(1.0)
+        assert not device.busy
+        assert device.queue_depth == 0

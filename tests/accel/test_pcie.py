@@ -1,0 +1,59 @@
+"""Tests for the PCIe link model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.pcie import PcieLink
+from repro.errors import ConfigurationError
+from repro.hw.spec import PcieSpec
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def link(sim: Simulator) -> PcieLink:
+    return PcieLink(PcieSpec(peak_bw_gbps=10.0), sim)
+
+
+class TestPcieLink:
+    def test_single_transfer_time(self, sim: Simulator, link: PcieLink) -> None:
+        done: list[float] = []
+        link.transfer(5.0, lambda: done.append(sim.now))
+        sim.run_until(1.0)
+        assert done == [pytest.approx(0.5)]
+
+    def test_concurrent_transfers_share_bandwidth(
+        self, sim: Simulator, link: PcieLink
+    ) -> None:
+        done: list[float] = []
+        link.transfer(5.0, lambda: done.append(sim.now))
+        link.transfer(5.0, lambda: done.append(sim.now))
+        sim.run_until(2.0)
+        assert done == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_later_transfer_rebalances(self, sim: Simulator, link: PcieLink) -> None:
+        done: list[float] = []
+        link.transfer(10.0, lambda: done.append(sim.now))
+        sim.at(0.5, lambda: link.transfer(2.5, lambda: done.append(sim.now)))
+        sim.run_until(3.0)
+        # T1 moves 5 GB by t=0.5; both then share 5 GB/s each. T2 (2.5 GB)
+        # finishes at t=1.0; T1's remaining 2.5 GB then runs at full speed
+        # and finishes at t=1.25.
+        assert done[0] == pytest.approx(1.0)
+        assert done[1] == pytest.approx(1.25)
+
+    def test_zero_size_completes_immediately(self, sim: Simulator, link: PcieLink) -> None:
+        done: list[bool] = []
+        link.transfer(0.0, lambda: done.append(True))
+        assert done == [True]
+
+    def test_negative_size_rejected(self, link: PcieLink) -> None:
+        with pytest.raises(ConfigurationError):
+            link.transfer(-1.0, lambda: None)
+
+    def test_bytes_moved_accounting(self, sim: Simulator, link: PcieLink) -> None:
+        link.transfer(3.0, lambda: None)
+        link.transfer(2.0, lambda: None)
+        sim.run_until(5.0)
+        assert link.bytes_moved_gb == pytest.approx(5.0)
+        assert link.active_transfers == 0

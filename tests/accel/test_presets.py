@@ -1,0 +1,23 @@
+"""Tests for accelerator presets."""
+
+from __future__ import annotations
+
+from repro.accel.presets import cloud_tpu_device, gpu_device, tpu_v1_device
+
+
+class TestPresets:
+    def test_tpu_v1_matches_paper(self) -> None:
+        spec = tpu_v1_device()
+        assert spec.peak_tflops == 92.0  # "92 TFLOPS" (TOPS) per the paper
+
+    def test_cloud_tpu_matches_paper(self) -> None:
+        spec = cloud_tpu_device()
+        assert spec.peak_tflops == 180.0
+        assert spec.local_capacity_gb == 64.0
+
+    def test_gpu_has_hbm(self) -> None:
+        assert gpu_device().local_bw_gbps > 500.0
+
+    def test_names_distinct(self) -> None:
+        names = {d().name for d in (tpu_v1_device, cloud_tpu_device, gpu_device)}
+        assert len(names) == 3

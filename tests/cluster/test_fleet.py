@@ -1,0 +1,38 @@
+"""Tests for the fleet bandwidth survey (Fig 2 substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.fleet import FleetSurvey, fleet_bandwidth_cdf
+from repro.errors import ConfigurationError
+
+
+class TestFleetSurvey:
+    def test_p99_in_unit_interval(self) -> None:
+        p99 = FleetSurvey(machines=200, seed=1).machine_p99()
+        assert len(p99) == 200
+        assert np.all((0 <= p99) & (p99 <= 1))
+
+    def test_deterministic_by_seed(self) -> None:
+        a = FleetSurvey(machines=100, seed=5).machine_p99()
+        b = FleetSurvey(machines=100, seed=5).machine_p99()
+        assert np.array_equal(a, b)
+
+    def test_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            FleetSurvey(machines=0)
+
+
+class TestFleetCdf:
+    def test_cdf_monotone(self) -> None:
+        cdf = fleet_bandwidth_cdf(FleetSurvey(machines=500, seed=2))
+        assert np.all(np.diff(cdf.utilization) >= 0)
+        assert np.all(np.diff(cdf.fraction_of_machines) > 0)
+        assert cdf.fraction_of_machines[-1] == pytest.approx(1.0)
+
+    def test_headline_statistic_near_paper(self) -> None:
+        cdf = fleet_bandwidth_cdf()
+        # The paper reports 16% of machines above 70% of peak.
+        assert cdf.fraction_above_70pct == pytest.approx(0.16, abs=0.05)

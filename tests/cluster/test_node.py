@@ -1,0 +1,44 @@
+"""Tests for the managed node."""
+
+from __future__ import annotations
+
+from repro.cluster.node import ACCEL_SOCKET, HI_SUBDOMAIN, LO_SUBDOMAIN, Node
+
+
+class TestNodeTopologyHelpers:
+    def test_constants(self) -> None:
+        assert ACCEL_SOCKET == 0
+        assert HI_SUBDOMAIN == 0
+        assert LO_SUBDOMAIN == 1
+
+    def test_core_helpers_partition_socket(self, node: Node) -> None:
+        hi = node.hi_subdomain_cores()
+        lo = node.lo_subdomain_cores()
+        assert set(hi) | set(lo) == set(node.accel_socket_cores())
+        assert not set(hi) & set(lo)
+
+
+class TestPrefetcherHelpers:
+    def test_all_enabled_initially(self, node: Node) -> None:
+        assert node.lo_prefetchers_enabled() == len(node.lo_subdomain_cores())
+
+    def test_set_count(self, node: Node) -> None:
+        node.set_lo_prefetchers_enabled(3)
+        assert node.lo_prefetchers_enabled() == 3
+        # Lowest core ids keep prefetching.
+        cores = node.lo_subdomain_cores()
+        assert node.machine.prefetchers.is_enabled(cores[0])
+        assert not node.machine.prefetchers.is_enabled(cores[-1])
+
+    def test_set_count_clamped(self, node: Node) -> None:
+        node.set_lo_prefetchers_enabled(-3)
+        assert node.lo_prefetchers_enabled() == 0
+        node.set_lo_prefetchers_enabled(999)
+        assert node.lo_prefetchers_enabled() == len(node.lo_subdomain_cores())
+
+    def test_hi_subdomain_untouched(self, node: Node) -> None:
+        node.set_lo_prefetchers_enabled(0)
+        assert all(
+            node.machine.prefetchers.is_enabled(c)
+            for c in node.hi_subdomain_cores()
+        )

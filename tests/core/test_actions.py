@@ -1,0 +1,95 @@
+"""Tests for Algorithm 2: the resource-configuration procedures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actions import (
+    Action,
+    HiPriorityPlan,
+    LoPriorityPlan,
+    config_hi_priority,
+    config_lo_priority,
+)
+from repro.errors import ConfigurationError
+
+
+def hi(core_num: int = 3, lo_bound: int = 1, hi_bound: int = 4) -> HiPriorityPlan:
+    return HiPriorityPlan(core_num=core_num, min_core_num=lo_bound, max_core_num=hi_bound)
+
+
+def lo(core_num: int = 8, prefetchers: int = 8) -> LoPriorityPlan:
+    return LoPriorityPlan(
+        core_num=core_num, prefetcher_num=prefetchers,
+        min_core_num=1, max_core_num=8,
+    )
+
+
+class TestConfigHiPriority:
+    def test_throttle_removes_one_core(self) -> None:
+        assert config_hi_priority(hi(3), Action.THROTTLE).core_num == 2
+
+    def test_throttle_respects_min(self) -> None:
+        assert config_hi_priority(hi(1), Action.THROTTLE).core_num == 1
+
+    def test_boost_adds_one_core(self) -> None:
+        assert config_hi_priority(hi(3), Action.BOOST).core_num == 4
+
+    def test_boost_respects_max(self) -> None:
+        assert config_hi_priority(hi(4), Action.BOOST).core_num == 4
+
+    def test_nop(self) -> None:
+        assert config_hi_priority(hi(3), Action.NOP) == hi(3)
+
+
+class TestConfigLoPriority:
+    def test_throttle_halves_prefetchers_first(self) -> None:
+        plan = config_lo_priority(lo(8, 8), Action.THROTTLE)
+        assert plan.prefetcher_num == 4
+        assert plan.core_num == 8
+
+    def test_throttle_halving_sequence(self) -> None:
+        plan = lo(8, 8)
+        seen = []
+        for _ in range(4):
+            plan = config_lo_priority(plan, Action.THROTTLE)
+            seen.append(plan.prefetcher_num)
+        assert seen == [4, 2, 1, 0]
+
+    def test_throttle_cores_after_prefetchers_gone(self) -> None:
+        plan = config_lo_priority(lo(8, 0), Action.THROTTLE)
+        assert plan.core_num == 7
+
+    def test_throttle_respects_min_cores(self) -> None:
+        plan = LoPriorityPlan(core_num=1, prefetcher_num=0, min_core_num=1, max_core_num=8)
+        assert config_lo_priority(plan, Action.THROTTLE) == plan
+
+    def test_boost_reenables_prefetchers_first(self) -> None:
+        plan = config_lo_priority(lo(8, 2), Action.BOOST)
+        assert plan.prefetcher_num == 3
+        assert plan.core_num == 8
+
+    def test_boost_prefetchers_capped_at_core_num(self) -> None:
+        plan = LoPriorityPlan(core_num=4, prefetcher_num=4, min_core_num=1, max_core_num=8)
+        boosted = config_lo_priority(plan, Action.BOOST)
+        assert boosted.core_num == 5
+        assert boosted.prefetcher_num == 4
+
+    def test_boost_respects_max_cores(self) -> None:
+        plan = config_lo_priority(lo(8, 8), Action.BOOST)
+        assert plan == lo(8, 8)
+
+    def test_nop(self) -> None:
+        assert config_lo_priority(lo(5, 3), Action.NOP) == lo(5, 3)
+
+
+class TestPlanValidation:
+    def test_hi_bounds(self) -> None:
+        with pytest.raises(ConfigurationError):
+            HiPriorityPlan(core_num=5, min_core_num=1, max_core_num=4)
+
+    def test_lo_bounds(self) -> None:
+        with pytest.raises(ConfigurationError):
+            LoPriorityPlan(core_num=0, prefetcher_num=0, min_core_num=1, max_core_num=8)
+        with pytest.raises(ConfigurationError):
+            LoPriorityPlan(core_num=4, prefetcher_num=9, min_core_num=1, max_core_num=8)

@@ -1,0 +1,121 @@
+"""Tests for the Kelp runtime (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.node import LO_SUBDOMAIN, Node
+from repro.core.actions import Action
+from repro.core.kelp import KelpRuntime
+from repro.core.watermarks import default_profile
+from repro.hw.placement import Placement
+from repro.workloads.cpu.base import BatchTask
+from repro.workloads.cpu.catalog import cpu_workload
+
+
+def make_runtime(node: Node, **kwargs) -> KelpRuntime:
+    profile = default_profile(node.machine.spec, ml_cores=4)
+    return KelpRuntime(node=node, profile=profile, **kwargs)
+
+
+def start_lo_aggressor(node: Node, level: str = "H") -> BatchTask:
+    node.machine.set_snc(True)
+    task = BatchTask(
+        "dram",
+        node.machine,
+        Placement(
+            cores=frozenset(node.lo_subdomain_cores()),
+            mem_weights={LO_SUBDOMAIN: 1.0},
+        ),
+        cpu_workload("dram", level),
+    )
+    task.start()
+    node.lo_tasks.append(task)
+    return task
+
+
+class TestKelpDecisions:
+    def test_idle_machine_boosts(self, node: Node) -> None:
+        runtime = make_runtime(node)
+        node.sim.run_until(1.0)
+        record = runtime.tick()
+        assert record.action_lo is Action.BOOST
+
+    def test_saturation_triggers_lo_throttle(self, node: Node) -> None:
+        start_lo_aggressor(node, "H")
+        runtime = make_runtime(node)
+        node.sim.run_until(1.0)
+        record = runtime.tick()
+        assert record.action_lo is Action.THROTTLE
+        assert record.lo_prefetchers < len(node.lo_subdomain_cores())
+
+    def test_prefetchers_halve_then_recover(self, node: Node) -> None:
+        start_lo_aggressor(node, "H")
+        runtime = make_runtime(node)
+        for step in range(12):
+            node.sim.run_until(node.sim.now + 1.0)
+            runtime.tick()
+        # The controller must have converged out of full saturation...
+        final = runtime.history[-1]
+        assert final.measurements.saturation <= runtime.profile.saturation.hi + 0.1
+        # ...by disabling some prefetchers.
+        assert final.lo_prefetchers < len(node.lo_subdomain_cores())
+
+    def test_enforcement_writes_msrs(self, node: Node) -> None:
+        start_lo_aggressor(node, "H")
+        runtime = make_runtime(node)
+        node.sim.run_until(1.0)
+        runtime.tick()
+        enabled = sum(
+            node.machine.prefetchers.is_enabled(c)
+            for c in node.lo_subdomain_cores()
+        )
+        assert enabled == runtime.lo_plan.prefetcher_num
+
+    def test_manage_flags_freeze_knobs(self, node: Node) -> None:
+        start_lo_aggressor(node, "H")
+        runtime = make_runtime(
+            node, manage_lo_cores=False, manage_prefetchers=False,
+            manage_backfill=False,
+        )
+        cores_before = runtime.lo_plan.core_num
+        pf_before = runtime.lo_plan.prefetcher_num
+        for _ in range(6):
+            node.sim.run_until(node.sim.now + 1.0)
+            runtime.tick()
+        assert runtime.lo_plan.core_num == cores_before
+        assert runtime.lo_plan.prefetcher_num == pf_before
+
+
+class TestBackfillControl:
+    def test_backfill_throttled_on_hipri_bw(self, node: Node) -> None:
+        node.machine.set_snc(True)
+        backfill = BatchTask(
+            "backfill",
+            node.machine,
+            Placement(
+                cores=frozenset(node.hi_subdomain_cores()[4:]),
+                mem_weights={0: 1.0},
+            ),
+            cpu_workload("stitch", 3).scaled_to_threads(8),
+        )
+        backfill.start()
+        node.backfill_tasks.append(backfill)
+        runtime = make_runtime(node)
+        for _ in range(8):
+            node.sim.run_until(node.sim.now + 1.0)
+            runtime.tick()
+        # Stitch's 8 backfilled threads exceed the hi-subdomain watermark:
+        # the controller must have removed cores.
+        assert runtime.hi_plan.core_num < runtime.profile.max_backfill_cores
+        assert len(backfill.placement.cores) == max(
+            1, runtime.hi_plan.core_num
+        )
+
+    def test_history_records_every_tick(self, node: Node) -> None:
+        runtime = make_runtime(node)
+        for _ in range(3):
+            node.sim.run_until(node.sim.now + 1.0)
+            runtime.tick()
+        assert len(runtime.history) == 3
+        assert runtime.history[0].time < runtime.history[-1].time

@@ -1,0 +1,64 @@
+"""Tests for QoS watermark profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.watermarks import QosProfile, Watermark, default_profile
+from repro.errors import ConfigurationError
+from repro.hw.spec import MachineSpec
+
+
+class TestWatermark:
+    def test_above_below(self) -> None:
+        mark = Watermark(lo=1.0, hi=2.0)
+        assert mark.above(2.5)
+        assert not mark.above(2.0)
+        assert mark.below(0.5)
+        assert not mark.below(1.0)
+
+    def test_dead_band(self) -> None:
+        mark = Watermark(lo=1.0, hi=2.0)
+        assert not mark.above(1.5) and not mark.below(1.5)
+
+    def test_inverted_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            Watermark(lo=2.0, hi=1.0)
+
+
+class TestQosProfile:
+    def test_default_profile_scales_with_platform(self) -> None:
+        profile = default_profile(MachineSpec())
+        socket_peak = MachineSpec().sockets[0].peak_bw_gbps
+        assert profile.socket_bw.hi == pytest.approx(0.80 * socket_peak)
+        assert profile.socket_bw.lo < profile.socket_bw.hi
+
+    def test_backfill_bounds_respect_ml_cores(self) -> None:
+        spec = MachineSpec()
+        wide = default_profile(spec, ml_cores=2)
+        narrow = default_profile(spec, ml_cores=6)
+        assert wide.max_backfill_cores > narrow.max_backfill_cores
+
+    def test_backfill_always_at_least_one(self) -> None:
+        profile = default_profile(MachineSpec(), ml_cores=8)
+        assert profile.max_backfill_cores >= 1
+
+    def test_invalid_bounds_rejected(self) -> None:
+        profile = default_profile(MachineSpec())
+        with pytest.raises(ConfigurationError):
+            QosProfile(
+                socket_bw=profile.socket_bw,
+                socket_latency=profile.socket_latency,
+                saturation=profile.saturation,
+                hipri_bw=profile.hipri_bw,
+                min_backfill_cores=3,
+                max_backfill_cores=2,
+            )
+        with pytest.raises(ConfigurationError):
+            QosProfile(
+                socket_bw=profile.socket_bw,
+                socket_latency=profile.socket_latency,
+                saturation=profile.saturation,
+                hipri_bw=profile.hipri_bw,
+                min_lo_cores=0,
+            )

@@ -1,0 +1,47 @@
+"""Tests for the tail-amplification model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.service import TailAmplificationModel
+from repro.errors import ConfigurationError
+
+
+class TestTailAmplificationModel:
+    def test_single_clean_shard_near_one(self) -> None:
+        model = TailAmplificationModel(0.0, 2.0, latency_cv=0.0)
+        assert model.expected_slowdown(1) == pytest.approx(1.0)
+
+    def test_always_interfered_hits_full_stretch(self) -> None:
+        model = TailAmplificationModel(1.0, 2.0, latency_cv=0.0)
+        assert model.expected_slowdown(4) == pytest.approx(2.0)
+
+    def test_slowdown_monotone_in_fanout(self) -> None:
+        model = TailAmplificationModel(0.16, 1.8)
+        values = [model.expected_slowdown(k) for k in (1, 4, 16, 64)]
+        assert values == sorted(values)
+
+    def test_wide_fanout_approaches_stretch(self) -> None:
+        model = TailAmplificationModel(0.16, 1.8, latency_cv=0.0)
+        assert model.expected_slowdown(64) == pytest.approx(1.8, rel=0.02)
+
+    def test_probability_any_interfered(self) -> None:
+        model = TailAmplificationModel(0.16, 1.8)
+        assert model.probability_any_interfered(1) == pytest.approx(0.16)
+        assert model.probability_any_interfered(64) > 0.99
+
+    def test_deterministic_by_seed(self) -> None:
+        model = TailAmplificationModel(0.16, 1.8)
+        assert model.expected_slowdown(8, seed=3) == model.expected_slowdown(
+            8, seed=3
+        )
+
+    def test_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            TailAmplificationModel(1.5, 2.0)
+        with pytest.raises(ConfigurationError):
+            TailAmplificationModel(0.1, 0.9)
+        model = TailAmplificationModel(0.1, 1.5)
+        with pytest.raises(ConfigurationError):
+            model.expected_slowdown(0)

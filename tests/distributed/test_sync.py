@@ -1,0 +1,48 @@
+"""Tests for the lock-step barrier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.sync import LockStepBarrier
+from repro.errors import ConfigurationError
+
+
+class TestLockStepBarrier:
+    def test_single_shard_no_wait(self) -> None:
+        barrier = LockStepBarrier(shards=1, nominal_latency=0.05)
+        assert barrier.remote_max() == 0.0
+        assert barrier.barrier_wait(0.05) == 0.0
+
+    def test_zero_cv_is_deterministic(self) -> None:
+        barrier = LockStepBarrier(shards=4, nominal_latency=0.05, latency_cv=0.0)
+        assert barrier.remote_max() == pytest.approx(0.05)
+
+    def test_fast_local_waits_for_remote(self) -> None:
+        barrier = LockStepBarrier(shards=4, nominal_latency=0.05, latency_cv=0.0)
+        assert barrier.barrier_wait(0.01) == pytest.approx(0.04)
+
+    def test_slow_local_never_waits(self) -> None:
+        barrier = LockStepBarrier(shards=4, nominal_latency=0.05, latency_cv=0.0)
+        assert barrier.barrier_wait(0.5) == 0.0
+
+    def test_tail_amplification_grows_with_fanout(self) -> None:
+        rng_small = np.random.default_rng(0)
+        rng_large = np.random.default_rng(0)
+        small = LockStepBarrier(4, 0.05, latency_cv=0.2, rng=rng_small)
+        large = LockStepBarrier(32, 0.05, latency_cv=0.2, rng=rng_large)
+        mean_small = np.mean([small.remote_max() for _ in range(500)])
+        mean_large = np.mean([large.remote_max() for _ in range(500)])
+        assert mean_large > mean_small > 0.05
+
+    def test_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            LockStepBarrier(0, 0.05)
+        with pytest.raises(ConfigurationError):
+            LockStepBarrier(4, 0.0)
+        with pytest.raises(ConfigurationError):
+            LockStepBarrier(4, 0.05, latency_cv=-1)
+        barrier = LockStepBarrier(4, 0.05)
+        with pytest.raises(ConfigurationError):
+            barrier.barrier_wait(-0.1)

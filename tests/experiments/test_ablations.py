@@ -1,0 +1,51 @@
+"""Smoke tests for the ablation drivers (small parameterizations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation_infeed_ratio import (
+    format_ablation_infeed_ratio,
+    run_ablation_infeed_ratio,
+)
+from repro.experiments.ablation_knee import format_ablation_knee, run_ablation_knee
+from repro.experiments.ablation_tail import format_ablation_tail, run_ablation_tail
+
+
+class TestInfeedRatio:
+    def test_mini_sweep(self) -> None:
+        result = run_ablation_infeed_ratio(
+            "cnn2", duration=10.0, warmup=3.0, ratios=(0.6, 1.2)
+        )
+        assert len(result.sensitivity) == 2
+        assert all(0 < s <= 1.05 for s in result.sensitivity)
+        # More host-bound => at least as sensitive.
+        assert result.sensitivity[1] <= result.sensitivity[0] + 0.05
+        assert "host/accel" in format_ablation_infeed_ratio(result)
+
+
+class TestKnee:
+    def test_mini_sweep(self) -> None:
+        result = run_ablation_knee(
+            duration=12.0, warmup=3.0, load_fractions=(0.4, 0.9)
+        )
+        assert result.qps[1] > result.qps[0]
+        assert result.p95_latency_ms[1] > result.p95_latency_ms[0]
+        assert "knee" in format_ablation_knee(result)
+
+    def test_knee_fraction_fallback(self) -> None:
+        result = run_ablation_knee(
+            duration=12.0, warmup=3.0, load_fractions=(0.3, 0.4)
+        )
+        # Latency barely grows at light load: knee reports the last point.
+        assert result.knee_fraction() in result.load_fractions
+
+
+class TestTailAmplification:
+    def test_mini_run(self) -> None:
+        result = run_ablation_tail(duration=12.0, shard_counts=(1, 8, 32))
+        assert result.bl_stretch >= result.kp_stretch >= 1.0
+        assert result.bl_slowdown == sorted(result.bl_slowdown)
+        assert result.kp_slowdown[-1] <= result.bl_slowdown[-1]
+        assert 0.0 < result.interference_probability < 0.5
+        assert "tail amplification" in format_ablation_tail(result)

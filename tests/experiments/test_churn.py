@@ -1,0 +1,48 @@
+"""Tests for the dynamic-churn ablation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation_churn import (
+    format_ablation_churn,
+    run_ablation_churn,
+)
+
+
+@pytest.fixture(scope="module")
+def kelp_churn():
+    return run_ablation_churn("KP", quiet=12.0, burst=15.0, recovery=15.0,
+                              warmup=4.0)
+
+
+class TestChurn:
+    def test_three_phases(self, kelp_churn) -> None:
+        assert [p.name for p in kelp_churn.phases] == [
+            "quiet", "burst", "recovered",
+        ]
+
+    def test_quiet_phase_unharmed(self, kelp_churn) -> None:
+        assert kelp_churn.phase("quiet").ml_perf_norm > 0.95
+
+    def test_controller_throttles_during_burst_only(self, kelp_churn) -> None:
+        assert kelp_churn.phase("burst").lo_prefetchers_at_end < 8
+        assert kelp_churn.phase("recovered").lo_prefetchers_at_end == 8
+
+    def test_recovery_is_complete(self, kelp_churn) -> None:
+        assert kelp_churn.phase("recovered").ml_perf_norm > 0.95
+
+    def test_kelp_beats_baseline_during_burst(self, kelp_churn) -> None:
+        bl = run_ablation_churn("BL", quiet=12.0, burst=15.0, recovery=15.0,
+                                warmup=4.0)
+        assert (
+            kelp_churn.phase("burst").ml_perf_norm
+            > bl.phase("burst").ml_perf_norm
+        )
+
+    def test_unknown_phase_raises(self, kelp_churn) -> None:
+        with pytest.raises(KeyError):
+            kelp_churn.phase("nope")
+
+    def test_format(self, kelp_churn) -> None:
+        assert "dynamic churn" in format_ablation_churn(kelp_churn)

@@ -1,0 +1,71 @@
+"""Tests for the colocation harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.common import (
+    MixConfig,
+    run_colocation,
+    standalone_performance,
+)
+
+#: Short horizons keep these integration-ish tests quick.
+FAST = dict(duration=12.0, warmup=3.0)
+
+
+class TestStandalone:
+    def test_standalone_is_cached(self) -> None:
+        a = standalone_performance("cnn1", **_fast())
+        b = standalone_performance("cnn1", **_fast())
+        assert a == b
+
+    def test_training_standalone_matches_spec(self) -> None:
+        perf, tail = standalone_performance("cnn1", **_fast())
+        from repro.workloads.ml.catalog import ml_workload
+
+        expected = 1.0 / ml_workload("cnn1").spec.standalone_step_time()
+        assert perf == pytest.approx(expected, rel=0.05)
+        assert tail is None
+
+    def test_inference_standalone_has_tail(self) -> None:
+        perf, tail = standalone_performance("rnn1", **_fast())
+        assert perf > 0
+        assert tail is not None and tail > 0
+
+
+def _fast() -> dict:
+    return dict(duration=FAST["duration"], warmup=FAST["warmup"])
+
+
+class TestRunColocation:
+    def test_baseline_colocation_degrades_ml(self) -> None:
+        result = run_colocation(
+            MixConfig(ml="cnn1", policy="BL", cpu="dram", intensity="H", **FAST)
+        )
+        assert result.ml_perf_norm < 0.7
+        assert result.cpu_throughput > 0
+        assert result.params == []
+
+    def test_kelp_records_params(self) -> None:
+        result = run_colocation(
+            MixConfig(ml="cnn1", policy="KP", cpu="stitch", intensity=4, **FAST)
+        )
+        assert result.params
+        assert result.params[0].lo_cores >= 1
+
+    def test_no_cpu_workload(self) -> None:
+        result = run_colocation(MixConfig(ml="cnn2", policy="BL", **FAST))
+        assert result.cpu_throughput == 0.0
+
+    def test_inference_reports_tail_norm(self) -> None:
+        result = run_colocation(
+            MixConfig(ml="rnn1", policy="BL", cpu="cpuml", intensity=14, **FAST)
+        )
+        assert result.ml_tail_norm is not None
+        assert result.ml_tail_norm > 1.0
+
+    def test_duration_must_exceed_warmup(self) -> None:
+        with pytest.raises(ExperimentError):
+            run_colocation(MixConfig(ml="cnn1", duration=2.0, warmup=3.0))

@@ -1,0 +1,43 @@
+"""Tests for the experiment registry (cheap experiments run end-to-end)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.registry import experiment_ids, run_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self) -> None:
+        ids = experiment_ids()
+        for fig in ("fig02", "fig03", "fig05", "fig07", "fig09", "fig10",
+                    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+                    "table1"):
+            assert fig in ids
+        assert "ablation-hwqos" in ids
+        assert "ablation-backfill" in ids
+        assert "ablation-mba" in ids
+        assert "ablation-infeed-ratio" in ids
+        assert "ablation-knee" in ids
+
+    def test_unknown_experiment_rejected(self) -> None:
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99")
+
+    def test_fig02_runs(self) -> None:
+        result, text = run_experiment("fig02", machines=300)
+        assert 0.0 < result.fraction_above_70pct < 0.5
+        assert "Fig 2" in text
+
+    def test_table1_runs(self) -> None:
+        rows, text = run_experiment("table1")
+        assert len(rows) == 4
+        assert "Table I" in text
+
+    def test_table1_intensities_match_paper(self) -> None:
+        rows, _ = run_experiment("table1")
+        by_name = {r.name: r for r in rows}
+        for name, row in by_name.items():
+            assert row.cpu_intensity == row.paper_cpu_intensity, name
+            assert row.memory_intensity == row.paper_memory_intensity, name

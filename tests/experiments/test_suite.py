@@ -1,0 +1,22 @@
+"""Tests for the suite orchestrator."""
+
+from __future__ import annotations
+
+from repro.experiments.suite import format_suite, run_suite
+
+
+class TestSuite:
+    def test_subset_runs_and_formats(self) -> None:
+        entries = run_suite(experiments=["fig02", "table1"])
+        assert [e.exp_id for e in entries] == ["fig02", "table1"]
+        text = format_suite(entries)
+        assert "## fig02" in text
+        assert "Table I" in text
+
+    def test_per_workload_expansion(self) -> None:
+        entries = run_suite(experiments=["fig16"], duration=10.0)
+        assert [e.exp_id for e in entries] == ["fig16:cnn1", "fig16:cnn2"]
+
+    def test_timings_recorded(self) -> None:
+        entries = run_suite(experiments=["fig02"])
+        assert entries[0].seconds >= 0.0

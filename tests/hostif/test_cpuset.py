@@ -1,0 +1,64 @@
+"""Tests for the cpuset controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.errors import HostInterfaceError
+from repro.hw.placement import Placement
+from repro.workloads.cpu.base import BatchTask
+from repro.workloads.cpu.stream import stream_profile
+
+
+@pytest.fixture
+def task(node: Node) -> BatchTask:
+    placement = Placement(
+        cores=frozenset(range(4, 12)), mem_weights={0: 0.5, 1: 0.5}
+    )
+    task = BatchTask("stream", node.machine, placement, stream_profile(8))
+    task.start()
+    return task
+
+
+class TestCpuset:
+    def test_set_cpus(self, node: Node, task: BatchTask) -> None:
+        node.cpuset.set_cpus(task, {4, 5})
+        assert task.placement.cores == frozenset({4, 5})
+
+    def test_empty_mask_rejected(self, node: Node, task: BatchTask) -> None:
+        with pytest.raises(HostInterfaceError):
+            node.cpuset.set_cpus(task, set())
+
+    def test_out_of_range_rejected(self, node: Node, task: BatchTask) -> None:
+        with pytest.raises(HostInterfaceError):
+            node.cpuset.set_cpus(task, {999})
+
+    def test_shrink_removes_highest_first(self, node: Node, task: BatchTask) -> None:
+        removed = node.cpuset.shrink(task, 2)
+        assert removed == 2
+        assert task.placement.cores == frozenset(range(4, 10))
+
+    def test_shrink_never_below_one(self, node: Node, task: BatchTask) -> None:
+        node.cpuset.set_cpus(task, {4})
+        assert node.cpuset.shrink(task, 3) == 0
+        assert task.placement.cores == frozenset({4})
+
+    def test_grow_from_candidates(self, node: Node, task: BatchTask) -> None:
+        node.cpuset.set_cpus(task, {4})
+        added = node.cpuset.grow(task, [4, 5, 6], 2)
+        assert added == 2
+        assert task.placement.cores == frozenset({4, 5, 6})
+
+    def test_grow_exhausted_candidates(self, node: Node, task: BatchTask) -> None:
+        node.cpuset.set_cpus(task, {4, 5})
+        assert node.cpuset.grow(task, [4, 5], 2) == 0
+
+    def test_shrinking_reduces_throughput_capacity(
+        self, node: Node, task: BatchTask
+    ) -> None:
+        node.sim.run_until(1.0)
+        rate_full = task.meter._rate
+        node.cpuset.set_cpus(task, {4, 5})  # 8 threads on 2 cores
+        rate_small = task.meter._rate
+        assert rate_small < rate_full

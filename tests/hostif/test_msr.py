@@ -1,0 +1,63 @@
+"""Tests for the MSR prefetcher-control interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.errors import HostInterfaceError
+from repro.hostif.msr import (
+    MSR_MISC_FEATURE_CONTROL,
+    MsrInterface,
+    PREFETCH_DISABLE_ALL,
+    PREFETCH_ENABLE_ALL,
+)
+
+
+@pytest.fixture
+def msr(node: Node) -> MsrInterface:
+    return node.msr
+
+
+class TestMsr:
+    def test_default_enabled(self, msr: MsrInterface) -> None:
+        assert msr.rdmsr(0, MSR_MISC_FEATURE_CONTROL) == PREFETCH_ENABLE_ALL
+        assert msr.prefetchers_enabled(0)
+
+    def test_write_disables(self, node: Node, msr: MsrInterface) -> None:
+        msr.wrmsr(3, MSR_MISC_FEATURE_CONTROL, PREFETCH_DISABLE_ALL)
+        assert not msr.prefetchers_enabled(3)
+        assert not node.machine.prefetchers.is_enabled(3)
+
+    def test_partial_disable_bits_count_as_off(self, msr: MsrInterface) -> None:
+        msr.wrmsr(0, MSR_MISC_FEATURE_CONTROL, 0b0001)
+        assert not msr.prefetchers_enabled(0)
+
+    def test_set_prefetchers_roundtrip(self, msr: MsrInterface) -> None:
+        msr.set_prefetchers(2, False)
+        msr.set_prefetchers(2, True)
+        assert msr.prefetchers_enabled(2)
+
+    def test_enable_all(self, node: Node, msr: MsrInterface) -> None:
+        for core in range(4):
+            msr.set_prefetchers(core, False)
+        msr.enable_all()
+        assert all(node.machine.prefetchers.is_enabled(c) for c in range(4))
+
+    def test_unmodeled_msr_rejected(self, msr: MsrInterface) -> None:
+        with pytest.raises(HostInterfaceError):
+            msr.rdmsr(0, 0x10)
+
+    def test_out_of_range_core(self, msr: MsrInterface) -> None:
+        with pytest.raises(HostInterfaceError):
+            msr.wrmsr(99, MSR_MISC_FEATURE_CONTROL, 0)
+
+    def test_out_of_range_value(self, msr: MsrInterface) -> None:
+        with pytest.raises(HostInterfaceError):
+            msr.wrmsr(0, MSR_MISC_FEATURE_CONTROL, 0b10000)
+
+    def test_write_triggers_resolve(self, node: Node, msr: MsrInterface) -> None:
+        # Attaching nothing: just verify notify_change path doesn't error and
+        # state stays consistent.
+        msr.set_prefetchers(0, False)
+        assert node.machine.state is not None

@@ -1,0 +1,58 @@
+"""Tests for the numactl memory-policy interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.errors import HostInterfaceError
+from repro.hw.placement import Placement
+from repro.workloads.cpu.base import BatchTask
+from repro.workloads.cpu.stream import stream_profile
+
+
+@pytest.fixture
+def task(node: Node) -> BatchTask:
+    placement = Placement(cores=frozenset({0, 1}), mem_weights={0: 1.0})
+    return BatchTask("t", node.machine, placement, stream_profile(2))
+
+
+class TestVisibleNodes:
+    def test_snc_off_nodes_are_sockets(self, node: Node) -> None:
+        assert node.numa.visible_nodes() == [0, 1]
+
+    def test_snc_on_nodes_are_subdomains(self, node: Node) -> None:
+        node.machine.set_snc(True)
+        assert node.numa.visible_nodes() == [0, 1, 2, 3]
+
+
+class TestMembind:
+    def test_bind_to_socket_interleaves_subdomains(
+        self, node: Node, task: BatchTask
+    ) -> None:
+        node.numa.membind(task, [0])
+        assert task.placement.mem_weights == {0: 0.5, 1: 0.5}
+
+    def test_bind_to_subdomain_when_snc_on(self, node: Node, task: BatchTask) -> None:
+        node.machine.set_snc(True)
+        node.numa.membind(task, [1])
+        assert task.placement.mem_weights == {1: 1.0}
+
+    def test_bind_across_nodes(self, node: Node, task: BatchTask) -> None:
+        node.numa.membind(task, [0, 1])
+        assert task.placement.mem_weights == {
+            0: 0.25, 1: 0.25, 2: 0.25, 3: 0.25
+        }
+
+    def test_weighted_bind(self, node: Node, task: BatchTask) -> None:
+        node.numa.membind_weighted(task, {0: 0.75, 1: 0.25})
+        assert task.placement.mem_weights[0] == pytest.approx(0.375)
+        assert task.placement.mem_weights[2] == pytest.approx(0.125)
+
+    def test_out_of_range_node(self, node: Node, task: BatchTask) -> None:
+        with pytest.raises(HostInterfaceError):
+            node.numa.membind(task, [2])  # SNC off: only sockets 0/1
+
+    def test_empty_bind_rejected(self, node: Node, task: BatchTask) -> None:
+        with pytest.raises(HostInterfaceError):
+            node.numa.membind(task, [])

@@ -1,0 +1,75 @@
+"""Tests for the simulated perf-counter interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.hw.placement import Placement
+from repro.workloads.cpu.base import BatchTask
+from repro.workloads.cpu.catalog import cpu_workload
+from repro.workloads.cpu.stream import stream_profile
+
+
+def start_stream(node: Node, threads: int = 8) -> BatchTask:
+    task = BatchTask(
+        "stream",
+        node.machine,
+        Placement(cores=frozenset(range(4, 12)), mem_weights={0: 0.5, 1: 0.5}),
+        stream_profile(threads),
+    )
+    task.start()
+    return task
+
+
+class TestPerfCounters:
+    def test_idle_machine_reads_zero(self, node: Node) -> None:
+        node.sim.run_until(1.0)
+        reading = node.perf.read()
+        assert reading.socket_bandwidth_gbps[0] == pytest.approx(0.0)
+        assert reading.socket_latency_factor[0] == pytest.approx(1.0)
+        assert reading.socket_saturation[0] == 0.0
+
+    def test_bandwidth_reflects_running_task(self, node: Node) -> None:
+        start_stream(node)
+        node.perf.read("r")  # reset window
+        node.sim.run_until(2.0)
+        reading = node.perf.read("r")
+        assert reading.socket_bandwidth_gbps[0] > 30.0
+        assert reading.socket_bandwidth_gbps[1] == pytest.approx(0.0)
+
+    def test_windows_are_per_reader(self, node: Node) -> None:
+        start_stream(node)
+        node.sim.run_until(1.0)
+        first = node.perf.read("a")
+        node.sim.run_until(2.0)
+        second_a = node.perf.read("a")
+        full_b = node.perf.read("b")
+        assert second_a.elapsed == pytest.approx(1.0)
+        assert full_b.elapsed == pytest.approx(2.0)
+        assert first.elapsed == pytest.approx(1.0)
+
+    def test_saturation_reported_under_heavy_load(self, node: Node) -> None:
+        task = BatchTask(
+            "dram",
+            node.machine,
+            Placement(
+                cores=frozenset(node.lo_subdomain_cores()), mem_weights={1: 1.0}
+            ),
+            cpu_workload("dram", "H"),
+        )
+        task.start()
+        node.perf.read("r")
+        node.sim.run_until(1.0)
+        reading = node.perf.read("r")
+        assert reading.socket_saturation[0] > 0.5
+        assert reading.subdomain_bandwidth_gbps[1] > 0.0
+
+    def test_reset_restarts_window(self, node: Node) -> None:
+        start_stream(node)
+        node.sim.run_until(1.0)
+        node.perf.read("r")
+        node.perf.reset("r")
+        node.sim.run_until(2.0)
+        reading = node.perf.read("r")
+        assert reading.elapsed == pytest.approx(2.0)

@@ -1,0 +1,67 @@
+"""Tests for the resctrl (CAT + MBA) interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.errors import HostInterfaceError
+from repro.hw.llc import full_mask
+
+
+class TestCat:
+    def test_create_and_set_mask(self, node: Node) -> None:
+        node.resctrl.create_group(1)
+        node.resctrl.set_l3_mask(1, 0b1111)
+        assert node.resctrl.l3_mask(1) == 0b1111
+
+    def test_mask_applies_to_all_sockets_by_default(self, node: Node) -> None:
+        node.resctrl.create_group(1)
+        node.resctrl.set_l3_mask(1, 0b11)
+        assert node.machine.llcs[0].clos_mask(1) == 0b11
+        assert node.machine.llcs[1].clos_mask(1) == 0b11
+
+    def test_unknown_group_rejected(self, node: Node) -> None:
+        with pytest.raises(HostInterfaceError):
+            node.resctrl.set_l3_mask(9, 0b1)
+
+    def test_dedicate_ways_splits_default_group(self, node: Node) -> None:
+        spec = node.machine.spec.sockets[0].llc
+        node.resctrl.create_group(1)
+        node.resctrl.dedicate_ways(1, 6)
+        assert node.resctrl.l3_mask(1) == (1 << 6) - 1
+        assert node.resctrl.l3_mask(0) == full_mask(spec) & ~((1 << 6) - 1)
+
+    def test_dedicate_all_ways_rejected(self, node: Node) -> None:
+        ways = node.machine.spec.sockets[0].llc.ways
+        node.resctrl.create_group(1)
+        with pytest.raises(HostInterfaceError):
+            node.resctrl.dedicate_ways(1, ways)
+
+    def test_reset_restores_defaults(self, node: Node) -> None:
+        node.resctrl.create_group(1)
+        node.resctrl.dedicate_ways(1, 4)
+        node.resctrl.reset()
+        spec = node.machine.spec.sockets[0].llc
+        assert node.machine.llcs[0].clos_mask(0) == full_mask(spec)
+        assert node.resctrl.groups == {0}
+
+
+class TestMba:
+    def test_set_mb_percent(self, node: Node) -> None:
+        node.resctrl.create_group(1)
+        node.resctrl.set_mb_percent(1, 50)
+        assert node.machine.solver.mba_caps[1] == pytest.approx(0.5)
+
+    def test_percent_range_enforced(self, node: Node) -> None:
+        node.resctrl.create_group(1)
+        with pytest.raises(HostInterfaceError):
+            node.resctrl.set_mb_percent(1, 5)
+        with pytest.raises(HostInterfaceError):
+            node.resctrl.set_mb_percent(1, 101)
+
+    def test_reset_clears_caps(self, node: Node) -> None:
+        node.resctrl.create_group(1)
+        node.resctrl.set_mb_percent(1, 50)
+        node.resctrl.reset()
+        assert node.machine.solver.mba_caps == {}

@@ -1,0 +1,46 @@
+"""Tests for socket-wide distress backpressure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.backpressure import socket_pressure
+from repro.hw.memory import MemoryControllerModel
+from repro.hw.spec import MemoryControllerSpec
+
+
+def load_at(demand_ratio: float):
+    model = MemoryControllerModel(MemoryControllerSpec())
+    return model.resolve(demand_ratio * model.spec.peak_bw_gbps)
+
+
+class TestSocketPressure:
+    def test_idle_socket_unthrottled(self) -> None:
+        pressure = socket_pressure([load_at(0.2), load_at(0.3)], 0.5)
+        assert pressure.saturation == 0.0
+        assert pressure.core_throttle == 1.0
+
+    def test_worst_controller_dominates(self) -> None:
+        pressure = socket_pressure([load_at(0.2), load_at(1.8)], 0.5)
+        solo = socket_pressure([load_at(1.8)], 0.5)
+        assert pressure.saturation == solo.saturation
+
+    def test_throttle_scales_with_strength(self) -> None:
+        weak = socket_pressure([load_at(2.0)], 0.2)
+        strong = socket_pressure([load_at(2.0)], 0.6)
+        assert strong.core_throttle < weak.core_throttle
+
+    def test_full_saturation_throttle(self) -> None:
+        pressure = socket_pressure([load_at(5.0)], 0.52)
+        assert pressure.saturation == 1.0
+        assert pressure.core_throttle == pytest.approx(0.48)
+
+    def test_empty_socket(self) -> None:
+        pressure = socket_pressure([], 0.5)
+        assert pressure.core_throttle == 1.0
+
+    def test_subdomain_obliviousness_is_the_point(self) -> None:
+        # A saturated controller in one subdomain throttles the whole
+        # socket — the Section IV-B pathology.
+        pressure = socket_pressure([load_at(0.0), load_at(2.0)], 0.52)
+        assert pressure.core_throttle < 1.0

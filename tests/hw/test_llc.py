@@ -1,0 +1,85 @@
+"""Tests for the LLC / CAT model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.llc import LlcModel, LlcRequest, full_mask
+from repro.hw.spec import LlcSpec
+
+
+@pytest.fixture
+def llc() -> LlcModel:
+    return LlcModel(LlcSpec(capacity_mb=32, ways=16))
+
+
+def request(task: str, ws: float, clos: int = 0, intensity: float = 1.0) -> LlcRequest:
+    return LlcRequest(task_id=task, working_set_mb=ws, clos=clos, intensity=intensity)
+
+
+class TestMasks:
+    def test_default_mask_covers_all_ways(self, llc: LlcModel) -> None:
+        assert llc.clos_mask(0) == full_mask(llc.spec)
+
+    def test_unknown_clos_defaults_to_full(self, llc: LlcModel) -> None:
+        assert llc.clos_mask(7) == full_mask(llc.spec)
+
+    def test_set_mask_and_capacity(self, llc: LlcModel) -> None:
+        llc.set_clos_mask(1, 0b1111)
+        assert llc.clos_capacity_mb(1) == pytest.approx(8.0)
+
+    def test_invalid_mask_rejected(self, llc: LlcModel) -> None:
+        with pytest.raises(ConfigurationError):
+            llc.set_clos_mask(1, 0)
+
+    def test_reset(self, llc: LlcModel) -> None:
+        llc.set_clos_mask(1, 0b1)
+        llc.reset()
+        assert llc.clos_mask(1) == full_mask(llc.spec)
+
+
+class TestHitFractions:
+    def test_single_small_task_hits_fully(self, llc: LlcModel) -> None:
+        fractions = llc.hit_fractions([request("a", 8.0)])
+        assert fractions["a"] == 1.0
+
+    def test_oversized_task_misses(self, llc: LlcModel) -> None:
+        fractions = llc.hit_fractions([request("a", 64.0)])
+        assert fractions["a"] == pytest.approx(0.5)
+
+    def test_sharing_reduces_hits(self, llc: LlcModel) -> None:
+        alone = llc.hit_fractions([request("a", 24.0)])["a"]
+        shared = llc.hit_fractions([request("a", 24.0), request("b", 24.0)])["a"]
+        assert shared < alone
+
+    def test_intensity_weights_allocation(self, llc: LlcModel) -> None:
+        mild = llc.hit_fractions(
+            [request("a", 16.0), request("b", 16.0, intensity=1.0)]
+        )["a"]
+        hot = llc.hit_fractions(
+            [request("a", 16.0), request("b", 16.0, intensity=4.0)]
+        )["a"]
+        assert hot < mild
+
+    def test_cat_protects_partition(self, llc: LlcModel) -> None:
+        llc.set_clos_mask(1, 0b111111)          # 6 ways exclusive
+        llc.set_clos_mask(0, full_mask(llc.spec) & ~0b111111)
+        fractions = llc.hit_fractions(
+            [request("ml", 10.0, clos=1), request("agg", 100.0, clos=0, intensity=5)]
+        )
+        # 6 ways = 12 MB dedicated to a 10 MB working set: full protection.
+        assert fractions["ml"] == pytest.approx(1.0)
+
+    def test_zero_working_set_hits(self, llc: LlcModel) -> None:
+        fractions = llc.hit_fractions([request("a", 0.0), request("b", 100.0)])
+        assert fractions["a"] == 1.0
+
+    def test_empty_requests(self, llc: LlcModel) -> None:
+        assert llc.hit_fractions([]) == {}
+
+    def test_total_allocation_bounded_by_capacity(self, llc: LlcModel) -> None:
+        requests = [request(f"t{i}", 20.0) for i in range(4)]
+        fractions = llc.hit_fractions(requests)
+        total_resident = sum(20.0 * fractions[f"t{i}"] for i in range(4))
+        assert total_resident <= llc.spec.capacity_mb + 1e-9

@@ -1,0 +1,88 @@
+"""Tests for the memory-controller model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.memory import MemoryControllerModel, idle_load
+from repro.hw.spec import MemoryControllerSpec
+
+
+@pytest.fixture
+def model() -> MemoryControllerModel:
+    return MemoryControllerModel(MemoryControllerSpec())
+
+
+class TestResolve:
+    def test_underload_grants_everything(self, model: MemoryControllerModel) -> None:
+        load = model.resolve(10.0)
+        assert load.grant_ratio == 1.0
+        assert load.delivered_gbps == pytest.approx(10.0)
+        assert load.saturation == 0.0
+
+    def test_overload_grants_proportionally(self, model: MemoryControllerModel) -> None:
+        peak = model.spec.peak_bw_gbps
+        load = model.resolve(2 * peak)
+        assert load.grant_ratio == pytest.approx(0.5)
+        assert load.delivered_gbps == pytest.approx(peak)
+        assert load.utilization == pytest.approx(1.0)
+
+    def test_latency_monotone_in_utilization(self, model: MemoryControllerModel) -> None:
+        factors = [model.latency_factor(u) for u in (0.0, 0.3, 0.6, 0.9, 0.99)]
+        assert factors == sorted(factors)
+        assert factors[0] == pytest.approx(1.0)
+
+    def test_latency_capped(self, model: MemoryControllerModel) -> None:
+        assert model.latency_factor(0.999) <= model.spec.latency_factor_cap
+
+    def test_saturation_starts_at_threshold(self, model: MemoryControllerModel) -> None:
+        start = model.spec.distress_start
+        assert model.saturation(start - 0.01) == 0.0
+        assert model.saturation(start + 0.01) > 0.0
+
+    def test_saturation_clamps_to_one(self, model: MemoryControllerModel) -> None:
+        assert model.saturation(10.0) == 1.0
+
+    def test_negative_demand_raises(self, model: MemoryControllerModel) -> None:
+        with pytest.raises(ConfigurationError):
+            model.resolve(-1.0)
+
+
+class TestPrioritized:
+    def test_hi_served_first(self, model: MemoryControllerModel) -> None:
+        peak = model.spec.peak_bw_gbps
+        load, hi_grant, lo_grant = model.resolve_prioritized(0.5 * peak, peak)
+        assert hi_grant == 1.0
+        assert lo_grant == pytest.approx(0.5)
+        assert load.delivered_gbps == pytest.approx(peak)
+
+    def test_hi_latency_shielded(self, model: MemoryControllerModel) -> None:
+        peak = model.spec.peak_bw_gbps
+        load, _, _ = model.resolve_prioritized(0.2 * peak, 2 * peak)
+        assert load.hi_latency_factor < load.latency_factor
+
+    def test_hi_overload_caps_grant(self, model: MemoryControllerModel) -> None:
+        peak = model.spec.peak_bw_gbps
+        load, hi_grant, lo_grant = model.resolve_prioritized(2 * peak, peak)
+        assert hi_grant == pytest.approx(0.5)
+        assert lo_grant == 0.0
+        assert load.delivered_gbps == pytest.approx(peak)
+
+    def test_no_distress_under_prioritization(self, model: MemoryControllerModel) -> None:
+        peak = model.spec.peak_bw_gbps
+        load, _, _ = model.resolve_prioritized(0.5 * peak, 5 * peak)
+        # Saturation computed on delivered (capped) traffic stays bounded.
+        assert load.saturation <= model.saturation(1.0)
+
+    def test_negative_raises(self, model: MemoryControllerModel) -> None:
+        with pytest.raises(ConfigurationError):
+            model.resolve_prioritized(-1.0, 0.0)
+
+
+class TestIdleLoad:
+    def test_idle(self) -> None:
+        load = idle_load(MemoryControllerSpec())
+        assert load.utilization == 0.0
+        assert load.latency_factor == 1.0
+        assert load.hi_latency_factor == 1.0

@@ -1,0 +1,63 @@
+"""Tests for the prefetcher model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.prefetcher import PrefetchProfile, PrefetcherBank
+
+
+class TestPrefetchProfile:
+    def test_demand_interpolates(self) -> None:
+        profile = PrefetchProfile(traffic_gain=1.3, off_demand=0.5, off_speed=0.5)
+        assert profile.demand_factor(1.0) == pytest.approx(1.3)
+        assert profile.demand_factor(0.0) == pytest.approx(0.5)
+        assert profile.demand_factor(0.5) == pytest.approx(0.9)
+
+    def test_speed_interpolates(self) -> None:
+        profile = PrefetchProfile(off_speed=0.6)
+        assert profile.speed_factor(1.0) == pytest.approx(1.0)
+        assert profile.speed_factor(0.0) == pytest.approx(0.6)
+
+    def test_fraction_clamped(self) -> None:
+        profile = PrefetchProfile()
+        assert profile.demand_factor(2.0) == profile.demand_factor(1.0)
+        assert profile.speed_factor(-1.0) == profile.speed_factor(0.0)
+
+    def test_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            PrefetchProfile(traffic_gain=0.9)
+        with pytest.raises(ConfigurationError):
+            PrefetchProfile(off_demand=0.0)
+        with pytest.raises(ConfigurationError):
+            PrefetchProfile(off_speed=1.5)
+
+
+class TestPrefetcherBank:
+    def test_starts_enabled(self) -> None:
+        bank = PrefetcherBank(4)
+        assert all(bank.is_enabled(c) for c in range(4))
+
+    def test_set_and_fraction(self) -> None:
+        bank = PrefetcherBank(4)
+        bank.set_enabled(0, False)
+        bank.set_enabled(1, False)
+        assert bank.enabled_fraction(frozenset({0, 1, 2, 3})) == pytest.approx(0.5)
+
+    def test_empty_core_set_fraction_is_one(self) -> None:
+        bank = PrefetcherBank(4)
+        assert bank.enabled_fraction(frozenset()) == 1.0
+
+    def test_enable_all(self) -> None:
+        bank = PrefetcherBank(4)
+        bank.set_enabled(2, False)
+        bank.enable_all()
+        assert bank.is_enabled(2)
+
+    def test_out_of_range(self) -> None:
+        bank = PrefetcherBank(4)
+        with pytest.raises(ConfigurationError):
+            bank.set_enabled(4, False)
+        with pytest.raises(ConfigurationError):
+            PrefetcherBank(0)

@@ -1,0 +1,62 @@
+"""Tests for time-integrated telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.contention import TrafficSource
+from repro.hw.machine import Machine
+from repro.hw.telemetry import TelemetryAccumulator
+from repro.sim import Simulator
+
+
+def make_state(machine: Machine, demand: float):
+    src = TrafficSource(
+        source_id="s", task_id="s", demand_gbps=demand,
+        mem_weights={0: 1.0}, cores=frozenset({0}), threads=1,
+    )
+    return machine.solver.solve([src])
+
+
+class TestTelemetryAccumulator:
+    def test_window_averages_constant_state(self, machine: Machine) -> None:
+        acc = TelemetryAccumulator()
+        acc.set_state(make_state(machine, 10.0), now=0.0)
+        mark = acc.copy_snapshot()
+        window = acc.window_since(mark, now=4.0)
+        assert window.elapsed == pytest.approx(4.0)
+        assert window.mc_bandwidth_gbps[0] == pytest.approx(13.0)  # pf inflation
+
+    def test_window_averages_piecewise_state(self, machine: Machine) -> None:
+        acc = TelemetryAccumulator()
+        acc.set_state(make_state(machine, 10.0), now=0.0)
+        acc.set_state(make_state(machine, 20.0), now=1.0)
+        mark_zero = acc.copy_snapshot()  # at t=1
+        window = acc.window_since(mark_zero, now=3.0)
+        assert window.mc_bandwidth_gbps[0] == pytest.approx(26.0)
+
+    def test_independent_readers(self, machine: Machine) -> None:
+        acc = TelemetryAccumulator()
+        acc.set_state(make_state(machine, 10.0), now=0.0)
+        early = acc.copy_snapshot()
+        acc.advance(2.0)
+        late = acc.copy_snapshot()
+        w_early = acc.window_since(early, now=4.0)
+        w_late = acc.window_since(late, now=4.0)
+        assert w_early.elapsed == pytest.approx(4.0)
+        assert w_late.elapsed == pytest.approx(2.0)
+
+    def test_helpers(self, machine: Machine) -> None:
+        acc = TelemetryAccumulator()
+        acc.set_state(make_state(machine, 50.0), now=0.0)
+        mark = acc.copy_snapshot()
+        window = acc.window_since(mark, now=1.0)
+        assert window.bandwidth_of((0, 1)) >= window.bandwidth_of((0,))
+        assert window.max_latency_factor((0, 1)) >= 1.0
+        assert 0.0 <= window.max_saturation((0, 1)) <= 1.0
+
+    def test_time_never_goes_backwards(self) -> None:
+        acc = TelemetryAccumulator()
+        acc.advance(5.0)
+        acc.advance(3.0)  # clamped, no exception
+        assert acc.snapshot.time == 5.0

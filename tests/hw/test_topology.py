@@ -1,0 +1,63 @@
+"""Tests for topology queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hw.spec import MachineSpec
+from repro.hw.topology import Topology
+
+
+@pytest.fixture
+def topo() -> Topology:
+    return Topology(MachineSpec())
+
+
+class TestTopology:
+    def test_counts(self, topo: Topology) -> None:
+        assert topo.num_sockets == 2
+        assert topo.num_subdomains == 4
+
+    def test_socket_of_core(self, topo: Topology) -> None:
+        assert topo.socket_of_core(0) == 0
+        assert topo.socket_of_core(15) == 0
+        assert topo.socket_of_core(16) == 1
+        assert topo.socket_of_core(31) == 1
+
+    def test_socket_of_core_out_of_range(self, topo: Topology) -> None:
+        with pytest.raises(TopologyError):
+            topo.socket_of_core(32)
+
+    def test_subdomain_of_core(self, topo: Topology) -> None:
+        assert topo.subdomain_of_core(0) == 0
+        assert topo.subdomain_of_core(7) == 0
+        assert topo.subdomain_of_core(8) == 1
+        assert topo.subdomain_of_core(16) == 2
+        assert topo.subdomain_of_core(24) == 3
+
+    def test_cores_of_socket(self, topo: Topology) -> None:
+        assert topo.cores_of_socket(0) == tuple(range(16))
+        assert topo.cores_of_socket(1) == tuple(range(16, 32))
+
+    def test_cores_of_subdomain_partition_socket(self, topo: Topology) -> None:
+        combined = topo.cores_of_subdomain(0) + topo.cores_of_subdomain(1)
+        assert combined == topo.cores_of_socket(0)
+
+    def test_socket_of_subdomain(self, topo: Topology) -> None:
+        assert topo.socket_of_subdomain(0) == 0
+        assert topo.socket_of_subdomain(3) == 1
+
+    def test_subdomains_of_socket(self, topo: Topology) -> None:
+        assert topo.subdomains_of_socket(1) == (2, 3)
+
+    def test_socket_memory_weights(self, topo: Topology) -> None:
+        assert topo.socket_memory_weights(0) == {0: 0.5, 1: 0.5}
+
+    def test_bad_subdomain_raises(self, topo: Topology) -> None:
+        with pytest.raises(TopologyError):
+            topo.socket_of_subdomain(4)
+
+    def test_bad_socket_raises(self, topo: Topology) -> None:
+        with pytest.raises(TopologyError):
+            topo.cores_of_socket(2)

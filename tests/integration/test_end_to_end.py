@@ -1,0 +1,127 @@
+"""End-to-end invariants across the policy stack.
+
+These tests encode the paper's qualitative claims as assertions over short
+simulated runs — the shape checks a reviewer would eyeball in the figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import (
+    MixConfig,
+    run_colocation,
+    standalone_performance,
+)
+
+FAST = dict(duration=15.0, warmup=4.0)
+
+
+@pytest.fixture(scope="module")
+def heavy_mix_results() -> dict[str, object]:
+    """CNN1+Stitch@4 under all policies, shared across assertions."""
+    results = {}
+    for policy in ("BL", "CT", "KP-SD", "KP", "HW-QOS"):
+        results[policy] = run_colocation(
+            MixConfig(ml="cnn1", policy=policy, cpu="stitch", intensity=4, **FAST)
+        )
+    return results
+
+
+class TestPolicyOrdering:
+    def test_every_managed_policy_beats_baseline_on_ml(self, heavy_mix_results) -> None:
+        bl = heavy_mix_results["BL"].ml_perf_norm
+        for policy in ("CT", "KP-SD", "KP", "HW-QOS"):
+            assert heavy_mix_results[policy].ml_perf_norm > bl, policy
+
+    def test_subdomain_best_ml_among_software(self, heavy_mix_results) -> None:
+        assert (
+            heavy_mix_results["KP-SD"].ml_perf_norm
+            >= heavy_mix_results["KP"].ml_perf_norm - 0.02
+        )
+        assert (
+            heavy_mix_results["KP"].ml_perf_norm
+            > heavy_mix_results["CT"].ml_perf_norm
+        )
+
+    def test_backfill_recovers_cpu_throughput(self, heavy_mix_results) -> None:
+        assert (
+            heavy_mix_results["KP"].cpu_throughput
+            > 1.2 * heavy_mix_results["KP-SD"].cpu_throughput
+        )
+
+    def test_hwqos_is_the_upper_bound(self, heavy_mix_results) -> None:
+        # Section VI-D: ML at least Subdomain-level, CPU above Kelp.
+        assert (
+            heavy_mix_results["HW-QOS"].ml_perf_norm
+            >= heavy_mix_results["KP-SD"].ml_perf_norm - 0.05
+        )
+        assert (
+            heavy_mix_results["HW-QOS"].cpu_throughput
+            >= heavy_mix_results["KP"].cpu_throughput
+        )
+
+
+class TestSncLatencyBenefit:
+    def test_light_pressure_can_beat_standalone(self) -> None:
+        # Paper: CNN1/CNN2 up to 9%/2% above standalone under subdomains at
+        # low pressure (local-latency benefit).
+        result = run_colocation(
+            MixConfig(ml="cnn1", policy="KP-SD", cpu="dram", intensity="L", **FAST)
+        )
+        assert result.ml_perf_norm >= 0.99
+
+
+class TestControllerBehaviour:
+    def test_kelp_throttles_under_pressure_only(self) -> None:
+        light = run_colocation(
+            MixConfig(ml="cnn1", policy="KP", cpu="cpuml", intensity=2, **FAST)
+        )
+        heavy = run_colocation(
+            MixConfig(ml="cnn1", policy="KP", cpu="stitch", intensity=6, **FAST)
+        )
+        light_pf = light.params[-1].lo_prefetchers
+        heavy_pf = heavy.params[-1].lo_prefetchers
+        assert heavy_pf < light_pf
+
+    def test_ct_core_count_shrinks_with_load(self) -> None:
+        light = run_colocation(
+            MixConfig(ml="cnn1", policy="CT", cpu="stitch", intensity=1, **FAST)
+        )
+        heavy = run_colocation(
+            MixConfig(ml="cnn1", policy="CT", cpu="stitch", intensity=6, **FAST)
+        )
+        assert heavy.params[-1].lo_cores < light.params[-1].lo_cores
+
+
+class TestInferencePath:
+    def test_tail_latency_grows_under_interference(self) -> None:
+        result = run_colocation(
+            MixConfig(ml="rnn1", policy="BL", cpu="cpuml", intensity=16, **FAST)
+        )
+        assert result.ml_tail_norm is not None
+        assert result.ml_tail_norm > 1.05
+        assert result.ml_perf_norm < 0.95
+
+    def test_kelp_protects_tail(self) -> None:
+        bl = run_colocation(
+            MixConfig(ml="rnn1", policy="BL", cpu="cpuml", intensity=16, **FAST)
+        )
+        kp = run_colocation(
+            MixConfig(ml="rnn1", policy="KP", cpu="cpuml", intensity=16, **FAST)
+        )
+        assert kp.ml_tail_norm < bl.ml_tail_norm
+        assert kp.ml_perf_norm > bl.ml_perf_norm
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self) -> None:
+        a = run_colocation(
+            MixConfig(ml="rnn1", policy="KP", cpu="cpuml", intensity=8, **FAST)
+        )
+        b = run_colocation(
+            MixConfig(ml="rnn1", policy="KP", cpu="cpuml", intensity=8, **FAST)
+        )
+        assert a.ml_perf == b.ml_perf
+        assert a.ml_tail == b.ml_tail
+        assert a.cpu_throughput == b.cpu_throughput

@@ -1,0 +1,39 @@
+"""Tests for the Fig 14 efficiency metric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.metrics.efficiency import efficiency_ratio
+
+
+class TestEfficiencyRatio:
+    def test_basic_ratio(self) -> None:
+        # +0.2 ML for -0.1 CPU: efficiency 2.0
+        assert efficiency_ratio(0.8, 0.6, 0.9, 1.0) == pytest.approx(2.0)
+
+    def test_no_gain_is_zero(self) -> None:
+        assert efficiency_ratio(0.6, 0.6, 0.8, 1.0) == 0.0
+
+    def test_negative_gain_clamped(self) -> None:
+        assert efficiency_ratio(0.5, 0.6, 0.8, 1.0) == 0.0
+
+    def test_tiny_loss_clamped(self) -> None:
+        # Avoids division blow-up when the runtime is essentially free.
+        value = efficiency_ratio(0.9, 0.6, 1.0, 1.0)
+        assert value == pytest.approx(0.3 / 0.02)
+
+    def test_more_gain_is_better(self) -> None:
+        low = efficiency_ratio(0.7, 0.6, 0.9, 1.0)
+        high = efficiency_ratio(0.9, 0.6, 0.9, 1.0)
+        assert high > low
+
+    def test_more_loss_is_worse(self) -> None:
+        cheap = efficiency_ratio(0.9, 0.6, 0.95, 1.0)
+        costly = efficiency_ratio(0.9, 0.6, 0.7, 1.0)
+        assert cheap > costly
+
+    def test_negative_input_rejected(self) -> None:
+        with pytest.raises(MeasurementError):
+            efficiency_ratio(-0.1, 0.5, 0.5, 1.0)

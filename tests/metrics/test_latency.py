@@ -1,0 +1,39 @@
+"""Tests for the latency recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.latency import LatencyRecorder
+
+
+class TestLatencyRecorder:
+    def test_records_latency(self) -> None:
+        rec = LatencyRecorder()
+        rec.record(0.0, 0.5)
+        rec.record(1.0, 2.0)
+        assert rec.completed == 2
+        assert rec.mean_latency() == pytest.approx(0.75)
+
+    def test_warmup_excluded(self) -> None:
+        rec = LatencyRecorder(warmup_until=10.0)
+        rec.record(0.0, 5.0)    # completes during warmup
+        rec.record(9.0, 11.0)   # counts
+        assert rec.completed == 2
+        assert rec.mean_latency() == pytest.approx(2.0)
+
+    def test_qps_over_post_warmup_window(self) -> None:
+        rec = LatencyRecorder(warmup_until=10.0)
+        for i in range(20):
+            rec.record(10.0 + i, 10.5 + i)
+        assert rec.qps(30.0) == pytest.approx(1.0)
+
+    def test_qps_zero_window(self) -> None:
+        rec = LatencyRecorder(warmup_until=10.0)
+        assert rec.qps(10.0) == 0.0
+
+    def test_tail(self) -> None:
+        rec = LatencyRecorder()
+        for i in range(1, 101):
+            rec.record(0.0, float(i))
+        assert rec.tail(95) == pytest.approx(95.05)

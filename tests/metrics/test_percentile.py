@@ -1,0 +1,65 @@
+"""Tests for streaming percentiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.metrics.percentile import StreamingPercentiles
+
+
+class TestStreamingPercentiles:
+    def test_exact_on_small_stream(self) -> None:
+        p = StreamingPercentiles()
+        for v in range(1, 101):
+            p.add(float(v))
+        assert p.percentile(50) == pytest.approx(50.5)
+        assert p.percentile(95) == pytest.approx(95.05)
+        assert p.percentile(0) == 1.0
+        assert p.percentile(100) == 100.0
+
+    def test_mean(self) -> None:
+        p = StreamingPercentiles()
+        for v in (1.0, 2.0, 3.0):
+            p.add(v)
+        assert p.mean() == pytest.approx(2.0)
+
+    def test_count_tracks_all_offers(self) -> None:
+        p = StreamingPercentiles(max_samples=10)
+        for v in range(100):
+            p.add(float(v))
+        assert p.count == 100
+
+    def test_reservoir_cap_respected(self) -> None:
+        p = StreamingPercentiles(max_samples=10, seed=1)
+        for v in range(1000):
+            p.add(float(v))
+        assert len(p._samples) == 10
+
+    def test_reservoir_approximates_distribution(self) -> None:
+        p = StreamingPercentiles(max_samples=500, seed=1)
+        for v in range(10000):
+            p.add(float(v))
+        assert p.percentile(50) == pytest.approx(5000, rel=0.2)
+
+    def test_empty_raises(self) -> None:
+        with pytest.raises(MeasurementError):
+            StreamingPercentiles().percentile(50)
+        with pytest.raises(MeasurementError):
+            StreamingPercentiles().mean()
+
+    def test_bad_quantile_raises(self) -> None:
+        p = StreamingPercentiles()
+        p.add(1.0)
+        with pytest.raises(MeasurementError):
+            p.percentile(101)
+
+    def test_clear(self) -> None:
+        p = StreamingPercentiles()
+        p.add(1.0)
+        p.clear()
+        assert p.count == 0
+
+    def test_invalid_cap(self) -> None:
+        with pytest.raises(MeasurementError):
+            StreamingPercentiles(max_samples=0)

@@ -1,0 +1,58 @@
+"""Tests for slowdown aggregation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.metrics.slowdown import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    normalized_performance,
+    slowdown,
+)
+
+
+class TestNormalization:
+    def test_normalized_performance(self) -> None:
+        assert normalized_performance(5.0, 10.0) == pytest.approx(0.5)
+
+    def test_slowdown(self) -> None:
+        assert slowdown(5.0, 10.0) == pytest.approx(2.0)
+
+    def test_slowdown_inverse_of_norm(self) -> None:
+        assert slowdown(4.0, 8.0) == pytest.approx(
+            1.0 / normalized_performance(4.0, 8.0)
+        )
+
+    def test_rejects_non_positive(self) -> None:
+        with pytest.raises(MeasurementError):
+            normalized_performance(1.0, 0.0)
+        with pytest.raises(MeasurementError):
+            slowdown(0.0, 1.0)
+
+
+class TestMeans:
+    def test_arithmetic(self) -> None:
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_harmonic(self) -> None:
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_harmonic_below_arithmetic(self) -> None:
+        values = [0.5, 1.5, 2.5]
+        assert harmonic_mean(values) < arithmetic_mean(values)
+
+    def test_geometric_between(self) -> None:
+        values = [0.5, 2.0]
+        assert harmonic_mean(values) <= geometric_mean(values) <= arithmetic_mean(values)
+
+    def test_empty_rejected(self) -> None:
+        for fn in (arithmetic_mean, harmonic_mean, geometric_mean):
+            with pytest.raises(MeasurementError):
+                fn([])
+
+    def test_non_positive_rejected_for_hmean(self) -> None:
+        with pytest.raises(MeasurementError):
+            harmonic_mean([1.0, 0.0])

@@ -1,0 +1,56 @@
+"""Tests for the throughput meter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.metrics.throughput import ThroughputMeter
+
+
+class TestThroughputMeter:
+    def test_integrates_rate(self) -> None:
+        meter = ThroughputMeter()
+        meter.set_rate(2.0, now=0.0)
+        meter.sync(5.0)
+        assert meter.units == pytest.approx(10.0)
+
+    def test_throughput_excludes_warmup(self) -> None:
+        meter = ThroughputMeter(warmup_until=5.0)
+        meter.set_rate(2.0, now=0.0)
+        assert meter.throughput(10.0) == pytest.approx(2.0)
+
+    def test_warmup_boundary_split(self) -> None:
+        meter = ThroughputMeter(warmup_until=5.0)
+        meter.set_rate(2.0, now=0.0)
+        meter.sync(8.0)  # crosses the boundary in one span
+        assert meter.throughput(10.0) == pytest.approx(2.0)
+
+    def test_rate_changes(self) -> None:
+        meter = ThroughputMeter()
+        meter.set_rate(1.0, now=0.0)
+        meter.set_rate(3.0, now=2.0)
+        meter.sync(4.0)
+        assert meter.units == pytest.approx(8.0)
+
+    def test_add_units_discrete(self) -> None:
+        meter = ThroughputMeter(warmup_until=2.0)
+        meter.sync(2.0)
+        meter.add_units(5.0)
+        assert meter.throughput(4.0) == pytest.approx(2.5)
+
+    def test_zero_window(self) -> None:
+        meter = ThroughputMeter(warmup_until=5.0)
+        assert meter.throughput(5.0) == 0.0
+
+    def test_sync_backwards_raises(self) -> None:
+        meter = ThroughputMeter()
+        meter.sync(5.0)
+        with pytest.raises(MeasurementError):
+            meter.sync(4.0)
+
+    def test_negative_rate_clamped(self) -> None:
+        meter = ThroughputMeter()
+        meter.set_rate(-3.0, now=0.0)
+        meter.sync(1.0)
+        assert meter.units == 0.0

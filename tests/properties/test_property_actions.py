@@ -1,0 +1,110 @@
+"""Property-based tests on Algorithm 2's plan invariants.
+
+Whatever sequence of THROTTLE/BOOST/NOP the controller emits, the plans must
+stay inside their bounds, prefetchers must never exceed the current core
+count... and the procedures must be exactly one-step (no action moves a knob
+by more than the algorithm allows).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.actions import (
+    Action,
+    HiPriorityPlan,
+    LoPriorityPlan,
+    config_hi_priority,
+    config_lo_priority,
+)
+
+actions = st.lists(st.sampled_from(list(Action)), min_size=1, max_size=60)
+
+
+class TestHiPlanProperties:
+    @given(actions, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=80, deadline=None)
+    def test_stays_in_bounds(self, seq: list[Action], max_cores: int) -> None:
+        plan = HiPriorityPlan(
+            core_num=max_cores, min_core_num=1, max_core_num=max_cores
+        )
+        for action in seq:
+            plan = config_hi_priority(plan, action)
+            assert plan.min_core_num <= plan.core_num <= plan.max_core_num
+
+    @given(actions)
+    @settings(max_examples=80, deadline=None)
+    def test_single_step_moves(self, seq: list[Action]) -> None:
+        plan = HiPriorityPlan(core_num=4, min_core_num=1, max_core_num=8)
+        for action in seq:
+            before = plan.core_num
+            plan = config_hi_priority(plan, action)
+            assert abs(plan.core_num - before) <= 1
+
+
+class TestLoPlanProperties:
+    @given(actions, st.integers(min_value=2, max_value=16))
+    @settings(max_examples=80, deadline=None)
+    def test_stays_in_bounds(self, seq: list[Action], cores: int) -> None:
+        plan = LoPriorityPlan(
+            core_num=cores, prefetcher_num=cores, min_core_num=1,
+            max_core_num=cores,
+        )
+        for action in seq:
+            plan = config_lo_priority(plan, action)
+            assert plan.min_core_num <= plan.core_num <= plan.max_core_num
+            assert 0 <= plan.prefetcher_num <= plan.max_core_num
+
+    @given(actions)
+    @settings(max_examples=80, deadline=None)
+    def test_throttle_ordering_prefetchers_before_cores(
+        self, seq: list[Action]
+    ) -> None:
+        plan = LoPriorityPlan(
+            core_num=8, prefetcher_num=8, min_core_num=1, max_core_num=8
+        )
+        for action in seq:
+            before = plan
+            plan = config_lo_priority(plan, action)
+            if action is Action.THROTTLE and before.prefetcher_num > 0:
+                # Cores are untouched while prefetchers remain.
+                assert plan.core_num == before.core_num
+                assert plan.prefetcher_num == before.prefetcher_num // 2
+
+    @given(st.integers(min_value=0, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_boost_from_any_state_reaches_maximum(self, prefetchers: int) -> None:
+        plan = LoPriorityPlan(
+            core_num=4, prefetcher_num=min(prefetchers, 4),
+            min_core_num=1, max_core_num=8,
+        )
+        for _ in range(40):
+            plan = config_lo_priority(plan, Action.BOOST)
+        assert plan.core_num == 8
+        assert plan.prefetcher_num == 8
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_throttle_from_any_state_reaches_floor(
+        self, cores: int, prefetchers: int
+    ) -> None:
+        plan = LoPriorityPlan(
+            core_num=cores, prefetcher_num=min(prefetchers, 8),
+            min_core_num=1, max_core_num=8,
+        )
+        for _ in range(40):
+            plan = config_lo_priority(plan, Action.THROTTLE)
+        assert plan.core_num == 1
+        assert plan.prefetcher_num == 0
+
+    @given(actions)
+    @settings(max_examples=60, deadline=None)
+    def test_nop_is_identity(self, seq: list[Action]) -> None:
+        plan = LoPriorityPlan(
+            core_num=5, prefetcher_num=3, min_core_num=1, max_core_num=8
+        )
+        for action in seq:
+            if action is Action.NOP:
+                assert config_lo_priority(plan, action) == plan
+            plan = config_lo_priority(plan, action)

@@ -1,0 +1,107 @@
+"""Property-based tests on contention-solver invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.contention import Priority, TrafficSource
+from repro.hw.machine import Machine
+from repro.hw.spec import MachineSpec
+from repro.sim import Simulator
+
+
+def make_solver():
+    return Machine(MachineSpec(), Simulator()).solver
+
+
+demands = st.floats(min_value=0.0, max_value=200.0, allow_nan=False)
+weights2 = st.tuples(
+    st.floats(min_value=0.01, max_value=1.0),
+    st.floats(min_value=0.01, max_value=1.0),
+)
+
+
+def sources_from(demand_list: list[float]) -> list[TrafficSource]:
+    out = []
+    for index, demand in enumerate(demand_list):
+        core = index % 16
+        out.append(
+            TrafficSource(
+                source_id=f"s{index}",
+                task_id=f"s{index}",
+                demand_gbps=demand,
+                mem_weights={index % 2: 1.0},
+                cores=frozenset({core}),
+                threads=1,
+            )
+        )
+    return out
+
+
+class TestSolverInvariants:
+    @given(st.lists(demands, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_rate_factors_in_valid_ranges(self, demand_list: list[float]) -> None:
+        result = make_solver().solve(sources_from(demand_list))
+        for rates in result.source_rates.values():
+            assert 0.0 < rates.bw_grant <= 1.0
+            assert rates.latency_factor >= 0.5
+            assert 0.0 < rates.core_throttle <= 1.0
+            assert 0.0 < rates.prefetch_speed <= 1.0
+            assert 0.0 <= rates.llc_hit <= 1.0
+            assert 0.0 < rates.cpu_share <= 1.0
+
+    @given(st.lists(demands, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_delivered_never_exceeds_peak(self, demand_list: list[float]) -> None:
+        result = make_solver().solve(sources_from(demand_list))
+        for mc_id, load in result.mc_loads.items():
+            spec = MachineSpec().sockets[mc_id // 2].memory_controllers[mc_id % 2]
+            assert load.delivered_gbps <= spec.peak_bw_gbps + 1e-9
+            assert 0.0 <= load.utilization <= 1.0
+            assert 0.0 <= load.saturation <= 1.0
+
+    @given(demands, demands)
+    @settings(max_examples=60, deadline=None)
+    def test_more_background_demand_never_helps(
+        self, victim_demand: float, extra: float
+    ) -> None:
+        solver = make_solver()
+        victim = TrafficSource(
+            source_id="v", task_id="v", demand_gbps=max(victim_demand, 0.1),
+            mem_weights={0: 1.0}, cores=frozenset({0}), threads=1,
+        )
+        background_light = TrafficSource(
+            source_id="b", task_id="b", demand_gbps=extra,
+            mem_weights={0: 1.0}, cores=frozenset({4, 5}), threads=2,
+        )
+        background_heavy = TrafficSource(
+            source_id="b", task_id="b", demand_gbps=extra + 25.0,
+            mem_weights={0: 1.0}, cores=frozenset({4, 5}), threads=2,
+        )
+        light = solver.solve([victim, background_light]).rates_for("v")
+        heavy = solver.solve([victim, background_heavy]).rates_for("v")
+        assert heavy.bw_grant <= light.bw_grant + 1e-9
+        assert heavy.latency_factor >= light.latency_factor - 1e-9
+        assert heavy.core_throttle <= light.core_throttle + 1e-9
+
+    @given(st.floats(min_value=1.0, max_value=150.0))
+    @settings(max_examples=40, deadline=None)
+    def test_priority_mode_never_worse_for_hi(self, lo_demand: float) -> None:
+        solver = make_solver()
+        hi = TrafficSource(
+            source_id="hi", task_id="hi", demand_gbps=5.0,
+            mem_weights={0: 0.5, 1: 0.5}, cores=frozenset({0, 1}),
+            threads=2, priority=Priority.HIGH,
+        )
+        lo = TrafficSource(
+            source_id="lo", task_id="lo", demand_gbps=lo_demand,
+            mem_weights={0: 0.5, 1: 0.5}, cores=frozenset(range(4, 12)),
+            threads=8,
+        )
+        plain = solver.solve([hi, lo]).rates_for("hi")
+        solver.priority_mode = True
+        shielded = solver.solve([hi, lo]).rates_for("hi")
+        assert shielded.bw_grant >= plain.bw_grant - 1e-9
+        assert shielded.latency_factor <= plain.latency_factor + 1e-9

@@ -1,0 +1,70 @@
+"""Property-based tests on the LLC model."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.llc import LlcModel, LlcRequest
+from repro.hw.spec import LlcSpec
+
+working_sets = st.lists(
+    st.floats(min_value=0.1, max_value=128.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+def requests_from(sizes: list[float]) -> list[LlcRequest]:
+    return [
+        LlcRequest(task_id=f"t{i}", working_set_mb=ws, clos=0)
+        for i, ws in enumerate(sizes)
+    ]
+
+
+class TestLlcProperties:
+    @given(working_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_hit_fractions_in_unit_interval(self, sizes: list[float]) -> None:
+        llc = LlcModel(LlcSpec())
+        fractions = llc.hit_fractions(requests_from(sizes))
+        assert all(0.0 <= f <= 1.0 for f in fractions.values())
+
+    @given(working_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_resident_bytes_bounded_by_capacity(self, sizes: list[float]) -> None:
+        llc = LlcModel(LlcSpec())
+        fractions = llc.hit_fractions(requests_from(sizes))
+        resident = sum(ws * fractions[f"t{i}"] for i, ws in enumerate(sizes))
+        assert resident <= llc.spec.capacity_mb + 1e-6
+
+    @given(working_sets, st.floats(min_value=0.1, max_value=64.0))
+    @settings(max_examples=60, deadline=None)
+    def test_adding_a_sharer_never_helps(
+        self, sizes: list[float], intruder_ws: float
+    ) -> None:
+        llc = LlcModel(LlcSpec())
+        base = llc.hit_fractions(requests_from(sizes))
+        crowded = llc.hit_fractions(
+            requests_from(sizes)
+            + [LlcRequest(task_id="intruder", working_set_mb=intruder_ws, clos=0)]
+        )
+        for i in range(len(sizes)):
+            assert crowded[f"t{i}"] <= base[f"t{i}"] + 1e-9
+
+    @given(st.floats(min_value=0.5, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_cat_partition_is_inviolable(self, intruder_intensity: float) -> None:
+        llc = LlcModel(LlcSpec(capacity_mb=32, ways=16))
+        llc.set_clos_mask(1, 0b111111)  # 12 MB exclusive
+        llc.set_clos_mask(0, 0xFFFF & ~0b111111)
+        fractions = llc.hit_fractions(
+            [
+                LlcRequest(task_id="ml", working_set_mb=10.0, clos=1),
+                LlcRequest(
+                    task_id="agg", working_set_mb=100.0, clos=0,
+                    intensity=intruder_intensity,
+                ),
+            ]
+        )
+        assert fractions["ml"] == 1.0

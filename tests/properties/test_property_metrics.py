@@ -1,0 +1,74 @@
+"""Property-based tests on metric invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.percentile import StreamingPercentiles
+from repro.metrics.slowdown import arithmetic_mean, geometric_mean, harmonic_mean
+from repro.metrics.throughput import ThroughputMeter
+
+positive_floats = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+
+
+class TestMeanInequalities:
+    @given(st.lists(positive_floats, min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_hm_le_gm_le_am(self, values: list[float]) -> None:
+        hm = harmonic_mean(values)
+        gm = geometric_mean(values)
+        am = arithmetic_mean(values)
+        assert hm <= gm * (1 + 1e-9)
+        assert gm <= am * (1 + 1e-9)
+
+    @given(st.lists(positive_floats, min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_means_within_range(self, values: list[float]) -> None:
+        for mean in (harmonic_mean, geometric_mean, arithmetic_mean):
+            assert min(values) - 1e-9 <= mean(values) <= max(values) + 1e-9
+
+
+class TestPercentileProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_numpy_below_cap(self, values: list[float]) -> None:
+        p = StreamingPercentiles()
+        for v in values:
+            p.add(v)
+        for q in (0, 25, 50, 95, 100):
+            assert p.percentile(q) == np.percentile(values, q)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=2, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_quantile(self, values: list[float]) -> None:
+        p = StreamingPercentiles()
+        for v in values:
+            p.add(v)
+        quantiles = [p.percentile(q) for q in (5, 25, 50, 75, 95)]
+        assert quantiles == sorted(quantiles)
+
+
+class TestThroughputProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=2.0),
+                st.floats(min_value=0.0, max_value=10.0),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_units_monotone_in_time(self, segments) -> None:
+        meter = ThroughputMeter()
+        now = 0.0
+        last_units = 0.0
+        for dt, rate in segments:
+            meter.set_rate(rate, now=now)
+            now += dt
+            meter.sync(now)
+            assert meter.units >= last_units - 1e-9
+            last_units = meter.units

@@ -1,0 +1,61 @@
+"""Tests for the ASCII Gantt renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.gantt import EMPTY, FILLED, render_gantt
+from repro.sim.tracing import TraceInterval
+
+
+def iv(kind: str, start: float, end: float) -> TraceInterval:
+    return TraceInterval(track="t", kind=kind, start=start, end=end)
+
+
+class TestRenderGantt:
+    def test_one_row_per_kind(self) -> None:
+        text = render_gantt([iv("cpu", 0, 1), iv("tpu", 1, 2)], width=20)
+        lines = text.splitlines()
+        assert lines[0].startswith("cpu")
+        assert lines[1].startswith("tpu")
+
+    def test_full_coverage_fills_row(self) -> None:
+        text = render_gantt([iv("cpu", 0.0, 1.0)], width=10)
+        row = text.splitlines()[0]
+        assert row.count(FILLED) == 10
+
+    def test_half_coverage(self) -> None:
+        text = render_gantt(
+            [iv("cpu", 0.0, 0.5), iv("tpu", 0.5, 1.0)], width=10
+        )
+        cpu_row, tpu_row, _ = text.splitlines()
+        assert cpu_row.count(FILLED) == 5
+        assert tpu_row.count(FILLED) == 5
+        assert tpu_row.count(EMPTY) == 5
+
+    def test_short_interval_still_visible(self) -> None:
+        text = render_gantt(
+            [iv("cpu", 0.0, 1.0), iv("blip", 0.5, 0.5001)], width=20
+        )
+        blip_row = text.splitlines()[1]
+        assert FILLED in blip_row
+
+    def test_explicit_kind_order(self) -> None:
+        text = render_gantt(
+            [iv("b", 0, 1), iv("a", 0, 1)], width=10, kinds=["a", "b"]
+        )
+        assert text.splitlines()[0].startswith("a")
+
+    def test_empty_trace(self) -> None:
+        assert render_gantt([]) == "(empty trace)"
+
+    def test_scale_footer(self) -> None:
+        text = render_gantt([iv("cpu", 0.0, 0.008)], width=10)
+        assert "8.0 ms" in text
+
+    def test_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            render_gantt([iv("cpu", 0, 1)], width=0)
+        with pytest.raises(ConfigurationError):
+            render_gantt([iv("cpu", 0, 1)], start=2.0, end=1.0)

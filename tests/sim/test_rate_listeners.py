@@ -1,0 +1,42 @@
+"""Tests for the engine's rate-listener hook."""
+
+from __future__ import annotations
+
+from repro.sim import Simulator
+
+
+class TestRateListeners:
+    def test_invalidate_notifies_with_now(self, sim: Simulator) -> None:
+        seen: list[float] = []
+        sim.add_rate_listener(seen.append)
+        sim.at(2.0, sim.invalidate_rates)
+        sim.run_until(3.0)
+        assert seen == [2.0]
+
+    def test_unregister(self, sim: Simulator) -> None:
+        seen: list[float] = []
+        remove = sim.add_rate_listener(seen.append)
+        remove()
+        sim.invalidate_rates()
+        assert seen == []
+        remove()  # idempotent
+
+    def test_reentrant_invalidation_coalesced(self, sim: Simulator) -> None:
+        calls: list[float] = []
+
+        def listener(now: float) -> None:
+            calls.append(now)
+            if len(calls) < 5:
+                sim.invalidate_rates()  # must not recurse unboundedly
+
+        sim.add_rate_listener(listener)
+        sim.invalidate_rates()
+        assert calls == [0.0]
+
+    def test_multiple_listeners_all_called(self, sim: Simulator) -> None:
+        a: list[float] = []
+        b: list[float] = []
+        sim.add_rate_listener(a.append)
+        sim.add_rate_listener(b.append)
+        sim.invalidate_rates()
+        assert a == b == [0.0]

@@ -1,0 +1,37 @@
+"""Tests for deterministic named RNG streams."""
+
+from __future__ import annotations
+
+from repro.sim.rng import RngStreams
+
+
+class TestRngStreams:
+    def test_same_seed_same_sequence(self) -> None:
+        a = RngStreams(7).stream("x").random(5)
+        b = RngStreams(7).stream("x").random(5)
+        assert (a == b).all()
+
+    def test_different_names_differ(self) -> None:
+        streams = RngStreams(7)
+        a = streams.stream("x").random(5)
+        b = streams.stream("y").random(5)
+        assert not (a == b).all()
+
+    def test_different_seeds_differ(self) -> None:
+        a = RngStreams(1).stream("x").random(5)
+        b = RngStreams(2).stream("x").random(5)
+        assert not (a == b).all()
+
+    def test_stream_instance_is_cached(self) -> None:
+        streams = RngStreams(0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_spawn_is_deterministic(self) -> None:
+        a = RngStreams(3).spawn("child").stream("x").random(3)
+        b = RngStreams(3).spawn("child").stream("x").random(3)
+        assert (a == b).all()
+
+    def test_spawn_differs_from_parent(self) -> None:
+        parent = RngStreams(3)
+        child = parent.spawn("child")
+        assert child.seed != parent.seed

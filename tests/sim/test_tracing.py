@@ -1,0 +1,61 @@
+"""Tests for timeline tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.tracing import TimelineTracer
+
+
+class TestTimelineTracer:
+    def test_begin_end_records_interval(self) -> None:
+        tracer = TimelineTracer()
+        tracer.begin("t", "cpu", 1.0)
+        tracer.end("t", "cpu", 2.5)
+        (interval,) = tracer.intervals
+        assert interval.duration == pytest.approx(1.5)
+        assert interval.kind == "cpu"
+
+    def test_unmatched_end_is_ignored(self) -> None:
+        tracer = TimelineTracer()
+        tracer.end("t", "cpu", 2.0)
+        assert tracer.intervals == []
+
+    def test_record_direct(self) -> None:
+        tracer = TimelineTracer()
+        tracer.record("t", "tpu", 0.0, 1.0)
+        assert tracer.total_time("t", "tpu") == pytest.approx(1.0)
+
+    def test_total_time_sums_by_kind(self) -> None:
+        tracer = TimelineTracer()
+        tracer.record("t", "cpu", 0.0, 1.0)
+        tracer.record("t", "cpu", 2.0, 2.5)
+        tracer.record("t", "tpu", 1.0, 2.0)
+        assert tracer.total_time("t", "cpu") == pytest.approx(1.5)
+
+    def test_for_track_filters(self) -> None:
+        tracer = TimelineTracer()
+        tracer.record("a", "cpu", 0.0, 1.0)
+        tracer.record("b", "cpu", 0.0, 1.0)
+        assert len(tracer.for_track("a")) == 1
+
+    def test_disabled_records_nothing(self) -> None:
+        tracer = TimelineTracer(enabled=False)
+        tracer.begin("t", "cpu", 0.0)
+        tracer.end("t", "cpu", 1.0)
+        tracer.record("t", "cpu", 0.0, 1.0)
+        assert tracer.intervals == []
+
+    def test_kinds(self) -> None:
+        tracer = TimelineTracer()
+        tracer.record("t", "cpu", 0.0, 1.0)
+        tracer.record("t", "tpu", 1.0, 2.0)
+        assert tracer.kinds() == {"cpu", "tpu"}
+
+    def test_clear(self) -> None:
+        tracer = TimelineTracer()
+        tracer.record("t", "cpu", 0.0, 1.0)
+        tracer.begin("t", "tpu", 1.0)
+        tracer.clear()
+        tracer.end("t", "tpu", 2.0)
+        assert tracer.intervals == []

@@ -1,0 +1,75 @@
+"""Tests for fluid work quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.work import FluidWork
+
+
+class TestFluidWork:
+    def test_drains_at_rate(self) -> None:
+        work = FluidWork(10.0)
+        work.set_rate(2.0, now=0.0)
+        work.sync(3.0)
+        assert work.remaining == pytest.approx(4.0)
+
+    def test_eta(self) -> None:
+        work = FluidWork(10.0)
+        work.set_rate(2.0, now=0.0)
+        assert work.eta() == pytest.approx(5.0)
+
+    def test_eta_infinite_when_stalled(self) -> None:
+        work = FluidWork(10.0)
+        assert work.eta() == float("inf")
+
+    def test_rate_change_mid_flight(self) -> None:
+        work = FluidWork(10.0)
+        work.set_rate(2.0, now=0.0)
+        work.set_rate(4.0, now=2.0)  # 6 remaining at t=2
+        assert work.eta() == pytest.approx(1.5)
+
+    def test_done_at_zero(self) -> None:
+        work = FluidWork(1.0)
+        work.set_rate(1.0, now=0.0)
+        work.sync(1.0)
+        assert work.done
+        assert work.eta() == 0.0
+
+    def test_never_negative(self) -> None:
+        work = FluidWork(1.0)
+        work.set_rate(1.0, now=0.0)
+        work.sync(100.0)
+        assert work.remaining == 0.0
+
+    def test_progress_fraction(self) -> None:
+        work = FluidWork(4.0)
+        work.set_rate(1.0, now=0.0)
+        work.sync(1.0)
+        assert work.progress_fraction() == pytest.approx(0.25)
+
+    def test_zero_amount_is_done(self) -> None:
+        assert FluidWork(0.0).done
+
+    def test_negative_amount_raises(self) -> None:
+        with pytest.raises(SimulationError):
+            FluidWork(-1.0)
+
+    def test_negative_rate_raises(self) -> None:
+        work = FluidWork(1.0)
+        with pytest.raises(SimulationError):
+            work.set_rate(-1.0, now=0.0)
+
+    def test_sync_backwards_raises(self) -> None:
+        work = FluidWork(1.0)
+        work.sync(5.0)
+        with pytest.raises(SimulationError):
+            work.sync(4.0)
+
+    def test_repeated_sync_is_stable(self) -> None:
+        work = FluidWork(10.0)
+        work.set_rate(1.0, now=0.0)
+        work.sync(2.0)
+        work.sync(2.0)
+        assert work.remaining == pytest.approx(8.0)

@@ -1,0 +1,36 @@
+"""Tests for the CLI entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys) -> None:
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "table1" in out
+
+    def test_run_fig02(self, capsys) -> None:
+        assert main(["run", "fig02"]) == 0
+        assert "Fig 2" in capsys.readouterr().out
+
+    def test_mix(self, capsys) -> None:
+        code = main([
+            "mix", "--ml", "cnn1", "--policy", "KP",
+            "--cpu", "stitch", "--intensity", "2", "--duration", "12",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ml_perf_norm" in out
+        assert "controller" in out
+
+    def test_mix_without_cpu(self, capsys) -> None:
+        assert main(["mix", "--ml", "cnn2", "--duration", "12"]) == 0
+        assert "cpu_throughput   0.000" in capsys.readouterr().out
+
+    def test_missing_command_errors(self) -> None:
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,30 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self) -> None:
+        for name in (
+            "ConfigurationError",
+            "SimulationError",
+            "SchedulingError",
+            "TopologyError",
+            "HostInterfaceError",
+            "WorkloadError",
+            "MeasurementError",
+            "ExperimentError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_catching_base_catches_all(self) -> None:
+        with pytest.raises(errors.ReproError):
+            raise errors.WorkloadError("x")
+
+    def test_library_errors_are_not_builtin_aliases(self) -> None:
+        assert not issubclass(errors.ConfigurationError, ValueError)

@@ -1,0 +1,91 @@
+"""Tests for the inference-server engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hw.machine import Machine
+from repro.hw.placement import Placement
+from repro.hw.spec import tpu_host_spec
+from repro.sim import Simulator
+from repro.sim.tracing import TimelineTracer
+from repro.workloads.loadgen import ClosedLoopGenerator, SerialGenerator
+from repro.workloads.ml.catalog import ml_workload
+
+
+def make_server(sim: Simulator, tracer: TimelineTracer | None = None):
+    factory = ml_workload("rnn1")
+    machine = Machine(tpu_host_spec(), sim)
+    placement = Placement(
+        cores=frozenset(range(factory.default_cores())),
+        mem_weights={0: 0.5, 1: 0.5},
+    )
+    instance = factory.build(
+        machine, placement, warmup_until=0.0, tracer=tracer, load_fraction=0.0
+    )
+    instance.task.start()
+    return machine, instance.task
+
+
+class TestServerPipeline:
+    def test_serial_request_latency(self, sim: Simulator) -> None:
+        machine, server = make_server(sim)
+        gen = SerialGenerator(server, total_requests=5)
+        gen.start()
+        sim.run_until(5.0)
+        assert gen.completed == 5
+        spec = server.spec
+        per_iter = spec.host_time + 2 * spec.pcie_in_gb / 12.0 + 3e-3
+        expected = spec.iterations_per_query * per_iter
+        assert server.recorder.mean_latency() == pytest.approx(expected, rel=0.1)
+
+    def test_closed_loop_reaches_steady_qps(self, sim: Simulator) -> None:
+        machine, server = make_server(sim)
+        gen = ClosedLoopGenerator(server, concurrency=4)
+        gen.start()
+        sim.run_until(20.0)
+        assert server.performance(20.0) > 100.0
+
+    def test_queue_forms_beyond_max_inflight(self, sim: Simulator) -> None:
+        machine, server = make_server(sim)
+        for _ in range(server.spec.max_inflight + 3):
+            server.submit()
+        assert server.inflight == server.spec.max_inflight
+        assert server.queued == 3
+
+    def test_submit_before_start_rejected(self, sim: Simulator) -> None:
+        factory = ml_workload("rnn1")
+        machine = Machine(tpu_host_spec(), sim)
+        placement = Placement(cores=frozenset({0}), mem_weights={0: 1.0})
+        instance = factory.build(machine, placement, load_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            instance.task.submit()
+
+    def test_completion_listeners_fire(self, sim: Simulator) -> None:
+        machine, server = make_server(sim)
+        seen: list[tuple[float, float]] = []
+        server.completion_listeners.append(lambda s, e: seen.append((s, e)))
+        server.submit()
+        sim.run_until(1.0)
+        assert len(seen) == 1
+        assert seen[0][1] > seen[0][0]
+
+    def test_tracer_records_phases(self, sim: Simulator) -> None:
+        tracer = TimelineTracer()
+        machine, server = make_server(sim, tracer=tracer)
+        SerialGenerator(server, total_requests=3).start()
+        sim.run_until(2.0)
+        assert {"cpu", "communication", "tpu"} <= tracer.kinds()
+        assert tracer.total_time("rnn1", "cpu") > tracer.total_time("rnn1", "tpu")
+
+
+class TestSpecHelpers:
+    def test_standalone_capacity_balanced(self) -> None:
+        factory = ml_workload("rnn1")
+        spec = factory.spec
+        from repro.accel.presets import tpu_v1_device
+
+        capacity = spec.standalone_capacity(tpu_v1_device(), spec.default_cores)
+        assert capacity > 0
+        assert spec.target_qps(tpu_v1_device(), spec.default_cores) < capacity

@@ -1,0 +1,68 @@
+"""Queue/admission behaviour of the inference server under overload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.machine import Machine
+from repro.hw.placement import Placement
+from repro.hw.spec import tpu_host_spec
+from repro.sim import Simulator
+from repro.workloads.loadgen import OpenLoopGenerator
+from repro.workloads.ml.catalog import ml_workload
+
+
+def overloaded_server(sim: Simulator):
+    factory = ml_workload("rnn1")
+    machine = Machine(tpu_host_spec(), sim)
+    placement = Placement(
+        cores=frozenset(range(factory.default_cores())),
+        mem_weights={0: 0.5, 1: 0.5},
+    )
+    instance = factory.build(machine, placement, load_fraction=0.0)
+    instance.task.start()
+    return instance.task
+
+
+class TestOverload:
+    def test_queue_drains_after_burst(self, sim: Simulator) -> None:
+        server = overloaded_server(sim)
+        for _ in range(20):
+            server.submit()
+        assert server.queued == 20 - server.spec.max_inflight
+        sim.run_until(2.0)
+        assert server.queued == 0
+        assert server.recorder.completed == 20
+
+    def test_completion_rate_capped_at_capacity(self, sim: Simulator) -> None:
+        server = overloaded_server(sim)
+        generator = OpenLoopGenerator(
+            sim, rate_qps=500.0, submit=server.submit,
+            rng=np.random.default_rng(0),
+        )
+        generator.start()
+        sim.run_until(10.0)
+        from repro.accel.presets import tpu_v1_device
+
+        capacity = server.spec.standalone_capacity(tpu_v1_device(), 3)
+        completed_rate = server.recorder.completed / 10.0
+        assert completed_rate <= capacity * 1.05
+        assert server.queued > 0  # overload: backlog grows
+
+    def test_fifo_order(self, sim: Simulator) -> None:
+        server = overloaded_server(sim)
+        starts: list[float] = []
+        server.completion_listeners.append(lambda s, e: starts.append(s))
+        for _ in range(12):
+            server.submit()
+        sim.run_until(2.0)
+        assert starts == sorted(starts)
+
+    def test_latency_includes_queueing(self, sim: Simulator) -> None:
+        server = overloaded_server(sim)
+        for _ in range(16):
+            server.submit()
+        sim.run_until(3.0)
+        # The last-admitted request waited behind two pipeline generations.
+        assert server.recorder.tail(99) > 2 * server.recorder.tail(5)

@@ -1,0 +1,59 @@
+"""Tests for the load generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Simulator
+from repro.workloads.loadgen import OpenLoopGenerator
+
+
+class TestOpenLoop:
+    def test_deterministic_rate(self, sim: Simulator) -> None:
+        count = [0]
+        gen = OpenLoopGenerator(
+            sim, rate_qps=8.0, submit=lambda: count.__setitem__(0, count[0] + 1),
+            rng=np.random.default_rng(0), deterministic=True,
+        )
+        gen.start()
+        sim.run_until(2.0)
+        assert count[0] == 16
+
+    def test_poisson_rate_approximate(self, sim: Simulator) -> None:
+        count = [0]
+        gen = OpenLoopGenerator(
+            sim, rate_qps=100.0, submit=lambda: count.__setitem__(0, count[0] + 1),
+            rng=np.random.default_rng(1),
+        )
+        gen.start()
+        sim.run_until(10.0)
+        assert count[0] == pytest.approx(1000, rel=0.15)
+
+    def test_stop(self, sim: Simulator) -> None:
+        count = [0]
+        gen = OpenLoopGenerator(
+            sim, rate_qps=10.0, submit=lambda: count.__setitem__(0, count[0] + 1),
+            rng=np.random.default_rng(0), deterministic=True,
+        )
+        gen.start()
+        sim.at(1.0, gen.stop)
+        sim.run_until(5.0)
+        assert count[0] <= 10
+
+    def test_invalid_rate(self, sim: Simulator) -> None:
+        with pytest.raises(ConfigurationError):
+            OpenLoopGenerator(
+                sim, rate_qps=0.0, submit=lambda: None,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_generated_counter(self, sim: Simulator) -> None:
+        gen = OpenLoopGenerator(
+            sim, rate_qps=5.0, submit=lambda: None,
+            rng=np.random.default_rng(0), deterministic=True,
+        )
+        gen.start()
+        sim.run_until(1.0)
+        assert gen.generated == 5

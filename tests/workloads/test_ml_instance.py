@@ -1,0 +1,71 @@
+"""Tests for the MlInstance wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.machine import Machine
+from repro.hw.placement import Placement
+from repro.hw.spec import cloud_tpu_host_spec, tpu_host_spec
+from repro.sim import Simulator
+from repro.workloads.ml.catalog import ml_workload
+
+
+class TestMlInstance:
+    def test_training_instance_lifecycle(self, sim: Simulator) -> None:
+        factory = ml_workload("cnn2")
+        machine = Machine(cloud_tpu_host_spec(), sim)
+        placement = Placement(
+            cores=frozenset(range(factory.default_cores())),
+            mem_weights={0: 0.5, 1: 0.5},
+        )
+        instance = factory.build(machine, placement)
+        instance.start()
+        sim.run_until(2.0)
+        instance.stop()
+        steps = instance.task.steps_completed
+        sim.run_until(4.0)
+        assert instance.task.steps_completed == steps
+        assert instance.tail_latency() is None
+
+    def test_inference_instance_has_closed_loop_by_default(
+        self, sim: Simulator
+    ) -> None:
+        factory = ml_workload("rnn1")
+        machine = Machine(tpu_host_spec(), sim)
+        placement = Placement(
+            cores=frozenset(range(3)), mem_weights={0: 0.5, 1: 0.5}
+        )
+        instance = factory.build(machine, placement)
+        instance.start()
+        assert instance.task.inflight == instance.task.spec.pipeline_concurrency
+        sim.run_until(1.0)
+        instance.stop()
+        # Closed loop stopped: inflight drains and is not replaced.
+        sim.run_until(2.0)
+        assert instance.task.recorder.completed > 0
+
+    def test_open_loop_when_fraction_given(self, sim: Simulator) -> None:
+        factory = ml_workload("rnn1")
+        machine = Machine(tpu_host_spec(), sim)
+        placement = Placement(
+            cores=frozenset(range(3)), mem_weights={0: 0.5, 1: 0.5}
+        )
+        instance = factory.build(machine, placement, load_fraction=0.5)
+        from repro.workloads.loadgen import OpenLoopGenerator
+
+        assert isinstance(instance.loadgen, OpenLoopGenerator)
+        assert instance.loadgen.rate_qps == pytest.approx(
+            0.5 * factory.spec.standalone_capacity(
+                __import__("repro.accel.presets", fromlist=["tpu_v1_device"])
+                .tpu_v1_device(),
+                3,
+            )
+        )
+
+    def test_no_loadgen_when_zero_fraction(self, sim: Simulator) -> None:
+        factory = ml_workload("rnn1")
+        machine = Machine(tpu_host_spec(), sim)
+        placement = Placement(cores=frozenset({0}), mem_weights={0: 1.0})
+        instance = factory.build(machine, placement, load_fraction=0.0)
+        assert instance.loadgen is None

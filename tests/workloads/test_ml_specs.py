@@ -1,0 +1,75 @@
+"""Tests for the ML workload catalog and specs (Table I traits)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.ml.base import InferenceSpec, TrainingSpec
+from repro.workloads.ml.catalog import ml_workload, ml_workload_names
+from repro.workloads.ml.cnn3 import CNN3_PS_UPDATE
+
+
+class TestCatalog:
+    def test_four_workloads(self) -> None:
+        assert ml_workload_names() == ["cnn1", "cnn2", "cnn3", "rnn1"]
+
+    def test_unknown_rejected(self) -> None:
+        with pytest.raises(WorkloadError):
+            ml_workload("bert")
+
+    def test_platform_assignment_matches_table1(self) -> None:
+        assert ml_workload("rnn1").platform == "tpu"
+        assert ml_workload("cnn1").platform == "cloud-tpu"
+        assert ml_workload("cnn2").platform == "cloud-tpu"
+        assert ml_workload("cnn3").platform == "gpu"
+
+    def test_kinds(self) -> None:
+        assert ml_workload("rnn1").kind == "inference"
+        for name in ("cnn1", "cnn2", "cnn3"):
+            assert ml_workload(name).kind == "training"
+
+
+class TestSpecTraits:
+    def test_cnn2_more_cpu_intense_than_cnn1(self) -> None:
+        cnn1 = ml_workload("cnn1").spec
+        cnn2 = ml_workload("cnn2").spec
+        assert isinstance(cnn1, TrainingSpec) and isinstance(cnn2, TrainingSpec)
+        assert cnn2.host.threads > cnn1.host.threads
+        assert cnn2.host.bw_gbps > cnn1.host.bw_gbps
+
+    def test_cnn3_is_serial_with_barrier(self) -> None:
+        spec = ml_workload("cnn3").spec
+        assert isinstance(spec, TrainingSpec)
+        assert not spec.overlap
+        assert spec.barrier_shards > 1
+
+    def test_cnn3_host_time_derives_from_ps_model(self) -> None:
+        spec = ml_workload("cnn3").spec
+        assert spec.host_time == pytest.approx(
+            CNN3_PS_UPDATE.standalone_update_time
+        )
+
+    def test_cnn1_infeed_nearly_critical(self) -> None:
+        spec = ml_workload("cnn1").spec
+        assert isinstance(spec, TrainingSpec)
+        # CNN1's whole story: little slack between in-feed and accelerator.
+        assert 0.9 < spec.host_time / spec.accel_step_time < 1.0
+
+    def test_rnn1_is_latency_sensitive(self) -> None:
+        spec = ml_workload("rnn1").spec
+        assert isinstance(spec, InferenceSpec)
+        assert spec.host.bw_bound_weight < 0.5
+        assert spec.host.bw_gbps < 5.0
+
+    def test_standalone_step_time_overlap(self) -> None:
+        spec = ml_workload("cnn1").spec
+        assert spec.standalone_step_time() == pytest.approx(
+            max(spec.accel_step_time, spec.host_time) + spec.sync_time
+        )
+
+    def test_standalone_step_time_serial(self) -> None:
+        spec = ml_workload("cnn3").spec
+        assert spec.standalone_step_time() == pytest.approx(
+            spec.accel_step_time + spec.host_time + spec.sync_time
+        )

@@ -1,0 +1,100 @@
+"""Tests for the training-task engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.sync import LockStepBarrier
+from repro.hw.machine import Machine
+from repro.hw.placement import Placement
+from repro.hw.spec import cloud_tpu_host_spec, gpu_host_spec
+from repro.sim import Simulator
+from repro.workloads.cpu.base import BatchTask
+from repro.workloads.cpu.catalog import cpu_workload
+from repro.workloads.ml.base import TrainingTask
+from repro.workloads.ml.cnn1 import cnn1_spec
+from repro.workloads.ml.cnn3 import cnn3_spec
+
+
+def make_cnn1(sim: Simulator) -> tuple[Machine, TrainingTask]:
+    machine = Machine(cloud_tpu_host_spec(), sim)
+    spec = cnn1_spec()
+    placement = Placement(
+        cores=frozenset(range(spec.default_cores)),
+        mem_weights={0: 0.5, 1: 0.5},
+    )
+    return machine, TrainingTask("cnn1", machine, placement, spec)
+
+
+class TestOverlapTraining:
+    def test_standalone_step_rate(self, sim: Simulator) -> None:
+        machine, task = make_cnn1(sim)
+        task.start()
+        sim.run_until(20.0)
+        expected = 1.0 / task.spec.standalone_step_time()
+        assert task.performance(20.0) == pytest.approx(expected, rel=0.02)
+
+    def test_infeed_stretches_under_contention(self, sim: Simulator) -> None:
+        machine, task = make_cnn1(sim)
+        task.start()
+        aggressor = BatchTask(
+            "dram",
+            machine,
+            Placement(cores=frozenset(range(4, 12)), mem_weights={0: 0.5, 1: 0.5}),
+            cpu_workload("dram", "H"),
+        )
+        aggressor.start()
+        sim.run_until(20.0)
+        expected = 1.0 / task.spec.standalone_step_time()
+        assert task.performance(20.0) < 0.7 * expected
+
+    def test_steps_counted(self, sim: Simulator) -> None:
+        machine, task = make_cnn1(sim)
+        task.start()
+        sim.run_until(2.0)
+        assert task.steps_completed >= 15
+
+    def test_stop_cancels_pending_work(self, sim: Simulator) -> None:
+        machine, task = make_cnn1(sim)
+        task.start()
+        sim.run_until(0.05)
+        task.stop()
+        steps_at_stop = task.steps_completed
+        sim.run_until(5.0)
+        assert task.steps_completed == steps_at_stop
+
+
+class TestSerialTraining:
+    def test_cnn3_step_includes_host_and_accel(self, sim: Simulator) -> None:
+        machine = Machine(gpu_host_spec(), sim)
+        spec = cnn3_spec()
+        placement = Placement(
+            cores=frozenset(range(spec.default_cores)), mem_weights={0: 0.5, 1: 0.5}
+        )
+        barrier = LockStepBarrier(
+            shards=spec.barrier_shards, nominal_latency=spec.host_time,
+            latency_cv=0.0,
+        )
+        task = TrainingTask("cnn3", machine, placement, spec, barrier=barrier)
+        task.start()
+        sim.run_until(20.0)
+        # With cv=0 the barrier adds nothing beyond the serial step.
+        expected = 1.0 / spec.standalone_step_time()
+        assert task.performance(20.0) == pytest.approx(expected, rel=0.03)
+
+    def test_barrier_noise_slows_steps(self, sim: Simulator) -> None:
+        machine = Machine(gpu_host_spec(), sim)
+        spec = cnn3_spec()
+        placement = Placement(
+            cores=frozenset(range(spec.default_cores)), mem_weights={0: 0.5, 1: 0.5}
+        )
+        import numpy as np
+
+        barrier = LockStepBarrier(
+            shards=8, nominal_latency=spec.host_time, latency_cv=0.3,
+            rng=np.random.default_rng(0),
+        )
+        task = TrainingTask("cnn3", machine, placement, spec, barrier=barrier)
+        task.start()
+        sim.run_until(20.0)
+        assert task.performance(20.0) < 1.0 / spec.standalone_step_time()
