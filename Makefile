@@ -1,0 +1,13 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench report
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) scripts/bench_smoke.py
+
+report:
+	$(PYTHON) -m repro report --jobs $(or $(JOBS),4)

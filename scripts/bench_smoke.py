@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Perf smoke benchmark: fixed experiment subset -> BENCH_PR<n>.json.
+
+Runs a fixed, representative slice of the experiment registry four ways —
+serial/parallel x cache-on/cache-off — plus one instrumented colocation mix,
+and writes a JSON trajectory (wall-clock per experiment, solver cache
+hit-rate, events dispatched) that later PRs can compare against.
+
+Usage::
+
+    python scripts/bench_smoke.py                  # writes BENCH_PR1.json
+    python scripts/bench_smoke.py --jobs 8 --out BENCH_PR2.json
+    make bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.experiments import common as common_mod  # noqa: E402
+from repro.experiments.common import MixConfig, run_colocation  # noqa: E402
+from repro.experiments.suite import run_suite  # noqa: E402
+from repro.hw.contention import (  # noqa: E402
+    global_stats,
+    reset_global_stats,
+    set_cache_default,
+)
+
+#: The fixed benchmark subset: cheap motivation figure, two sweeps, one
+#: policy matrix, and the workload table — a representative mix of solver-
+#: and event-bound work. Keep this list stable across PRs.
+SUBSET = ["fig02", "fig05", "fig09", "fig13", "table1"]
+#: Simulated horizon for the subset, seconds.
+DURATION = 16.0
+#: The instrumented single-mix probe.
+MIX = MixConfig(
+    ml="cnn1", policy="KP", cpu="stream", intensity=1, duration=20.0, warmup=4.0
+)
+
+
+def _fresh_state() -> None:
+    """Reset cross-run memo state so every pass is measured cold."""
+    common_mod._STANDALONE_CACHE.clear()
+    reset_global_stats()
+
+
+def _timed_suite(jobs: int | None, cache: bool) -> dict:
+    set_cache_default(cache)
+    _fresh_state()
+    started = time.perf_counter()
+    entries = run_suite(experiments=SUBSET, duration=DURATION, jobs=jobs)
+    wall = time.perf_counter() - started
+    record: dict = {
+        "wall_s": round(wall, 3),
+        "cache": cache,
+        "jobs": jobs or 1,
+        "per_experiment_s": {e.exp_id: round(e.seconds, 3) for e in entries},
+    }
+    if (jobs or 1) == 1:
+        # Parallel workers keep their own counters; only serial runs can
+        # report process-wide solver statistics meaningfully.
+        record["solver"] = global_stats().as_dict()
+    return record
+
+
+def _timed_mix(cache: bool) -> dict:
+    set_cache_default(cache)
+    _fresh_state()
+    started = time.perf_counter()
+    result = run_colocation(MIX)
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 3),
+        "cache": cache,
+        "events_dispatched": result.events_dispatched,
+        "solver_stats": result.solver_stats,
+        "ml_perf_norm": result.ml_perf_norm,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="workers for the parallel pass (default: min(4, cpu_count))",
+    )
+    parser.add_argument("--out", default="BENCH_PR1.json")
+    args = parser.parse_args(argv)
+    jobs = args.jobs if args.jobs is not None else min(4, os.cpu_count() or 1)
+
+    suite_serial_on = _timed_suite(jobs=None, cache=True)
+    suite_serial_off = _timed_suite(jobs=None, cache=False)
+    suite_parallel_on = (
+        _timed_suite(jobs=jobs, cache=True) if jobs > 1 else None
+    )
+    mix_on = _timed_mix(cache=True)
+    mix_off = _timed_mix(cache=False)
+    set_cache_default(None)
+
+    report = {
+        "meta": {
+            "bench": "smoke",
+            "generated": datetime.now(timezone.utc).isoformat(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "subset": SUBSET,
+            "duration_s": DURATION,
+        },
+        "suite": {
+            "serial_cache_on": suite_serial_on,
+            "serial_cache_off": suite_serial_off,
+            "parallel_cache_on": suite_parallel_on,
+            "speedup_cache": round(
+                suite_serial_off["wall_s"] / max(suite_serial_on["wall_s"], 1e-9),
+                3,
+            ),
+            "speedup_parallel": (
+                round(
+                    suite_serial_on["wall_s"]
+                    / max(suite_parallel_on["wall_s"], 1e-9),
+                    3,
+                )
+                if suite_parallel_on
+                else None
+            ),
+        },
+        "mix": {
+            "config": {
+                "ml": MIX.ml, "policy": MIX.policy, "cpu": MIX.cpu,
+                "duration": MIX.duration,
+            },
+            "cache_on": mix_on,
+            "cache_off": mix_off,
+            "speedup_cache": round(
+                mix_off["wall_s"] / max(mix_on["wall_s"], 1e-9), 3
+            ),
+        },
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    hit_rate = mix_on["solver_stats"].get("hit_rate", 0.0)
+    print(f"wrote {args.out}")
+    print(
+        f"suite: serial cache-on {suite_serial_on['wall_s']}s, "
+        f"cache-off {suite_serial_off['wall_s']}s "
+        f"(cache speedup {report['suite']['speedup_cache']}x)"
+    )
+    if suite_parallel_on:
+        print(
+            f"suite: --jobs {jobs} {suite_parallel_on['wall_s']}s "
+            f"(parallel speedup {report['suite']['speedup_parallel']}x "
+            f"on {os.cpu_count()} cpu)"
+        )
+    print(
+        f"mix:   cache-on {mix_on['wall_s']}s, cache-off {mix_off['wall_s']}s, "
+        f"hit-rate {hit_rate:.2%}, events {mix_on['events_dispatched']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=None,
         help="simulated measurement horizon, seconds",
     )
+    run.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for experiments with internal sweeps "
+             "(fig02/fig05/fig16); default REPRO_JOBS or 1",
+    )
 
     report = sub.add_parser(
         "report", help="run every experiment and write one report"
@@ -47,6 +52,11 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--only", nargs="*", default=None,
         help="subset of experiment ids (default: all)",
+    )
+    report.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the experiment sweep; results are "
+             "identical to a serial run (default REPRO_JOBS or 1)",
     )
 
     mix = sub.add_parser("mix", help="run a single colocation mix")
@@ -69,11 +79,15 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
+        from repro.experiments.registry import JOBS_AWARE
+
         kwargs = {}
         if args.ml:
             kwargs["ml"] = args.ml
         if args.duration is not None:
             kwargs["duration"] = args.duration
+        if args.jobs is not None and args.experiment in JOBS_AWARE:
+            kwargs["jobs"] = args.jobs
         _, text = run_experiment(args.experiment, **kwargs)
         print(text)
         return 0
@@ -81,7 +95,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "report":
         from repro.experiments.suite import format_suite, run_suite
 
-        entries = run_suite(experiments=args.only, duration=args.duration)
+        entries = run_suite(
+            experiments=args.only, duration=args.duration, jobs=args.jobs
+        )
         text = format_suite(entries)
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text)

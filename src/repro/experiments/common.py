@@ -62,6 +62,11 @@ class ColocationResult:
     cpu_throughput: float
     #: Controller knob history (empty for BL / HW-QOS).
     params: list[ParameterSample] = field(default_factory=list)
+    #: Simulator events dispatched during the run (perf observability).
+    events_dispatched: int = 0
+    #: Snapshot of the machine's :class:`~repro.hw.contention.SolverStats`
+    #: (solves, cache hit rate, short-circuits, fixed-point rounds).
+    solver_stats: dict[str, float] = field(default_factory=dict)
 
 
 _STANDALONE_CACHE: dict[tuple, tuple[float, float | None]] = {}
@@ -158,4 +163,6 @@ def run_colocation(
         ),
         cpu_throughput=cpu_throughput,
         params=policy.parameter_history(),
+        events_dispatched=sim.dispatched_events,
+        solver_stats=node.machine.solver_stats.as_dict(),
     )

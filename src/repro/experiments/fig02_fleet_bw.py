@@ -24,9 +24,15 @@ class Fig02Result:
     fraction_above_70pct: float
 
 
-def run_fig02(machines: int = 1000, seed: int = 42) -> Fig02Result:
-    """Regenerate the Fig 2 curve."""
-    cdf = fleet_bandwidth_cdf(FleetSurvey(machines=machines, seed=seed))
+def run_fig02(
+    machines: int = 1000, seed: int = 42, jobs: int | None = None
+) -> Fig02Result:
+    """Regenerate the Fig 2 curve.
+
+    ``jobs`` > 1 evaluates the fleet's fixed seed-blocks on a process pool;
+    block seeding makes the curve independent of the worker count.
+    """
+    cdf = fleet_bandwidth_cdf(FleetSurvey(machines=machines, seed=seed), jobs=jobs)
     grid = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
     fractions = [
         float(np.searchsorted(cdf.utilization, u, side="right") / machines)

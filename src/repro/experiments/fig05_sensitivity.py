@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.parallel import run_points
 from repro.experiments.report import format_table
 from repro.experiments.sensitivity import run_sensitivity
 from repro.metrics.slowdown import arithmetic_mean
@@ -27,14 +28,30 @@ class Fig05Result:
     dram_average: float
 
 
-def run_fig05(duration: float = 40.0) -> Fig05Result:
-    """Run the 4x2 sensitivity matrix."""
+def _fig05_point(point: tuple[str, str | None, str, float]) -> float:
+    """One raw sensitivity run (module-level: runs inside pool workers)."""
+    ml, antagonist, level, duration = point
+    return run_sensitivity(ml, antagonist, level, duration=duration)
+
+
+def run_fig05(duration: float = 40.0, jobs: int | None = None) -> Fig05Result:
+    """Run the 4x2 sensitivity matrix (plus 4 baselines), 12 points total.
+
+    With ``jobs`` > 1 the points run on a process pool; normalization
+    happens after the sweep, so the numbers are identical to a serial run.
+    """
+    points = [
+        (ml, antagonist, level, duration)
+        for ml in WORKLOADS
+        for antagonist, level in ((None, "H"), ("llc", "H"), ("dram", "H"))
+    ]
+    raw = run_points(_fig05_point, points, jobs=jobs)
     llc: dict[str, float] = {}
     dram: dict[str, float] = {}
-    for ml in WORKLOADS:
-        baseline = run_sensitivity(ml, None, duration=duration)
-        llc[ml] = run_sensitivity(ml, "llc", duration=duration) / baseline
-        dram[ml] = run_sensitivity(ml, "dram", "H", duration=duration) / baseline
+    for i, ml in enumerate(WORKLOADS):
+        baseline, llc_perf, dram_perf = raw[3 * i : 3 * i + 3]
+        llc[ml] = llc_perf / baseline
+        dram[ml] = dram_perf / baseline
     return Fig05Result(
         llc=llc,
         dram=dram,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.parallel import run_points
 from repro.experiments.report import format_series
 from repro.experiments.sensitivity import run_sensitivity
 
@@ -31,25 +32,47 @@ class Fig16Result:
         return max(max(series) for series in self.slowdown.values())
 
 
+def _fig16_point(point: tuple[str, float | None, float | None, float]) -> float:
+    """One locality-sweep run (module-level: runs inside pool workers).
+
+    A ``None`` fraction pair marks the no-antagonist baseline point.
+    """
+    ml, df, tf, duration = point
+    if df is None:
+        return run_sensitivity(ml, None, duration=duration)
+    return run_sensitivity(
+        ml, "remote-dram", "H",
+        remote_data_fraction=df, remote_thread_fraction=tf,
+        duration=duration,
+    )
+
+
 def run_fig16(
     ml: str,
     duration: float = 40.0,
     data_fractions: tuple[float, ...] = DATA_FRACTIONS,
     thread_fractions: tuple[float, ...] = THREAD_FRACTIONS,
+    jobs: int | None = None,
 ) -> Fig16Result:
-    """Run the locality sweep for ``ml`` (cnn1 or cnn2)."""
-    baseline = run_sensitivity(ml, None, duration=duration)
-    grid: dict[float, list[float]] = {}
+    """Run the locality sweep for ``ml`` (cnn1 or cnn2).
+
+    The baseline plus the full (threads x data) grid are independent
+    simulations; ``jobs`` > 1 runs them on a process pool with identical
+    results to the serial sweep.
+    """
+    points: list[tuple[str, float | None, float | None, float]] = [
+        (ml, None, None, duration)
+    ]
     for tf in thread_fractions:
-        series = []
         for df in data_fractions:
-            perf = run_sensitivity(
-                ml, "remote-dram", "H",
-                remote_data_fraction=df, remote_thread_fraction=tf,
-                duration=duration,
-            )
-            series.append(baseline / perf)
-        grid[tf] = series
+            points.append((ml, df, tf, duration))
+    raw = run_points(_fig16_point, points, jobs=jobs)
+    baseline = raw[0]
+    grid: dict[float, list[float]] = {}
+    cursor = 1
+    for tf in thread_fractions:
+        grid[tf] = [baseline / perf for perf in raw[cursor : cursor + len(data_fractions)]]
+        cursor += len(data_fractions)
     return Fig16Result(
         ml=ml, data_fractions=tuple(data_fractions), slowdown=grid
     )

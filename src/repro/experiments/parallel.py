@@ -1,0 +1,24 @@
+"""Experiment-facing alias of the deterministic process-pool sweep runner.
+
+The implementation lives in :mod:`repro.parallel` (a leaf module, so the
+low-level :mod:`repro.cluster` layer can use it without importing the
+experiment drivers). Experiment code imports it from here.
+"""
+
+from __future__ import annotations
+
+from repro.parallel import (
+    DEFAULT_BASE_SEED,
+    JOBS_ENV,
+    point_seed,
+    resolve_jobs,
+    run_points,
+)
+
+__all__ = [
+    "DEFAULT_BASE_SEED",
+    "JOBS_ENV",
+    "point_seed",
+    "resolve_jobs",
+    "run_points",
+]

@@ -199,6 +199,11 @@ _REGISTRY: dict[str, Callable[[], tuple[Callable, Callable]]] = {
 }
 
 
+#: Experiments whose runners accept a ``jobs`` argument (internal sweeps
+#: that can fan out over a process pool; see :mod:`repro.parallel`).
+JOBS_AWARE = {"fig02", "fig05", "fig16"}
+
+
 def experiment_ids() -> list[str]:
     """All registered experiment ids, in figure order."""
     return list(_REGISTRY)

@@ -10,6 +10,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.experiments.parallel import run_points
 from repro.experiments.registry import experiment_ids, run_experiment
 
 #: Experiments taking a workload argument, run once per listed workload.
@@ -31,30 +32,48 @@ class SuiteEntry:
     seconds: float
 
 
+def _suite_point(point: tuple[str, str | None, float]) -> SuiteEntry:
+    """Evaluate one suite entry (module-level: runs inside pool workers)."""
+    exp_id, ml, duration = point
+    kwargs: dict = {}
+    if exp_id not in _NO_DURATION:
+        kwargs["duration"] = duration
+    if ml is not None:
+        kwargs["ml"] = ml
+    started = time.perf_counter()
+    _, text = run_experiment(exp_id, **kwargs)
+    return SuiteEntry(
+        exp_id=exp_id if ml is None else f"{exp_id}:{ml}",
+        text=text,
+        seconds=time.perf_counter() - started,
+    )
+
+
+def suite_points(
+    experiments: list[str] | None = None,
+    duration: float = 30.0,
+) -> list[tuple[str, str | None, float]]:
+    """Expand the registry (or a subset) into independent suite points."""
+    wanted = experiments if experiments is not None else experiment_ids()
+    return [
+        (exp_id, ml, duration)
+        for exp_id in wanted
+        for ml in _PER_WORKLOAD.get(exp_id, (None,))
+    ]
+
+
 def run_suite(
     experiments: list[str] | None = None,
     duration: float = 30.0,
+    jobs: int | None = None,
 ) -> list[SuiteEntry]:
-    """Execute the registry (or a subset) and collect formatted outputs."""
-    wanted = experiments if experiments is not None else experiment_ids()
-    entries: list[SuiteEntry] = []
-    for exp_id in wanted:
-        for ml in _PER_WORKLOAD.get(exp_id, (None,)):
-            kwargs: dict = {}
-            if exp_id not in _NO_DURATION:
-                kwargs["duration"] = duration
-            if ml is not None:
-                kwargs["ml"] = ml
-            started = time.perf_counter()
-            _, text = run_experiment(exp_id, **kwargs)
-            entries.append(
-                SuiteEntry(
-                    exp_id=exp_id if ml is None else f"{exp_id}:{ml}",
-                    text=text,
-                    seconds=time.perf_counter() - started,
-                )
-            )
-    return entries
+    """Execute the registry (or a subset) and collect formatted outputs.
+
+    ``jobs`` > 1 fans the independent experiment points out over a process
+    pool (see :mod:`repro.experiments.parallel`); results are identical to
+    the serial run and come back in registry order.
+    """
+    return run_points(_suite_point, suite_points(experiments, duration), jobs=jobs)
 
 
 def format_suite(entries: list[SuiteEntry]) -> str:

@@ -10,11 +10,40 @@ speed at which their fluid work drains.
 The solve is a small fixed-point iteration: the distress-driven core
 throttling reduces the demand cores can generate, which reduces distress.
 Damped iteration converges in a handful of rounds.
+
+Performance layer
+-----------------
+
+Workloads cycle through a small recurring set of source configurations, so
+the solver keeps a bounded LRU memo keyed on a canonical *solve signature*
+(see :meth:`ContentionSolver.solve_signature`). The signature covers every
+input the solve reads:
+
+* the ordered, canonicalized active source set (all profile fields),
+* per-source prefetcher-bank state (the enabled fraction over its cores),
+* the solver knobs (``snc_enabled``, ``priority_mode``,
+  ``qos_aware_prefetch``, the per-CLOS ``mba_caps``), and
+* the per-socket LLC CAT mask state.
+
+Anything that can change a solve's outcome MUST be part of the signature —
+adding a solver knob without extending the signature produces stale-cache
+bugs (see docs/model.md §"Solve signature invariants"). Per-source
+prefetch/LLC/SMT *static factors* are additionally memoized independently,
+so partial state changes (e.g. only an MBA cap moved) skip the O(n²) SMT
+pass and the per-way LLC allocation instead of recomputing from scratch.
+
+Cache observability flows through :class:`SolverStats` (per solver and the
+module-level aggregate), surfaced via ``Machine.solver_stats`` and the
+experiment harness. Set ``REPRO_SOLVER_CACHE=0`` (or call
+:func:`set_cache_default`) to disable all solver caching; the cached and
+uncached paths are numerically identical, which the test suite asserts.
 """
 
 from __future__ import annotations
 
 import enum
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
@@ -30,12 +59,107 @@ from repro.units import clamp
 #: Cross-subdomain (same socket) access latency penalty when SNC is on.
 _SNC_CROSS_PENALTY = 1.05
 
+#: Default bound on the per-solver solve-result memo.
+DEFAULT_SOLVE_CACHE_SIZE = 256
+#: Bound on each per-component static-factor memo (LLC / SMT / prefetch).
+_STATIC_CACHE_SIZE = 512
+
+#: Environment switch: ``REPRO_SOLVER_CACHE=0`` disables all solver caching.
+_CACHE_ENV = "REPRO_SOLVER_CACHE"
+
+_cache_default_enabled: bool | None = None
+
+
+def cache_default_enabled() -> bool:
+    """Whether new solvers are built with caching enabled."""
+    if _cache_default_enabled is not None:
+        return _cache_default_enabled
+    return os.environ.get(_CACHE_ENV, "1") != "0"
+
+
+def set_cache_default(enabled: bool | None) -> None:
+    """Override the process-wide cache default (``None`` = follow the env).
+
+    Only affects solvers constructed afterwards; used by the equivalence
+    tests and the benchmark harness to A/B the cached and uncached paths.
+    """
+    global _cache_default_enabled
+    _cache_default_enabled = enabled
+
 
 class Priority(enum.IntEnum):
     """Task priority classes (the paper's high-priority ML vs best-effort)."""
 
     LOW = 0
     HIGH = 1
+
+
+@dataclass
+class SolverStats:
+    """Counters describing the solver's work and cache behaviour."""
+
+    #: Total :meth:`ContentionSolver.solve` calls (including cached ones).
+    solves: int = 0
+    #: Solves answered from the solve-result memo.
+    cache_hits: int = 0
+    #: Solves that had to run the full fixed point.
+    cache_misses: int = 0
+    #: Machine-level re-solves skipped because the signature was unchanged.
+    signature_short_circuits: int = 0
+    #: Total fixed-point resolve passes executed across all full solves.
+    fixed_point_rounds: int = 0
+    #: Static-factor sub-results (LLC / SMT / prefetch) served from memo.
+    static_reuse: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Memo hit rate over solves that consulted the cache, in [0, 1]."""
+        consulted = self.cache_hits + self.cache_misses
+        return self.cache_hits / consulted if consulted else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """A plain-dict snapshot (for telemetry/JSON reporting)."""
+        return {
+            "solves": self.solves,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "signature_short_circuits": self.signature_short_circuits,
+            "fixed_point_rounds": self.fixed_point_rounds,
+            "static_reuse": self.static_reuse,
+        }
+
+    def add(self, other: "SolverStats") -> None:
+        """Accumulate ``other`` into this instance."""
+        self.solves += other.solves
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.signature_short_circuits += other.signature_short_circuits
+        self.fixed_point_rounds += other.fixed_point_rounds
+        self.static_reuse += other.static_reuse
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.solves = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.signature_short_circuits = 0
+        self.fixed_point_rounds = 0
+        self.static_reuse = 0
+
+
+#: Process-wide aggregate over every solver (fleet-level observability).
+GLOBAL_STATS = SolverStats()
+
+
+def global_stats() -> SolverStats:
+    """The process-wide aggregate :class:`SolverStats`."""
+    return GLOBAL_STATS
+
+
+def reset_global_stats() -> None:
+    """Zero the process-wide aggregate counters."""
+    GLOBAL_STATS.reset()
 
 
 @dataclass(frozen=True)
@@ -81,6 +205,31 @@ class TrafficSource:
             raise ConfigurationError("threads must be positive")
         if not self.cores:
             raise ConfigurationError("source needs at least one core")
+
+    def canonical_key(self) -> tuple:
+        """A hashable tuple covering every solve-relevant field.
+
+        ``mem_weights`` and ``cores`` are canonicalized by sorting so that
+        two sources with equal routing/placement hash identically regardless
+        of construction order.
+        """
+        return (
+            self.source_id,
+            self.task_id,
+            self.demand_gbps,
+            tuple(sorted(self.mem_weights.items())),
+            tuple(sorted(self.cores)),
+            self.threads,
+            self.clos,
+            int(self.priority),
+            self.prefetch,
+            self.working_set_mb,
+            self.llc_intensity,
+            self.llc_miss_traffic_gain,
+            self.llc_speed_sensitivity,
+            self.smt_aggression,
+            self.smt_sensitivity,
+        )
 
 
 @dataclass(frozen=True)
@@ -146,7 +295,11 @@ class SourceRates:
 
 @dataclass(frozen=True)
 class SolveResult:
-    """Machine-wide outcome of one contention solve."""
+    """Machine-wide outcome of one contention solve.
+
+    Instances may be shared between solves through the solver memo; treat
+    them (and their maps) as immutable.
+    """
 
     mc_loads: dict[int, McLoad]
     socket_pressures: dict[int, SocketPressure]
@@ -177,10 +330,10 @@ IDLE_RATES = SourceRates(
 def empty_solve_result(spec: MachineSpec) -> SolveResult:
     """The solve result of a machine with no active sources."""
     topo = Topology(spec)
-    mc_loads = {}
-    for socket_id, socket in enumerate(spec.sockets):
-        for local_index, mc_spec in enumerate(socket.memory_controllers):
-            mc_loads[2 * socket_id + local_index] = idle_load(mc_spec)
+    mc_loads = {
+        mc_id: idle_load(topo.mc_spec_of_subdomain(mc_id))
+        for mc_id in topo.mc_ids()
+    }
     pressures = {
         s: SocketPressure(saturation=0.0, core_throttle=1.0)
         for s in range(topo.num_sockets)
@@ -188,6 +341,23 @@ def empty_solve_result(spec: MachineSpec) -> SolveResult:
     return SolveResult(
         mc_loads=mc_loads, socket_pressures=pressures, upi_loads={}, source_rates={}
     )
+
+
+def _lru_get(cache: OrderedDict, key):
+    """Fetch + refresh an LRU entry (``None`` on miss)."""
+    value = cache.get(key)
+    if value is not None:
+        cache.move_to_end(key)
+    return value
+
+
+def _lru_put(cache: OrderedDict, key, value, cap: int) -> None:
+    """Insert an LRU entry, evicting the oldest beyond ``cap``."""
+    if cap <= 0:
+        return
+    cache[key] = value
+    while len(cache) > cap:
+        cache.popitem(last=False)
 
 
 class ContentionSolver:
@@ -199,17 +369,16 @@ class ContentionSolver:
         topology: Topology,
         prefetchers: PrefetcherBank,
         llcs: dict[int, LlcModel],
+        cache_size: int | None = None,
     ) -> None:
         self.spec = spec
         self.topology = topology
         self.prefetchers = prefetchers
         self.llcs = llcs
-        self._mc_models: dict[int, MemoryControllerModel] = {}
-        for socket_id, socket in enumerate(spec.sockets):
-            for local_index, mc_spec in enumerate(socket.memory_controllers):
-                self._mc_models[2 * socket_id + local_index] = MemoryControllerModel(
-                    mc_spec
-                )
+        self._mc_models: dict[int, MemoryControllerModel] = {
+            mc_id: MemoryControllerModel(topology.mc_spec_of_subdomain(mc_id))
+            for mc_id in topology.mc_ids()
+        }
         self._upi = UpiModel(spec.upi)
         #: Request-level prioritization at the controllers (HW-QoS estimate).
         self.priority_mode = False
@@ -221,6 +390,69 @@ class ContentionSolver:
         #: prefetchers self-throttle instantly in proportion to the home
         #: socket's memory saturation — no software sampling loop involved.
         self.qos_aware_prefetch = False
+
+        # ------------------------------------------------ performance layer
+        #: Master switch for the solve memo and static-factor memos. When
+        #: off, every solve recomputes from scratch (the reference path).
+        self.cache_enabled = cache_default_enabled()
+        self.cache_size = (
+            DEFAULT_SOLVE_CACHE_SIZE if cache_size is None else cache_size
+        )
+        self.stats = SolverStats()
+        self._solve_cache: OrderedDict[tuple, SolveResult] = OrderedDict()
+        self._llc_cache: OrderedDict[tuple, dict[str, float]] = OrderedDict()
+        self._smt_cache: OrderedDict[tuple, dict[str, float]] = OrderedDict()
+        self._pf_cache: OrderedDict[tuple, tuple[float, float]] = OrderedDict()
+        self._empty_result: SolveResult | None = None
+
+    # ------------------------------------------------------------ caching
+    def _knob_signature(self) -> tuple:
+        return (
+            self.snc_enabled,
+            self.priority_mode,
+            self.qos_aware_prefetch,
+            tuple(sorted(self.mba_caps.items())),
+        )
+
+    def _llc_state_signature(self) -> tuple:
+        return tuple(
+            (socket_id, llc.state_key())
+            for socket_id, llc in sorted(self.llcs.items())
+        )
+
+    def source_signature(self, source: TrafficSource) -> tuple:
+        """Canonical per-source key, including its prefetcher-bank state."""
+        return source.canonical_key() + (
+            self.prefetchers.enabled_fraction(source.cores),
+        )
+
+    def solve_signature(self, sources: list[TrafficSource]) -> tuple | None:
+        """The canonical, hashable key of one solve.
+
+        Covers the ordered active source set (with per-source prefetcher
+        state), the solver knobs, and the LLC CAT mask state — i.e. every
+        mutable input :meth:`solve` reads. Returns ``None`` when caching is
+        disabled (callers then always re-solve).
+        """
+        if not self.cache_enabled:
+            return None
+        return (
+            tuple(self.source_signature(s) for s in sources),
+            self._knob_signature(),
+            self._llc_state_signature(),
+        )
+
+    def clear_caches(self) -> None:
+        """Drop all memoized state (solve results and static factors)."""
+        self._solve_cache.clear()
+        self._llc_cache.clear()
+        self._smt_cache.clear()
+        self._pf_cache.clear()
+
+    def note_short_circuit(self) -> None:
+        """Record that a machine-level re-solve was skipped entirely."""
+        self.stats.signature_short_circuits += 1
+        GLOBAL_STATS.signature_short_circuits += 1
 
     # ------------------------------------------------------------ helpers
     def _socket_of_source(self, source: TrafficSource) -> int:
@@ -234,26 +466,51 @@ class ContentionSolver:
     def _subdomains_of_source(self, source: TrafficSource) -> set[int]:
         return {self.topology.subdomain_of_core(c) for c in source.cores}
 
-    def _static_factors(
-        self, sources: list[TrafficSource]
-    ) -> tuple[dict[str, float], dict[str, float], dict[str, float], dict[str, float]]:
-        """Per-source factors that do not depend on the fixed point.
+    # ------------------------------------------------------ static factors
+    # The three per-source "static" factor families (prefetch, LLC, SMT) do
+    # not depend on the fixed point, only on slices of the source set and
+    # hardware state. Each family is memoized on exactly the state it reads,
+    # so a solve whose signature differs only in, say, an MBA cap reuses all
+    # three instead of redoing the per-way LLC split and the O(n²) SMT pass.
 
-        Returns (prefetch_demand, prefetch_speed, llc_hit, smt_factor) maps.
-        """
-        pf_demand: dict[str, float] = {}
-        pf_speed: dict[str, float] = {}
-        for source in sources:
-            enabled = self.prefetchers.enabled_fraction(source.cores)
-            pf_demand[source.source_id] = source.prefetch.demand_factor(enabled)
-            pf_speed[source.source_id] = source.prefetch.speed_factor(enabled)
+    def _prefetch_factors(self, source: TrafficSource) -> tuple[float, float]:
+        """(demand_factor, speed_factor) for one source's prefetch state."""
+        enabled = self.prefetchers.enabled_fraction(source.cores)
+        if not self.cache_enabled:
+            return (
+                source.prefetch.demand_factor(enabled),
+                source.prefetch.speed_factor(enabled),
+            )
+        key = (source.prefetch, enabled)
+        hit = _lru_get(self._pf_cache, key)
+        if hit is not None:
+            self.stats.static_reuse += 1
+            GLOBAL_STATS.static_reuse += 1
+            return hit
+        value = (
+            source.prefetch.demand_factor(enabled),
+            source.prefetch.speed_factor(enabled),
+        )
+        _lru_put(self._pf_cache, key, value, _STATIC_CACHE_SIZE)
+        return value
 
-        # LLC hit fractions, resolved per socket.
+    def _llc_hit_fractions(
+        self, by_socket: dict[int, list[TrafficSource]]
+    ) -> dict[str, float]:
+        """Per-source LLC hit fractions, memoized per socket."""
         llc_hit: dict[str, float] = {}
-        by_socket: dict[int, list[TrafficSource]] = {}
-        for source in sources:
-            by_socket.setdefault(self._socket_of_source(source), []).append(source)
         for socket_id, socket_sources in by_socket.items():
+            request_key = tuple(
+                (s.source_id, s.working_set_mb, s.clos, s.llc_intensity)
+                for s in socket_sources
+            )
+            key = (socket_id, self.llcs[socket_id].state_key(), request_key)
+            cached = _lru_get(self._llc_cache, key) if self.cache_enabled else None
+            if cached is not None:
+                self.stats.static_reuse += 1
+                GLOBAL_STATS.static_reuse += 1
+                llc_hit.update(cached)
+                continue
             requests = [
                 LlcRequest(
                     task_id=s.source_id,
@@ -263,9 +520,25 @@ class ContentionSolver:
                 )
                 for s in socket_sources
             ]
-            llc_hit.update(self.llcs[socket_id].hit_fractions(requests))
+            fractions = self.llcs[socket_id].hit_fractions(requests)
+            if self.cache_enabled:
+                _lru_put(self._llc_cache, key, fractions, _STATIC_CACHE_SIZE)
+            llc_hit.update(fractions)
+        return llc_hit
 
-        # SMT sibling pressure from core overlap.
+    def _smt_factors(self, sources: list[TrafficSource]) -> dict[str, float]:
+        """SMT sibling-pressure factors, memoized on the overlap-relevant
+        slice of the source set (cores + SMT coefficients)."""
+        key = tuple(
+            (s.source_id, tuple(sorted(s.cores)), s.smt_aggression, s.smt_sensitivity)
+            for s in sources
+        )
+        if self.cache_enabled:
+            cached = _lru_get(self._smt_cache, key)
+            if cached is not None:
+                self.stats.static_reuse += 1
+                GLOBAL_STATS.static_reuse += 1
+                return cached
         smt: dict[str, float] = {}
         for source in sources:
             worst = 0.0
@@ -280,6 +553,32 @@ class ContentionSolver:
             smt[source.source_id] = clamp(
                 1.0 - source.smt_sensitivity * worst, 0.05, 1.0
             )
+        if self.cache_enabled:
+            _lru_put(self._smt_cache, key, smt, _STATIC_CACHE_SIZE)
+        return smt
+
+    def _static_factors(
+        self, sources: list[TrafficSource]
+    ) -> tuple[dict[str, float], dict[str, float], dict[str, float], dict[str, float]]:
+        """Per-source factors that do not depend on the fixed point.
+
+        Returns (prefetch_demand, prefetch_speed, llc_hit, smt_factor) maps.
+        The prefetch maps are freshly built per call (the QoS-aware-prefetch
+        branch mutates them); LLC and SMT maps may be memo-shared and must
+        not be mutated.
+        """
+        pf_demand: dict[str, float] = {}
+        pf_speed: dict[str, float] = {}
+        for source in sources:
+            demand, speed = self._prefetch_factors(source)
+            pf_demand[source.source_id] = demand
+            pf_speed[source.source_id] = speed
+
+        by_socket: dict[int, list[TrafficSource]] = {}
+        for source in sources:
+            by_socket.setdefault(self._socket_of_source(source), []).append(source)
+        llc_hit = self._llc_hit_fractions(by_socket)
+        smt = self._smt_factors(sources)
         return pf_demand, pf_speed, llc_hit, smt
 
     def _routing_latency_adjust(self, source: TrafficSource, subdomain: int) -> float:
@@ -296,11 +595,40 @@ class ContentionSolver:
         return 1.0  # cross-socket handled via UPI terms
 
     # -------------------------------------------------------------- solve
-    def solve(self, sources: list[TrafficSource]) -> SolveResult:
-        """Resolve the machine state for the given active sources."""
-        if not sources:
-            return empty_solve_result(self.spec)
+    def solve(
+        self, sources: list[TrafficSource], signature: tuple | None = None
+    ) -> SolveResult:
+        """Resolve the machine state for the given active sources.
 
+        ``signature`` may carry a pre-computed :meth:`solve_signature` (the
+        machine's recompute loop computes it anyway for its short-circuit
+        check); when omitted it is derived here.
+        """
+        self.stats.solves += 1
+        GLOBAL_STATS.solves += 1
+        if not sources:
+            if self._empty_result is None:
+                self._empty_result = empty_solve_result(self.spec)
+            return self._empty_result
+
+        if self.cache_enabled:
+            if signature is None:
+                signature = self.solve_signature(sources)
+            cached = _lru_get(self._solve_cache, signature)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                GLOBAL_STATS.cache_hits += 1
+                return cached
+            self.stats.cache_misses += 1
+            GLOBAL_STATS.cache_misses += 1
+
+        result = self._solve(sources)
+        if self.cache_enabled and signature is not None:
+            _lru_put(self._solve_cache, signature, result, self.cache_size)
+        return result
+
+    def _solve(self, sources: list[TrafficSource]) -> SolveResult:
+        """The full fixed-point computation (reference path, cache-free)."""
         pf_demand, pf_speed, llc_hit, smt = self._static_factors(sources)
         source_socket = {s.source_id: self._socket_of_source(s) for s in sources}
 
@@ -324,6 +652,8 @@ class ContentionSolver:
             )
 
         def resolve_pass():
+            self.stats.fixed_point_rounds += 1
+            GLOBAL_STATS.fixed_point_rounds += 1
             demand_hi = {m: 0.0 for m in self._mc_models}
             demand_lo = {m: 0.0 for m in self._mc_models}
             upi_demand: dict[tuple[int, int], float] = {}
@@ -425,15 +755,15 @@ class ContentionSolver:
                 )
                 if self.snc_enabled:
                     # Shared-mesh residual coupling from the sibling
-                    # subdomain on the same socket. Convex in the sibling's
+                    # subdomains on the same socket. Convex in a sibling's
                     # utilization: negligible at moderate load (preserving
                     # the paper's better-than-standalone behaviour under
                     # light pressure), material only near saturation.
-                    sibling = subdomain ^ 1
-                    slice_latency += (
-                        self.spec.mesh_coupling
-                        * mc_loads[sibling].utilization ** 3
-                    )
+                    for sibling in self.topology.sibling_subdomains(subdomain):
+                        slice_latency += (
+                            self.spec.mesh_coupling
+                            * mc_loads[sibling].utilization ** 3
+                        )
                 slice_latency += home_injection[target_socket]
                 if target_socket != home_socket:
                     upi = upi_loads.get((home_socket, target_socket))

@@ -68,6 +68,16 @@ class LlcModel:
         """Drop all masks back to the default (everyone sees all ways)."""
         self._clos_masks = {0: full_mask(self.spec)}
 
+    def state_key(self) -> tuple[tuple[int, int], ...]:
+        """Canonical, hashable snapshot of the CLOS→mask table.
+
+        Part of the solver's *solve signature*: any mutation that changes
+        hit-fraction outcomes (``set_clos_mask``/``reset``) changes this key,
+        so cached :class:`~repro.hw.contention.SolveResult` entries can never
+        be served across a CAT reconfiguration.
+        """
+        return tuple(sorted(self._clos_masks.items()))
+
     # -------------------------------------------------------------- solve
     def hit_fractions(self, requests: list[LlcRequest]) -> dict[str, float]:
         """Resolve hit fractions for all tasks sharing this LLC.

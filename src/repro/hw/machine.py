@@ -11,7 +11,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Protocol
 
 from repro.errors import SimulationError, TopologyError
-from repro.hw.contention import ContentionSolver, SolveResult, TrafficSource, empty_solve_result
+from repro.hw.contention import (
+    ContentionSolver,
+    SolveResult,
+    SolverStats,
+    TrafficSource,
+    empty_solve_result,
+)
 from repro.hw.llc import LlcModel
 from repro.hw.prefetcher import PrefetcherBank
 from repro.hw.spec import MachineSpec
@@ -58,6 +64,9 @@ class Machine:
         self._state: SolveResult = empty_solve_result(spec)
         self._in_recompute = False
         self._dirty = False
+        #: Solve signature of the state currently in force; ``None`` both
+        #: before the first solve and whenever caching is disabled.
+        self._last_signature: object | None = None
         self.telemetry.set_state(self._state, sim.now)
 
     # ---------------------------------------------------------- attributes
@@ -65,6 +74,11 @@ class Machine:
     def state(self) -> SolveResult:
         """The most recent contention solve."""
         return self._state
+
+    @property
+    def solver_stats(self) -> SolverStats:
+        """Performance counters of the embedded contention solver."""
+        return self.solver.stats
 
     @property
     def snc_enabled(self) -> bool:
@@ -115,6 +129,13 @@ class Machine:
 
         Re-entrant calls (a task reacting to new rates by changing phase) are
         coalesced into additional rounds of the outer loop.
+
+        Fast path: the solver's *solve signature* canonically captures every
+        input the solve depends on. When the signature matches the state
+        already in force, the solve (and the redundant telemetry segment) is
+        skipped entirely — tasks are still synced and re-offered the current
+        rates, because phase changes may need to reschedule completion events
+        even when contention is unchanged.
         """
         self._dirty = True
         if self._in_recompute:
@@ -135,8 +156,14 @@ class Machine:
                 sources: list[TrafficSource] = []
                 for task in self._tasks.values():
                     sources.extend(task.traffic_sources())
-                self._state = self.solver.solve(sources)
-                self.telemetry.set_state(self._state, now)
+                signature = self.solver.solve_signature(sources)
+                if signature is not None and signature == self._last_signature:
+                    # Inputs identical to the state in force: skip the solve.
+                    self.solver.note_short_circuit()
+                else:
+                    self._state = self.solver.solve(sources, signature=signature)
+                    self._last_signature = signature
+                    self.telemetry.set_state(self._state, now)
                 for task in list(self._tasks.values()):
                     task.apply_rates(self._state, now)
         finally:

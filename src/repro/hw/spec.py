@@ -107,9 +107,16 @@ class SocketSpec:
     def __post_init__(self) -> None:
         if self.cores <= 0:
             raise ConfigurationError("socket must have cores")
-        if len(self.memory_controllers) != 2:
+        if not self.memory_controllers:
             raise ConfigurationError(
-                "the subdomain model requires exactly two channel groups"
+                "the subdomain model requires at least one channel group "
+                "per socket"
+            )
+        if self.cores < len(self.memory_controllers):
+            raise ConfigurationError(
+                "socket needs at least one core per channel group "
+                f"(cores={self.cores}, channel groups="
+                f"{len(self.memory_controllers)})"
             )
         if not 0.0 <= self.backpressure_strength < 1.0:
             raise ConfigurationError("backpressure_strength must be in [0,1)")

@@ -60,6 +60,10 @@ class TelemetryAccumulator:
         self._snapshot = TelemetrySnapshot()
         self._last_time = 0.0
         self._state: SolveResult | None = None
+        #: How many distinct solve states have been installed. Together with
+        #: ``Machine.solver_stats`` this shows how much work the signature
+        #: short-circuit is avoiding: skipped re-solves never land here.
+        self.state_changes = 0
 
     @property
     def snapshot(self) -> TelemetrySnapshot:
@@ -70,6 +74,7 @@ class TelemetryAccumulator:
         """Switch to a new constant state, integrating the previous one."""
         self.advance(now)
         self._state = state
+        self.state_changes += 1
 
     def advance(self, now: float) -> None:
         """Integrate the current state up to ``now``."""

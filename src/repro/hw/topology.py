@@ -5,12 +5,19 @@ Numbering conventions used throughout the library:
 * **Cores** are numbered globally: socket ``s`` owns cores
   ``[s * cores_per_socket, (s+1) * cores_per_socket)``.
 * **Subdomains** (== channel groups == memory controllers) are numbered
-  globally as well: socket ``s`` owns subdomains ``2s`` and ``2s + 1``.
-  These ids double as NUMA node ids when SNC is enabled.
+  globally in socket order: socket ``s`` owns the contiguous id range
+  starting at the sum of the preceding sockets' channel-group counts. With
+  the standard dual-socket / two-channel-group presets this reduces to the
+  familiar ``{2s, 2s + 1}``. These ids double as NUMA node ids when SNC is
+  enabled.
 * When SNC is **off**, the OS-visible NUMA nodes are the sockets, and memory
-  bound to a socket interleaves across both of its subdomain controllers.
+  bound to a socket interleaves across all of its subdomain controllers.
   The library always routes traffic in terms of subdomain ids; binding to a
-  socket simply means a 50/50 weight across its two subdomains.
+  socket simply means equal weights across its subdomains.
+
+All subdomain/controller indexing in the library flows through this class —
+nothing else is allowed to hard-code the ``2s + local`` arithmetic, so hosts
+with one, two, or more channel groups per socket index consistently.
 """
 
 from __future__ import annotations
@@ -35,13 +42,18 @@ class Topology:
 
     @property
     def num_subdomains(self) -> int:
-        """Total channel groups (two per socket)."""
-        return 2 * self.num_sockets
+        """Total channel groups across all sockets."""
+        return sum(len(s.memory_controllers) for s in self.spec.sockets)
 
     def cores_per_socket(self, socket: int) -> int:
         """Physical core count of ``socket``."""
         self._check_socket(socket)
         return self.spec.sockets[socket].cores
+
+    def subdomains_per_socket(self, socket: int) -> int:
+        """Channel-group count of ``socket``."""
+        self._check_socket(socket)
+        return len(self.spec.sockets[socket].memory_controllers)
 
     # -------------------------------------------------------------- cores
     def socket_of_core(self, core: int) -> int:
@@ -54,12 +66,22 @@ class Topology:
         raise TopologyError(f"core {core} out of range")
 
     def subdomain_of_core(self, core: int) -> int:
-        """Subdomain owning ``core`` (lower half of a socket's cores belong
-        to its even subdomain, upper half to the odd one)."""
+        """Subdomain owning ``core``.
+
+        A socket's cores are split into contiguous, near-equal chunks, one
+        per channel group, in subdomain-id order (for the two-group presets:
+        lower half of a socket's cores belong to its even subdomain, upper
+        half to the odd one).
+        """
         socket = self.socket_of_core(core)
-        base = self.first_core(socket)
-        half = self.spec.sockets[socket].cores // 2
-        return 2 * socket + (0 if core - base < half else 1)
+        offset = core - self.first_core(socket)
+        cores = self.spec.sockets[socket].cores
+        groups = self.subdomains_per_socket(socket)
+        for local in range(groups):
+            if offset < ((local + 1) * cores) // groups:
+                return self.first_subdomain(socket) + local
+        # Unreachable: offset < cores by construction.
+        raise TopologyError(f"core {core} not mapped to a subdomain")
 
     def first_core(self, socket: int) -> int:
         """Global id of the first core on ``socket``."""
@@ -75,25 +97,60 @@ class Topology:
         """All global core ids in ``subdomain``."""
         socket = self.socket_of_subdomain(subdomain)
         cores = self.cores_of_socket(socket)
-        half = len(cores) // 2
-        return cores[:half] if subdomain % 2 == 0 else cores[half:]
+        groups = self.subdomains_per_socket(socket)
+        local = subdomain - self.first_subdomain(socket)
+        lo = (local * len(cores)) // groups
+        hi = ((local + 1) * len(cores)) // groups
+        return cores[lo:hi]
 
     # --------------------------------------------------------- subdomains
+    def first_subdomain(self, socket: int) -> int:
+        """Global id of the first subdomain on ``socket``."""
+        self._check_socket(socket)
+        return sum(
+            len(s.memory_controllers) for s in self.spec.sockets[:socket]
+        )
+
     def socket_of_subdomain(self, subdomain: int) -> int:
         """Socket owning ``subdomain``."""
-        if not 0 <= subdomain < self.num_subdomains:
-            raise TopologyError(f"subdomain {subdomain} out of range")
-        return subdomain // 2
+        remaining = subdomain
+        for socket_id, socket in enumerate(self.spec.sockets):
+            if remaining < len(socket.memory_controllers):
+                return socket_id
+            remaining -= len(socket.memory_controllers)
+        raise TopologyError(f"subdomain {subdomain} out of range")
 
-    def subdomains_of_socket(self, socket: int) -> tuple[int, int]:
-        """The two subdomain ids of ``socket``."""
-        self._check_socket(socket)
-        return (2 * socket, 2 * socket + 1)
+    def subdomains_of_socket(self, socket: int) -> tuple[int, ...]:
+        """The subdomain ids of ``socket`` (ascending)."""
+        first = self.first_subdomain(socket)
+        return tuple(range(first, first + self.subdomains_per_socket(socket)))
+
+    def sibling_subdomains(self, subdomain: int) -> tuple[int, ...]:
+        """The other subdomains sharing ``subdomain``'s socket.
+
+        These share the on-chip mesh and LLC coherence engine, which is what
+        the residual ``mesh_coupling`` term in the solver models.
+        """
+        socket = self.socket_of_subdomain(subdomain)
+        return tuple(
+            s for s in self.subdomains_of_socket(socket) if s != subdomain
+        )
+
+    def mc_ids(self) -> tuple[int, ...]:
+        """All global memory-controller (subdomain) ids, ascending."""
+        return tuple(range(self.num_subdomains))
+
+    def mc_spec_of_subdomain(self, subdomain: int):
+        """The :class:`~repro.hw.spec.MemoryControllerSpec` of ``subdomain``."""
+        socket = self.socket_of_subdomain(subdomain)
+        local = subdomain - self.first_subdomain(socket)
+        return self.spec.sockets[socket].memory_controllers[local]
 
     def socket_memory_weights(self, socket: int) -> dict[int, float]:
         """Interleaved routing weights for memory bound to a whole socket."""
-        a, b = self.subdomains_of_socket(socket)
-        return {a: 0.5, b: 0.5}
+        subdomains = self.subdomains_of_socket(socket)
+        weight = 1.0 / len(subdomains)
+        return {s: weight for s in subdomains}
 
     # ------------------------------------------------------------ helpers
     def _check_socket(self, socket: int) -> None:

@@ -15,6 +15,11 @@ PRIORITY_DEFAULT = 20
 #: Priority for bookkeeping that must observe everything else (e.g. samplers).
 PRIORITY_OBSERVE = 30
 
+#: Minimum heap size before cancelled-event compaction is considered.
+_COMPACT_MIN_HEAP = 64
+#: Compact when at least this fraction of pending events is cancelled.
+_COMPACT_FRACTION = 0.5
+
 
 class Simulator:
     """A deterministic calendar-queue discrete-event simulator.
@@ -35,6 +40,8 @@ class Simulator:
         self._rates_dirty = False
         self._running = False
         self._dispatched = 0
+        self._cancelled_pending = 0
+        self._compactions = 0
 
     # ------------------------------------------------------------------ time
     @property
@@ -46,6 +53,21 @@ class Simulator:
     def dispatched_events(self) -> int:
         """Total events dispatched so far (diagnostics/testing)."""
         return self._dispatched
+
+    @property
+    def pending_events(self) -> int:
+        """Events currently in the heap, including dead (cancelled) ones."""
+        return len(self._heap)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots."""
+        return self._cancelled_pending
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap has been compacted (diagnostics)."""
+        return self._compactions
 
     # ------------------------------------------------------------ scheduling
     def at(
@@ -63,7 +85,7 @@ class Simulator:
             )
         event = Event(time=time, priority=priority, callback=callback, label=label)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return EventHandle(event, self._note_cancel)
 
     def after(
         self,
@@ -149,6 +171,40 @@ class Simulator:
         finally:
             self._rates_dirty = False
 
+    # ----------------------------------------------------------- compaction
+    def _note_cancel(self, event: Event) -> None:
+        """Record one cancellation (hooked into every :class:`EventHandle`)."""
+        self._cancelled_pending += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Compact if the heap is mostly dead events.
+
+        Lazy cancellation keeps :meth:`EventHandle.cancel` O(1) but leaves
+        tombstones in the heap; long fleet runs that continually reschedule
+        completion events would otherwise accumulate unbounded dead entries.
+        When at least half of a non-trivial heap is cancelled, rebuilding it
+        is amortized O(1) per cancellation.
+        """
+        if (
+            len(self._heap) >= _COMPACT_MIN_HEAP
+            and self._cancelled_pending >= _COMPACT_FRACTION * len(self._heap)
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop all cancelled events from the heap and re-heapify.
+
+        Safe at any point: events order by ``(time, priority, sequence)``
+        which is preserved by rebuilding, so dispatch order is unchanged.
+        """
+        if not self._cancelled_pending:
+            return
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
+        self._compactions += 1
+
     # ---------------------------------------------------------------- run
     def run_until(self, end_time: float, *, max_events: int | None = None) -> None:
         """Dispatch events in order until simulated time reaches ``end_time``.
@@ -171,6 +227,8 @@ class Simulator:
                     break
                 heapq.heappop(self._heap)
                 if event.cancelled:
+                    if self._cancelled_pending > 0:
+                        self._cancelled_pending -= 1
                     continue
                 self._now = event.time
                 event.callback()
@@ -200,4 +258,6 @@ class Simulator:
             if not wanted or event.label in wanted:
                 event.cancelled = True
                 count += 1
+        self._cancelled_pending += count
+        self._maybe_compact()
         return count

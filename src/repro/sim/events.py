@@ -34,13 +34,19 @@ class EventHandle:
     """A cancellable reference to a scheduled :class:`Event`.
 
     The engine never removes cancelled events from the heap eagerly; it skips
-    them when they surface. Cancellation is therefore O(1).
+    them when they surface. Cancellation is therefore O(1). The engine may,
+    however, *compact* the heap when cancelled events pile up — it learns
+    about cancellations through the ``on_cancel`` hook so it can keep an
+    exact count without scanning.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_on_cancel")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(
+        self, event: Event, on_cancel: Callable[[Event], None] | None = None
+    ) -> None:
         self._event = event
+        self._on_cancel = on_cancel
 
     @property
     def time(self) -> float:
@@ -59,4 +65,8 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event's callback from running. Idempotent."""
+        if self._event.cancelled:
+            return
         self._event.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel(self._event)

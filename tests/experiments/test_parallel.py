@@ -1,0 +1,107 @@
+"""Tests for the deterministic process-pool sweep runner.
+
+The engine's contract: results are returned in point order and are
+bit-identical regardless of the worker count, because each point runs under
+a deterministic ``(base_seed, index)`` re-seed and fixed work partitioning.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cluster.fleet import FLEET_BLOCK_MACHINES, FleetSurvey
+from repro.errors import ExperimentError
+from repro.experiments.suite import run_suite
+from repro.parallel import point_seed, resolve_jobs, run_points
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _draw(x: int) -> tuple[int, float, float]:
+    """Uses both global RNGs: exercises the per-point re-seeding."""
+    return (x, random.random(), float(np.random.random()))
+
+
+class TestResolveJobs:
+    def test_default_is_one(self, monkeypatch: pytest.MonkeyPatch) -> None:
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_env_fallback(self, monkeypatch: pytest.MonkeyPatch) -> None:
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs() == 4
+        assert resolve_jobs(2) == 2  # explicit beats the env
+
+    def test_bad_env_raises(self, monkeypatch: pytest.MonkeyPatch) -> None:
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ExperimentError):
+            resolve_jobs()
+
+    def test_non_positive_raises(self) -> None:
+        with pytest.raises(ExperimentError):
+            resolve_jobs(0)
+
+
+class TestPointSeed:
+    def test_deterministic(self) -> None:
+        assert point_seed(7, 3) == point_seed(7, 3)
+
+    def test_distinct_across_indices_and_seeds(self) -> None:
+        seeds = {point_seed(s, i) for s in range(4) for i in range(16)}
+        assert len(seeds) == 64
+
+    def test_32bit_range(self) -> None:
+        for i in range(100):
+            assert 0 <= point_seed(12345, i) < 2**32
+
+
+class TestRunPoints:
+    def test_serial_order(self) -> None:
+        assert run_points(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_parallel_equals_serial(self) -> None:
+        points = list(range(8))
+        serial = run_points(_square, points)
+        parallel = run_points(_square, points, jobs=2)
+        assert serial == parallel
+
+    def test_rng_reseeding_is_jobs_invariant(self) -> None:
+        points = list(range(6))
+        serial = run_points(_draw, points, base_seed=11)
+        parallel = run_points(_draw, points, jobs=3, base_seed=11)
+        assert serial == parallel
+
+    def test_base_seed_changes_draws(self) -> None:
+        a = run_points(_draw, [0, 1], base_seed=1)
+        b = run_points(_draw, [0, 1], base_seed=2)
+        assert a != b
+
+    def test_empty_points(self) -> None:
+        assert run_points(_square, []) == []
+
+
+class TestFleetParallel:
+    def test_block_partition_covers_fleet(self) -> None:
+        survey = FleetSurvey(machines=FLEET_BLOCK_MACHINES + 10, seed=3)
+        assert survey.num_blocks() == 2
+        assert len(survey.machine_p99()) == survey.machines
+
+    def test_jobs_invariant(self) -> None:
+        survey = FleetSurvey(machines=600, seed=7)
+        serial = survey.machine_p99()
+        parallel = survey.machine_p99(jobs=2)
+        assert np.array_equal(serial, parallel)
+
+
+class TestSuiteParallel:
+    def test_parallel_suite_equals_serial(self) -> None:
+        subset = ["fig02", "table1"]
+        serial = run_suite(experiments=subset, duration=10.0)
+        parallel = run_suite(experiments=subset, duration=10.0, jobs=2)
+        assert [e.exp_id for e in serial] == [e.exp_id for e in parallel]
+        assert [e.text for e in serial] == [e.text for e in parallel]

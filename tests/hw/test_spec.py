@@ -45,9 +45,30 @@ class TestSocketSpec:
         spec = SocketSpec()
         assert spec.peak_bw_gbps == pytest.approx(76.8)
 
-    def test_requires_two_channel_groups(self) -> None:
+    def test_accepts_any_positive_channel_group_count(self) -> None:
+        # The subdomain model is generalized: 1, 2 and 4 channel groups are
+        # all valid socket layouts.
+        for groups in (1, 2, 4):
+            spec = SocketSpec(
+                memory_controllers=tuple(
+                    MemoryControllerSpec() for _ in range(groups)
+                )
+            )
+            assert len(spec.memory_controllers) == groups
+
+    def test_requires_at_least_one_channel_group(self) -> None:
         with pytest.raises(ConfigurationError):
-            SocketSpec(memory_controllers=(MemoryControllerSpec(),))
+            SocketSpec(memory_controllers=())
+
+    def test_requires_core_per_channel_group(self) -> None:
+        with pytest.raises(ConfigurationError):
+            SocketSpec(
+                cores=1,
+                memory_controllers=(
+                    MemoryControllerSpec(),
+                    MemoryControllerSpec(),
+                ),
+            )
 
     def test_backpressure_strength_bounds(self) -> None:
         with pytest.raises(ConfigurationError):

@@ -61,3 +61,68 @@ class TestTopology:
     def test_bad_socket_raises(self, topo: Topology) -> None:
         with pytest.raises(TopologyError):
             topo.cores_of_socket(2)
+
+    def test_sibling_subdomains(self, topo: Topology) -> None:
+        assert topo.sibling_subdomains(0) == (1,)
+        assert topo.sibling_subdomains(1) == (0,)
+        assert topo.sibling_subdomains(2) == (3,)
+
+    def test_mc_ids(self, topo: Topology) -> None:
+        assert topo.mc_ids() == (0, 1, 2, 3)
+        specs = [topo.mc_spec_of_subdomain(m) for m in topo.mc_ids()]
+        assert all(s.peak_bw_gbps > 0 for s in specs)
+
+
+class TestIrregularLayouts:
+    """The subdomain arithmetic must not assume two channel groups."""
+
+    @staticmethod
+    def _machine(groups_per_socket: tuple[int, ...]) -> Topology:
+        from repro.hw.spec import MemoryControllerSpec, SocketSpec
+
+        return Topology(
+            MachineSpec(
+                sockets=tuple(
+                    SocketSpec(
+                        cores=16,
+                        memory_controllers=tuple(
+                            MemoryControllerSpec() for _ in range(groups)
+                        ),
+                    )
+                    for groups in groups_per_socket
+                )
+            )
+        )
+
+    def test_single_group_socket(self) -> None:
+        topo = self._machine((1, 1))
+        assert topo.num_subdomains == 2
+        assert topo.subdomains_of_socket(0) == (0,)
+        assert topo.subdomains_of_socket(1) == (1,)
+        assert topo.sibling_subdomains(0) == ()
+        assert topo.cores_of_subdomain(0) == tuple(range(16))
+        assert topo.socket_memory_weights(1) == {1: 1.0}
+
+    def test_four_group_socket(self) -> None:
+        topo = self._machine((4, 4))
+        assert topo.num_subdomains == 8
+        assert topo.subdomains_of_socket(1) == (4, 5, 6, 7)
+        assert topo.sibling_subdomains(5) == (4, 6, 7)
+        combined = sum((topo.cores_of_subdomain(s) for s in range(4)), ())
+        assert combined == topo.cores_of_socket(0)
+        weights = topo.socket_memory_weights(0)
+        assert weights == {0: 0.25, 1: 0.25, 2: 0.25, 3: 0.25}
+
+    def test_asymmetric_sockets(self) -> None:
+        topo = self._machine((1, 3))
+        assert topo.num_subdomains == 4
+        assert topo.subdomains_of_socket(0) == (0,)
+        assert topo.subdomains_of_socket(1) == (1, 2, 3)
+        assert topo.socket_of_subdomain(3) == 1
+        # Near-equal contiguous core chunks: 16 cores over 3 groups.
+        sizes = [len(topo.cores_of_subdomain(s)) for s in (1, 2, 3)]
+        assert sum(sizes) == 16
+        assert max(sizes) - min(sizes) <= 1
+        for core in topo.cores_of_socket(1):
+            sub = topo.subdomain_of_core(core)
+            assert core in topo.cores_of_subdomain(sub)

@@ -139,6 +139,55 @@ class TestGuards:
         with pytest.raises(SimulationError):
             sim.run_until(4.0)
 
+
+class TestHeapCompaction:
+    def test_cancel_storm_triggers_compaction(self, sim: Simulator) -> None:
+        handles = [sim.at(float(i + 1), lambda: None) for i in range(200)]
+        assert sim.pending_events == 200
+        for handle in handles[:150]:
+            handle.cancel()
+        # More than half the heap was dead; it must have been compacted.
+        assert sim.compactions >= 1
+        assert sim.cancelled_pending == 0
+        assert sim.pending_events == 50
+
+    def test_compaction_preserves_dispatch_order(self, sim: Simulator) -> None:
+        order: list[int] = []
+        handles = []
+        for i in range(200):
+            def cb(i: int = i) -> None:
+                order.append(i)
+            handles.append(sim.at(float(i + 1), cb))
+        for handle in handles[::2]:  # cancel every even event
+            handle.cancel()
+        assert sim.compactions >= 1
+        sim.run_until(300.0)
+        assert order == list(range(1, 200, 2))
+
+    def test_drain_compacts(self, sim: Simulator) -> None:
+        for i in range(100):
+            sim.at(float(i + 1), lambda: None, label="bulk")
+        assert sim.drain(["bulk"]) == 100
+        assert sim.cancelled_pending == 0
+        assert sim.pending_events == 0
+        assert sim.compactions >= 1
+
+    def test_small_heaps_stay_lazy(self, sim: Simulator) -> None:
+        handles = [sim.at(float(i + 1), lambda: None) for i in range(10)]
+        for handle in handles:
+            handle.cancel()
+        # Below the compaction floor: tombstones stay until dispatch.
+        assert sim.compactions == 0
+        assert sim.cancelled_pending == 10
+        sim.run_until(20.0)
+        assert sim.cancelled_pending == 0
+
+    def test_manual_compact_noop_when_clean(self, sim: Simulator) -> None:
+        sim.at(1.0, lambda: None)
+        sim.compact()
+        assert sim.compactions == 0
+        assert sim.pending_events == 1
+
     def test_dispatched_events_counts(self, sim: Simulator) -> None:
         for t in (1.0, 2.0, 3.0):
             sim.at(t, lambda: None)
