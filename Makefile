@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench report
+.PHONY: test bench report lint check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -11,3 +11,16 @@ bench:
 
 report:
 	$(PYTHON) -m repro report --jobs $(or $(JOBS),4)
+
+# Lint with ruff when it is installed; skip (with a notice) otherwise so
+# `make check` works in minimal environments without extra installs.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests scripts; \
+	elif $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check src tests scripts; \
+	else \
+		echo "ruff not installed; skipping lint (pip install ruff to enable)"; \
+	fi
+
+check: lint test

@@ -38,6 +38,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.registry import experiment_ids, run_experiment
 from repro.hw import Machine, Placement
+from repro.obs import ObsConfig, RunObserver
 from repro.hw.spec import (
     MachineSpec,
     cloud_tpu_host_spec,
@@ -60,9 +61,11 @@ __all__ = [
     "MachineSpec",
     "MixConfig",
     "Node",
+    "ObsConfig",
     "Placement",
     "QosProfile",
     "ReproError",
+    "RunObserver",
     "Simulator",
     "Watermark",
     "__version__",

@@ -4,17 +4,36 @@ Usage::
 
     python -m repro list
     python -m repro run fig05
+    python -m repro run fig13 --trace-out out/ --metrics-out out/m.jsonl
     python -m repro run fig07 --ml cnn1
     python -m repro mix --ml cnn1 --policy KP --cpu stitch --intensity 4
+
+Observability: ``--trace-out DIR`` writes a Perfetto-loadable
+``trace.json`` plus a run manifest into ``DIR``; ``--metrics-out FILE``
+writes the JSONL metric/record stream. The ``REPRO_TRACE`` environment
+variable provides a default trace directory when the flag is absent. See
+``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.experiments.common import MixConfig, run_colocation
 from repro.experiments.registry import experiment_ids, run_experiment
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="DIR",
+        help="write trace.json + manifest into DIR (default: $REPRO_TRACE)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the JSONL metrics/records stream to FILE",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -41,6 +60,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for experiments with internal sweeps "
              "(fig02/fig05/fig16); default REPRO_JOBS or 1",
     )
+    _add_obs_arguments(run)
 
     report = sub.add_parser(
         "report", help="run every experiment and write one report"
@@ -58,6 +78,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the experiment sweep; results are "
              "identical to a serial run (default REPRO_JOBS or 1)",
     )
+    _add_obs_arguments(report)
 
     mix = sub.add_parser("mix", help="run a single colocation mix")
     mix.add_argument("--ml", required=True, help="rnn1 | cnn1 | cnn2 | cnn3")
@@ -66,7 +87,25 @@ def _build_parser() -> argparse.ArgumentParser:
     mix.add_argument("--intensity", default="1", help="instances/threads/level")
     mix.add_argument("--duration", type=float, default=40.0)
     mix.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(mix)
     return parser
+
+
+def _make_observer(args: argparse.Namespace, name: str):
+    """Build a RunObserver from the CLI flags (and ``REPRO_TRACE``)."""
+    from repro.obs import ObsConfig, RunObserver
+
+    config = ObsConfig.from_env(
+        trace_out=getattr(args, "trace_out", None),
+        metrics_out=getattr(args, "metrics_out", None),
+    )
+    return RunObserver(config, name=name)
+
+
+def _finalize_observer(observer, command: str) -> None:
+    """Write any configured outputs and echo their paths."""
+    for path in observer.finalize(command=command):
+        print(f"wrote {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -79,8 +118,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
-        from repro.experiments.registry import JOBS_AWARE
+        from repro.experiments.registry import JOBS_AWARE, OBS_AWARE
 
+        observer = _make_observer(args, args.experiment)
         kwargs = {}
         if args.ml:
             kwargs["ml"] = args.ml
@@ -88,23 +128,43 @@ def main(argv: list[str] | None = None) -> int:
             kwargs["duration"] = args.duration
         if args.jobs is not None and args.experiment in JOBS_AWARE:
             kwargs["jobs"] = args.jobs
+        if observer.enabled and args.experiment in OBS_AWARE:
+            kwargs["observer"] = observer
+        started = time.perf_counter()
         _, text = run_experiment(args.experiment, **kwargs)
         print(text)
+        if observer.enabled:
+            wall = time.perf_counter() - started
+            observer.add_span(
+                "cli", "experiments", args.experiment, 0.0, wall,
+            )
+            observer.note_config(
+                experiment=args.experiment, ml=args.ml, duration=args.duration,
+            )
+            _finalize_observer(observer, f"repro run {args.experiment}")
         return 0
 
     if args.command == "report":
         from repro.experiments.suite import format_suite, run_suite
 
+        observer = _make_observer(args, "report")
         entries = run_suite(
-            experiments=args.only, duration=args.duration, jobs=args.jobs
+            experiments=args.only, duration=args.duration, jobs=args.jobs,
+            observer=observer if observer.enabled else None,
         )
         text = format_suite(entries)
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text)
         print(f"wrote {args.out} ({len(entries)} experiments)")
+        if observer.enabled:
+            _finalize_observer(observer, "repro report")
         return 0
 
     if args.command == "mix":
+        from repro.sim.tracing import TimelineTracer
+
+        observer = _make_observer(args, "mix")
+        tracer = TimelineTracer() if observer.enabled else None
         intensity: int | str = args.intensity
         if isinstance(intensity, str) and intensity.isdigit():
             intensity = int(intensity)
@@ -116,7 +176,10 @@ def main(argv: list[str] | None = None) -> int:
                 intensity=intensity,
                 duration=args.duration,
                 seed=args.seed,
-            )
+            ),
+            tracer=tracer,
+            observer=observer if observer.enabled else None,
+            label=f"mix:{args.ml}+{args.cpu or 'none'}:{args.policy}",
         )
         print(f"ml_perf_norm     {result.ml_perf_norm:.3f}")
         if result.ml_tail_norm is not None:
@@ -129,6 +192,8 @@ def main(argv: list[str] | None = None) -> int:
                 f"lo_prefetchers={last.lo_prefetchers} "
                 f"backfill_cores={last.backfill_cores}"
             )
+        if observer.enabled:
+            _finalize_observer(observer, "repro mix")
         return 0
 
     return 1

@@ -38,6 +38,23 @@ class KelpTickRecord:
     lo_cores: int
     lo_prefetchers: int
 
+    def as_dict(self) -> dict[str, float | str]:
+        """A flat JSON-clean row (the ``tick`` record of the JSONL export)."""
+        m = self.measurements
+        return {
+            "time": self.time,
+            "socket_bw_gbps": m.socket_bw,
+            "socket_latency": m.socket_latency,
+            "saturation": m.saturation,
+            "hipri_bw_gbps": m.hipri_bw,
+            "window_s": m.elapsed,
+            "action_hi": self.action_hi.value,
+            "action_lo": self.action_lo.value,
+            "backfill_cores": self.backfill_cores,
+            "lo_cores": self.lo_cores,
+            "lo_prefetchers": self.lo_prefetchers,
+        }
+
 
 @dataclass
 class KelpRuntime:
@@ -154,8 +171,11 @@ class KelpRuntime:
         if self.manage_backfill and self.node.backfill_tasks:
             spare = list(self.node.hi_subdomain_cores())
             # Backfill occupies the *highest* hi-subdomain core ids so the
-            # ML task keeps the lowest ones.
-            count = max(self.profile.min_backfill_cores, self._hi_plan.core_num)
-            backfill_mask = frozenset(spare[-max(1, count):])
+            # ML task keeps the lowest ones. The plan invariant already
+            # guarantees ``core_num >= min_core_num``; a plan throttled all
+            # the way to zero must yield an *empty* cpuset (parked tasks),
+            # not a lingering one-core mask stealing hi-subdomain bandwidth.
+            count = self._hi_plan.core_num
+            backfill_mask = frozenset(spare[-count:]) if count > 0 else frozenset()
             for task in self.node.backfill_tasks:
                 self.node.cpuset.set_cpus(task, backfill_mask)

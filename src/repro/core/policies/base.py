@@ -104,6 +104,16 @@ class IsolationPolicy(abc.ABC):
     def parameter_history(self) -> list[ParameterSample]:
         """Knob values over time, for the Fig 11/12 plots."""
 
+    def tick_history(self) -> list:
+        """Full controller tick records (measurements + decisions).
+
+        Policies built on :class:`~repro.core.kelp.KelpRuntime` return its
+        :class:`~repro.core.kelp.KelpTickRecord` stream; others have no
+        Algorithm-1 loop and return an empty list. Consumed by the
+        observability layer (:mod:`repro.obs`) for the JSONL tick export.
+        """
+        return []
+
     # ------------------------------------------------------------ helpers
     def _spare_socket_cores(self) -> tuple[int, ...]:
         """Socket-0 cores not reserved for the ML task (SNC-off layouts)."""

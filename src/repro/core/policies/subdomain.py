@@ -69,6 +69,9 @@ class SubdomainPolicy(IsolationPolicy):
         if self._runtime is not None:
             self._runtime.tick()
 
+    def tick_history(self) -> list:
+        return list(self._runtime.history) if self._runtime is not None else []
+
     def parameter_history(self) -> list[ParameterSample]:
         if self._runtime is None:
             return []

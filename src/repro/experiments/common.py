@@ -9,17 +9,21 @@ throughput, and the controller's parameter history.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.cluster.node import Node
+from repro.cluster.node import ACCEL_SOCKET, HI_SUBDOMAIN, LO_SUBDOMAIN, Node
 from repro.core.policies import IsolationPolicy, ParameterSample, make_policy
 from repro.core.policies.base import ROLE_BACKFILL, ROLE_LO
 from repro.errors import ExperimentError
 from repro.sim import Simulator
-from repro.sim.engine import PRIORITY_CONTROL
+from repro.sim.engine import PRIORITY_CONTROL, PRIORITY_OBSERVE
 from repro.sim.tracing import TimelineTracer
 from repro.workloads.cpu.base import BatchTask
 from repro.workloads.cpu.catalog import cpu_workload
 from repro.workloads.ml.catalog import MlInstance, ml_workload
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import RunObserver
 
 #: Default simulated measurement horizon, seconds.
 DEFAULT_DURATION = 40.0
@@ -93,10 +97,34 @@ def standalone_performance(
     return _STANDALONE_CACHE[key]
 
 
+def _telemetry_sample(node: Node) -> dict[str, float]:
+    """One windowed read of the run-observer's dedicated perf reader."""
+    reading = node.perf.read("obs")
+    return {
+        "time": node.sim.now,
+        "window_s": reading.elapsed,
+        "socket_bw_gbps": reading.socket_bandwidth_gbps.get(ACCEL_SOCKET, 0.0),
+        "socket_latency": reading.socket_latency_factor.get(ACCEL_SOCKET, 1.0),
+        "saturation": reading.socket_saturation.get(ACCEL_SOCKET, 0.0),
+        "hipri_bw_gbps": reading.subdomain_bandwidth_gbps.get(HI_SUBDOMAIN, 0.0),
+        "lopri_bw_gbps": reading.subdomain_bandwidth_gbps.get(LO_SUBDOMAIN, 0.0),
+        "socket_throttle": reading.socket_throttle.get(ACCEL_SOCKET, 1.0),
+    }
+
+
 def run_colocation(
-    config: MixConfig, tracer: TimelineTracer | None = None
+    config: MixConfig,
+    tracer: TimelineTracer | None = None,
+    observer: "RunObserver | None" = None,
+    label: str | None = None,
 ) -> ColocationResult:
-    """Execute one colocation run and collect its measurements."""
+    """Execute one colocation run and collect its measurements.
+
+    ``observer`` (a :class:`repro.obs.RunObserver`) additionally exports the
+    controller's tick records, solver stats and a telemetry time-series
+    sampled every control interval. When ``observer`` is ``None`` or
+    disabled, the run pays no observability cost at all.
+    """
     if config.duration <= config.warmup:
         raise ExperimentError("duration must exceed warmup")
     factory = ml_workload(config.ml)
@@ -143,7 +171,19 @@ def run_colocation(
             priority=PRIORITY_CONTROL,
         )
 
+    observing = observer is not None and observer.enabled
+    telemetry_rows: list[dict[str, float]] = []
+    if observing:
+        sim.every(
+            config.interval,
+            lambda: telemetry_rows.append(_telemetry_sample(node)),
+            label="obs:telemetry",
+            priority=PRIORITY_OBSERVE,
+        )
+
     sim.run_until(config.duration)
+    if tracer is not None:
+        tracer.flush(sim.now)
 
     ml_perf = ml_instance.performance(config.duration)
     ml_tail = ml_instance.tail_latency()
@@ -153,7 +193,7 @@ def run_colocation(
         else (ml_perf, ml_tail)
     )
     cpu_throughput = sum(task.throughput(config.duration) for task in cpu_tasks)
-    return ColocationResult(
+    result = ColocationResult(
         config=config,
         ml_perf=ml_perf,
         ml_perf_norm=ml_perf / ref_perf if ref_perf > 0 else 0.0,
@@ -166,3 +206,14 @@ def run_colocation(
         events_dispatched=sim.dispatched_events,
         solver_stats=node.machine.solver_stats.as_dict(),
     )
+    if observing:
+        run_label = label or f"{config.ml}+{config.cpu or 'none'}:{config.policy}"
+        observer.record_colocation(
+            run_label,
+            result,
+            ticks=policy.tick_history(),
+            telemetry=telemetry_rows,
+        )
+        if tracer is not None:
+            observer.observe_tracer(run_label, tracer)
+    return result

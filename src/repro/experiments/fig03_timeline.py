@@ -10,6 +10,7 @@ TPU phases are unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.cluster.node import ACCEL_SOCKET, Node
 from repro.experiments.report import format_table
@@ -20,6 +21,9 @@ from repro.workloads.cpu.base import BatchTask
 from repro.workloads.cpu.catalog import cpu_workload
 from repro.workloads.loadgen import SerialGenerator
 from repro.workloads.ml.catalog import ml_workload
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import RunObserver
 
 
 @dataclass(frozen=True)
@@ -70,6 +74,9 @@ def _trace_run(with_aggressor: bool, requests: int = 40) -> tuple[PhaseTimes, li
     generator = SerialGenerator(instance.task, total_requests=requests)
     generator.start()
     sim.run_until(60.0)
+    # Close any phase still in flight at simulation end: an open interval
+    # would otherwise be dropped, truncating the Fig 3 timeline.
+    tracer.flush(sim.now)
     times = PhaseTimes(
         cpu=tracer.total_time("rnn1", "cpu"),
         communication=tracer.total_time("rnn1", "communication"),
@@ -78,11 +85,13 @@ def _trace_run(with_aggressor: bool, requests: int = 40) -> tuple[PhaseTimes, li
     return times, tracer.intervals
 
 
-def run_fig03(requests: int = 40) -> Fig03Result:
+def run_fig03(
+    requests: int = 40, observer: "RunObserver | None" = None
+) -> Fig03Result:
     """Trace the serial-request timeline with and without the aggressor."""
     standalone, intervals_s = _trace_run(False, requests)
     colocation, intervals_c = _trace_run(True, requests)
-    return Fig03Result(
+    result = Fig03Result(
         standalone=standalone,
         colocation=colocation,
         cpu_stretch=colocation.cpu / standalone.cpu if standalone.cpu else 0.0,
@@ -90,6 +99,23 @@ def run_fig03(requests: int = 40) -> Fig03Result:
         standalone_intervals=intervals_s,
         colocation_intervals=intervals_c,
     )
+    if observer is not None and observer.enabled:
+        observer.trace.add_intervals("fig03:standalone", intervals_s)
+        observer.trace.add_intervals("fig03:colocation", intervals_c)
+        for config, times in (
+            ("standalone", standalone), ("colocation", colocation)
+        ):
+            observer.record(
+                "fig03_phase_times",
+                config=config,
+                cpu_s=times.cpu,
+                communication_s=times.communication,
+                tpu_s=times.tpu,
+            )
+        observer.metrics.gauge("fig03.cpu_stretch").set(result.cpu_stretch)
+        observer.metrics.gauge("fig03.tpu_stretch").set(result.tpu_stretch)
+        observer.note_config(fig03_requests=requests)
+    return result
 
 
 def format_fig03(result: Fig03Result) -> str:

@@ -8,16 +8,25 @@ any prefetchers at low thread counts.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.experiments.fig11_params_cnn1 import (
     ParamSweepResult,
     format_params,
     run_param_sweep,
 )
 
+if TYPE_CHECKING:
+    from repro.obs.recorder import RunObserver
 
-def run_fig12(duration: float = 40.0) -> ParamSweepResult:
+
+def run_fig12(
+    duration: float = 40.0, observer: "RunObserver | None" = None
+) -> ParamSweepResult:
     """The RNN1 + CPUML parameter sweep (Fig 12a-c)."""
-    return run_param_sweep("rnn1", "cpuml", (2, 4, 6, 8, 10, 12), duration)
+    return run_param_sweep(
+        "rnn1", "cpuml", (2, 4, 6, 8, 10, 12), duration, observer=observer
+    )
 
 
 def format_fig12(result: ParamSweepResult) -> str:

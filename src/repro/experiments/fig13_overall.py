@@ -14,10 +14,14 @@ slightly worse ML (+4 %) but ~19 % more CPU throughput.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.experiments.common import MixConfig, run_colocation
 from repro.experiments.report import format_table
 from repro.metrics.slowdown import arithmetic_mean, harmonic_mean
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import RunObserver
 
 POLICIES = ("BL", "CT", "KP-SD", "KP")
 #: The evaluation's CPU-workload intensities: a saturating Stream, the
@@ -76,8 +80,15 @@ def run_fig13(
     policies: tuple[str, ...] = POLICIES,
     ml_workloads: tuple[str, ...] = ML_WORKLOADS,
     mixes: tuple[tuple[str, int | str], ...] = MIXES,
+    observer: "RunObserver | None" = None,
 ) -> Fig13Result:
-    """Run the full mix matrix. CPU throughput is normalized per-mix to BL."""
+    """Run the full mix matrix. CPU throughput is normalized per-mix to BL.
+
+    With an enabled ``observer`` every cell exports its controller tick
+    records, solver stats and telemetry series, plus per-cell and
+    per-policy roll-up metrics.
+    """
+    observing = observer is not None and observer.enabled
     cells: list[MixCell] = []
     bl_cpu: dict[tuple[str, str], float] = {}
     for ml in ml_workloads:
@@ -85,22 +96,44 @@ def run_fig13(
             for policy in policies:
                 result = run_colocation(
                     MixConfig(ml=ml, policy=policy, cpu=cpu, intensity=intensity,
-                              duration=duration)
+                              duration=duration),
+                    observer=observer,
+                    label=f"fig13:{ml}+{cpu}:{policy}",
                 )
                 if policy == "BL":
                     bl_cpu[(ml, cpu)] = result.cpu_throughput or 1e-9
-                cells.append(
-                    MixCell(
-                        ml=ml,
-                        cpu=cpu,
-                        policy=policy,
-                        ml_slowdown=1.0 / max(result.ml_perf_norm, 1e-6),
-                        cpu_norm_throughput=(
-                            result.cpu_throughput / bl_cpu[(ml, cpu)]
-                        ),
-                    )
+                cell = MixCell(
+                    ml=ml,
+                    cpu=cpu,
+                    policy=policy,
+                    ml_slowdown=1.0 / max(result.ml_perf_norm, 1e-6),
+                    cpu_norm_throughput=(
+                        result.cpu_throughput / bl_cpu[(ml, cpu)]
+                    ),
                 )
-    return Fig13Result(cells=cells)
+                cells.append(cell)
+                if observing:
+                    observer.metrics.histogram(
+                        "fig13.ml_slowdown", policy=policy
+                    ).observe(cell.ml_slowdown)
+                    observer.metrics.histogram(
+                        "fig13.cpu_norm_throughput", policy=policy
+                    ).observe(cell.cpu_norm_throughput)
+    fig = Fig13Result(cells=cells)
+    if observing:
+        observer.note_config(
+            fig13_duration=duration, fig13_policies=list(policies),
+            fig13_ml_workloads=list(ml_workloads),
+            fig13_mixes=[list(m) for m in mixes],
+        )
+        for policy in policies:
+            observer.metrics.gauge(
+                "fig13.ml_slowdown_avg", policy=policy
+            ).set(fig.ml_slowdown_average(policy))
+            observer.metrics.gauge(
+                "fig13.cpu_throughput_hmean", policy=policy
+            ).set(fig.cpu_throughput_hmean(policy))
+    return fig
 
 
 def format_fig13(result: Fig13Result) -> str:

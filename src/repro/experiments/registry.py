@@ -203,6 +203,11 @@ _REGISTRY: dict[str, Callable[[], tuple[Callable, Callable]]] = {
 #: that can fan out over a process pool; see :mod:`repro.parallel`).
 JOBS_AWARE = {"fig02", "fig05", "fig16"}
 
+#: Experiments whose runners accept an ``observer`` argument (deep
+#: observability export; see :mod:`repro.obs`). Other experiments still get
+#: run-level spans and a manifest from the CLI wrapper.
+OBS_AWARE = {"fig02", "fig03", "fig11", "fig12", "fig13"}
+
 
 def experiment_ids() -> list[str]:
     """All registered experiment ids, in figure order."""

@@ -9,9 +9,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from functools import partial
+from typing import TYPE_CHECKING
 
-from repro.experiments.parallel import run_points
-from repro.experiments.registry import experiment_ids, run_experiment
+from repro.experiments.parallel import resolve_jobs, run_points
+from repro.experiments.registry import OBS_AWARE, experiment_ids, run_experiment
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import RunObserver
 
 #: Experiments taking a workload argument, run once per listed workload.
 _PER_WORKLOAD: dict[str, tuple[str, ...]] = {
@@ -32,7 +37,10 @@ class SuiteEntry:
     seconds: float
 
 
-def _suite_point(point: tuple[str, str | None, float]) -> SuiteEntry:
+def _suite_point(
+    point: tuple[str, str | None, float],
+    observer: "RunObserver | None" = None,
+) -> SuiteEntry:
     """Evaluate one suite entry (module-level: runs inside pool workers)."""
     exp_id, ml, duration = point
     kwargs: dict = {}
@@ -40,6 +48,8 @@ def _suite_point(point: tuple[str, str | None, float]) -> SuiteEntry:
         kwargs["duration"] = duration
     if ml is not None:
         kwargs["ml"] = ml
+    if observer is not None and exp_id in OBS_AWARE:
+        kwargs["observer"] = observer
     started = time.perf_counter()
     _, text = run_experiment(exp_id, **kwargs)
     return SuiteEntry(
@@ -66,14 +76,48 @@ def run_suite(
     experiments: list[str] | None = None,
     duration: float = 30.0,
     jobs: int | None = None,
+    observer: "RunObserver | None" = None,
 ) -> list[SuiteEntry]:
     """Execute the registry (or a subset) and collect formatted outputs.
 
     ``jobs`` > 1 fans the independent experiment points out over a process
     pool (see :mod:`repro.experiments.parallel`); results are identical to
     the serial run and come back in registry order.
+
+    An enabled ``observer`` records per-experiment wall-clock spans and
+    roll-up metrics. When running serially it is additionally threaded into
+    the obs-aware experiments (``OBS_AWARE``), exporting their full tick/
+    telemetry streams; parallel workers cannot share the parent's observer,
+    so ``jobs`` > 1 keeps the suite-level view only.
     """
-    return run_points(_suite_point, suite_points(experiments, duration), jobs=jobs)
+    points = suite_points(experiments, duration)
+    observing = observer is not None and observer.enabled
+    fn = _suite_point
+    if observing and resolve_jobs(jobs) == 1:
+        fn = partial(_suite_point, observer=observer)
+    entries = run_points(fn, points, jobs=jobs)
+    if observing:
+        observer.note_config(
+            suite_duration=duration,
+            suite_jobs=resolve_jobs(jobs),
+            suite_experiments=[e.exp_id for e in entries],
+        )
+        offset = 0.0
+        for entry in entries:
+            observer.add_span(
+                "suite", "experiments", entry.exp_id, offset, entry.seconds,
+                args={"wall_s": round(entry.seconds, 3)},
+            )
+            offset += entry.seconds
+            observer.record(
+                "suite_entry", exp_id=entry.exp_id,
+                wall_s=round(entry.seconds, 3), chars=len(entry.text),
+            )
+            observer.metrics.histogram("suite.experiment_seconds").observe(
+                entry.seconds
+            )
+        observer.metrics.counter("suite.experiments").inc(len(entries))
+    return entries
 
 
 def format_suite(entries: list[SuiteEntry]) -> str:

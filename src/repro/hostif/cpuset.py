@@ -19,9 +19,13 @@ class PlaceableTask(Protocol):
 
     task_id: str
     placement: Placement
+    parked: bool
 
     def set_placement(self, placement: Placement) -> None:
         """Adopt a new placement (the task notifies its machine)."""
+
+    def set_parked(self, parked: bool) -> None:
+        """Freeze/unfreeze the task (zero-core effective cpuset)."""
 
 
 class CpusetController:
@@ -31,16 +35,30 @@ class CpusetController:
         self._machine = machine
 
     def set_cpus(self, task: PlaceableTask, cores: frozenset[int] | set[int]) -> None:
-        """Pin ``task`` to exactly ``cores``."""
+        """Pin ``task`` to exactly ``cores``; an empty set parks the task.
+
+        A cgroup's ``cpuset.cpus`` cannot literally be emptied, so a
+        controller that throttles a task to zero cores freezes it instead
+        (SIGSTOP / the freezer controller). The simulated surface folds both
+        into one call: ``set_cpus(task, frozenset())`` parks the task, and
+        any non-empty mask unparks it again.
+        """
         cores = frozenset(cores)
         if not cores:
-            raise HostInterfaceError("cpuset.cpus cannot be empty")
+            self.park(task)
+            return
         total = self._machine.spec.total_cores
         bad = [c for c in cores if not 0 <= c < total]
         if bad:
             raise HostInterfaceError(f"cores out of range: {sorted(bad)}")
+        if task.parked:
+            task.set_parked(False)
         if cores != task.placement.cores:
             task.set_placement(task.placement.with_cores(cores))
+
+    def park(self, task: PlaceableTask) -> None:
+        """Freeze ``task``: no runnable cores until the next ``set_cpus``."""
+        task.set_parked(True)
 
     def shrink(self, task: PlaceableTask, count: int = 1) -> int:
         """Remove up to ``count`` cores (highest ids first); returns removed.

@@ -102,10 +102,16 @@ class TelemetryAccumulator:
         self._snapshot.time = self._last_time
 
     def window_since(self, previous: TelemetrySnapshot, now: float) -> TelemetryWindow:
-        """Averages between a previously-copied snapshot and ``now``."""
+        """Averages between a previously-copied snapshot and ``now``.
+
+        A degenerate (zero-width) window — two reads at the same simulated
+        instant — has no information in it; it reports the documented
+        defaults (bandwidth 0.0, latency factor 1.0, saturation 0.0,
+        throttle 1.0) rather than a garbage ``delta / epsilon`` ratio.
+        """
         self.advance(now)
         current = self._snapshot
-        elapsed = max(current.time - previous.time, 1e-12)
+        elapsed = max(current.time - previous.time, 0.0)
 
         def averages(
             cur: dict[int, float], prev: dict[int, float], default: float

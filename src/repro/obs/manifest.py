@@ -1,0 +1,79 @@
+"""Run manifests: enough provenance to replay any figure run.
+
+A manifest is written next to the results of every observed run and records
+what was run (command, config), with what inputs (seeds), from which code
+(git revision, dirty flag, package version), on what substrate (python,
+platform), and how long it took.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+
+from repro.version import __version__
+
+
+def git_revision(cwd: str | None = None) -> dict[str, object] | None:
+    """The current git revision and dirty flag, or ``None`` outside a repo."""
+    try:
+        root = cwd or os.path.dirname(os.path.abspath(__file__))
+        rev = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root, capture_output=True, text=True, timeout=5,
+        )
+        if rev.returncode != 0:
+            return None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root, capture_output=True, text=True, timeout=5,
+        )
+        return {
+            "revision": rev.stdout.strip(),
+            "dirty": bool(status.stdout.strip()) if status.returncode == 0 else None,
+        }
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def build_manifest(
+    run_id: str,
+    command: str,
+    config: dict | None = None,
+    seeds: dict[str, int] | None = None,
+    wall_s: float | None = None,
+    outputs: list[str] | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Assemble the manifest dict for one run."""
+    manifest = {
+        "schema": "repro.obs.manifest/1",
+        "run_id": run_id,
+        "command": command,
+        "generated": datetime.now(timezone.utc).isoformat(),
+        "repro_version": __version__,
+        "git": git_revision(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "argv": list(sys.argv),
+        "config": config or {},
+        "seeds": seeds or {},
+    }
+    if wall_s is not None:
+        manifest["wall_s"] = round(wall_s, 3)
+    if outputs:
+        manifest["outputs"] = list(outputs)
+    if extra:
+        manifest["extra"] = dict(extra)
+    return manifest
+
+
+def write_manifest(path, manifest: dict) -> None:
+    """Serialize a manifest to ``path`` as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=False)
+        handle.write("\n")

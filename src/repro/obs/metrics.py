@@ -1,0 +1,156 @@
+"""Metrics primitives: counters, gauges, histograms, and a registry.
+
+The registry is the publishing surface experiments and the fleet survey
+write into: get-or-create a metric by ``(name, labels)``, mutate it, and
+let the exporter snapshot everything into JSONL rows at the end of the run.
+Histograms are backed by :class:`~repro.metrics.percentile.StreamingPercentiles`
+so tail statistics stay exact up to the reservoir cap.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MeasurementError
+from repro.metrics.percentile import StreamingPercentiles
+
+#: Canonical hashable form of a label set.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def label_key(labels: dict[str, object]) -> LabelKey:
+    """Normalize a label dict to a sorted, hashable key."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise MeasurementError("counters only go up")
+        self.value += amount
+
+    def sample(self) -> dict[str, float]:
+        """The exported fields of this metric."""
+        return {"value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+    def sample(self) -> dict[str, float]:
+        """The exported fields of this metric."""
+        return {"value": self.value}
+
+
+class Histogram:
+    """A distribution of observations with exact streamed percentiles."""
+
+    kind = "histogram"
+    __slots__ = ("_percentiles", "_sum", "_min", "_max")
+
+    def __init__(self, max_samples: int = 100_000) -> None:
+        self._percentiles = StreamingPercentiles(max_samples=max_samples)
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    @property
+    def count(self) -> int:
+        """Observations recorded so far."""
+        return self._percentiles.count
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self._percentiles.add(value)
+        self._sum += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def sample(self) -> dict[str, float]:
+        """Count, sum, mean, extrema and the standard tail percentiles."""
+        count = self.count
+        if count == 0:
+            return {"count": 0}
+        return {
+            "count": count,
+            "sum": self._sum,
+            "mean": self._sum / count,
+            "min": self._min,
+            "max": self._max,
+            "p50": self._percentiles.percentile(50),
+            "p90": self._percentiles.percentile(90),
+            "p99": self._percentiles.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named, labelled metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelKey], Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get(self, cls, name: str, labels: dict[str, object]):
+        key = (name, label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls()
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise MeasurementError(
+                f"metric {name!r} {dict(labels)!r} already registered "
+                f"as a {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """Get or create a counter."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """Get or create a gauge."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """Get or create a histogram."""
+        return self._get(Histogram, name, labels)
+
+    def snapshot(self) -> list[dict]:
+        """All metrics as plain-dict rows, sorted by (name, labels).
+
+        Each row carries ``kind="metric"`` so the rows can be interleaved
+        with other record kinds in one JSONL stream and filtered back out.
+        """
+        rows = []
+        for (name, labels) in sorted(self._metrics):
+            metric = self._metrics[(name, labels)]
+            rows.append(
+                {
+                    "kind": "metric",
+                    "name": name,
+                    "type": metric.kind,
+                    "labels": dict(labels),
+                    **metric.sample(),
+                }
+            )
+        return rows

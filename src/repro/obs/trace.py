@@ -1,0 +1,196 @@
+"""Chrome trace-event export (``chrome://tracing`` / Perfetto).
+
+Builds the JSON object format of the Trace Event specification from
+:class:`~repro.sim.tracing.TimelineTracer` intervals and controller tick
+records. Tracks map to (pid, tid) pairs with ``process_name`` /
+``thread_name`` metadata so Perfetto renders human-readable lanes:
+
+* each :class:`TraceInterval` becomes a complete (``ph="X"``) event;
+* controller knob values become counter (``ph="C"``) series, which Perfetto
+  plots as stacked area charts over time;
+* THROTTLE/BOOST decisions become instant (``ph="i"``) markers.
+
+Simulated seconds are exported as microseconds, the unit the format expects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:
+    from repro.core.kelp import KelpTickRecord
+    from repro.sim.tracing import TraceInterval
+
+#: Microseconds per simulated second.
+_US = 1e6
+
+
+class ChromeTraceBuilder:
+    """Accumulates trace events and serializes the trace JSON."""
+
+    def __init__(self) -> None:
+        self._events: list[dict] = []
+        self._pids: dict[str, int] = {}
+        self._tids: dict[tuple[str, str], int] = {}
+
+    def __len__(self) -> int:
+        """Number of non-metadata events recorded."""
+        return sum(1 for e in self._events if e["ph"] != "M")
+
+    # ------------------------------------------------------------- lanes
+    def _pid(self, process: str) -> int:
+        pid = self._pids.get(process)
+        if pid is None:
+            pid = len(self._pids) + 1
+            self._pids[process] = pid
+            self._events.append(
+                {
+                    "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                    "args": {"name": process},
+                }
+            )
+        return pid
+
+    def _lane(self, process: str, track: str) -> tuple[int, int]:
+        pid = self._pid(process)
+        key = (process, track)
+        tid = self._tids.get(key)
+        if tid is None:
+            tid = sum(1 for p, _ in self._tids if p == process) + 1
+            self._tids[key] = tid
+            self._events.append(
+                {
+                    "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        return pid, tid
+
+    # ------------------------------------------------------------ events
+    def add_complete(
+        self,
+        process: str,
+        track: str,
+        name: str,
+        start_s: float,
+        duration_s: float,
+        args: dict | None = None,
+        category: str = "sim",
+    ) -> None:
+        """One complete-duration (``ph="X"``) event."""
+        pid, tid = self._lane(process, track)
+        event = {
+            "ph": "X", "name": name, "cat": category, "pid": pid, "tid": tid,
+            "ts": start_s * _US, "dur": max(duration_s, 0.0) * _US,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def add_instant(
+        self,
+        process: str,
+        track: str,
+        name: str,
+        ts_s: float,
+        args: dict | None = None,
+        category: str = "sim",
+    ) -> None:
+        """One thread-scoped instant (``ph="i"``) marker."""
+        pid, tid = self._lane(process, track)
+        event = {
+            "ph": "i", "s": "t", "name": name, "cat": category,
+            "pid": pid, "tid": tid, "ts": ts_s * _US,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def add_counter(
+        self, process: str, name: str, ts_s: float, values: dict[str, float]
+    ) -> None:
+        """One sample of a counter (``ph="C"``) series."""
+        pid = self._pid(process)
+        self._events.append(
+            {
+                "ph": "C", "name": name, "pid": pid, "tid": 0,
+                "ts": ts_s * _US, "args": dict(values),
+            }
+        )
+
+    # ------------------------------------------------- domain ingestion
+    def add_intervals(
+        self, process: str, intervals: Iterable["TraceInterval"]
+    ) -> int:
+        """Ingest :class:`TimelineTracer` intervals; returns events added."""
+        count = 0
+        for interval in intervals:
+            args = {"detail": interval.detail} if interval.detail else None
+            self.add_complete(
+                process,
+                interval.track,
+                interval.kind,
+                interval.start,
+                interval.duration,
+                args=args,
+                category="phase",
+            )
+            count += 1
+        return count
+
+    def add_tick_records(
+        self, process: str, records: Iterable["KelpTickRecord"]
+    ) -> int:
+        """Ingest controller ticks as knob/measurement counters + markers."""
+        count = 0
+        for record in records:
+            self.add_counter(
+                process,
+                "controller knobs",
+                record.time,
+                {
+                    "lo_cores": record.lo_cores,
+                    "lo_prefetchers": record.lo_prefetchers,
+                    "backfill_cores": record.backfill_cores,
+                },
+            )
+            m = record.measurements
+            self.add_counter(
+                process,
+                "measurements",
+                record.time,
+                {
+                    "socket_bw_gbps": m.socket_bw,
+                    "hipri_bw_gbps": m.hipri_bw,
+                    "socket_latency": m.socket_latency,
+                    "saturation": m.saturation,
+                },
+            )
+            for domain, action in (
+                ("hi", record.action_hi), ("lo", record.action_lo)
+            ):
+                if action.value != "nop":
+                    self.add_instant(
+                        process,
+                        f"actions:{domain}",
+                        f"{domain}:{action.value}",
+                        record.time,
+                        category="controller",
+                    )
+            count += 1
+        return count
+
+    # ------------------------------------------------------------ output
+    def to_dict(self) -> dict:
+        """The trace as the Trace Event JSON object format."""
+        return {
+            "traceEvents": list(self._events),
+            "displayTimeUnit": "ms",
+            "otherData": {"generator": "repro.obs", "time_unit": "us"},
+        }
+
+    def write(self, path) -> None:
+        """Serialize the trace to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle)

@@ -63,6 +63,31 @@ class TimelineTracer:
             TraceInterval(track=track, kind=kind, start=start, end=end, detail=detail)
         )
 
+    def flush(self, now: float) -> int:
+        """Close every still-open interval at ``now``.
+
+        In-flight phases at simulation end would otherwise be silently
+        discarded, truncating the timeline. Flushed intervals are marked
+        ``detail="truncated"`` (appended to any existing detail) so plots
+        and exports can distinguish them from naturally completed phases.
+        Returns the number of intervals closed.
+        """
+        if not self._open:
+            return 0
+        closed = 0
+        # Sorted for deterministic interval order regardless of dict history.
+        for (track, kind), (start, detail) in sorted(self._open.items()):
+            mark = f"{detail};truncated" if detail else "truncated"
+            self.intervals.append(
+                TraceInterval(
+                    track=track, kind=kind, start=start, end=max(now, start),
+                    detail=mark,
+                )
+            )
+            closed += 1
+        self._open.clear()
+        return closed
+
     def for_track(self, track: str) -> list[TraceInterval]:
         """All closed intervals on ``track``, in completion order."""
         return [i for i in self.intervals if i.track == track]

@@ -101,6 +101,10 @@ class Task:
         self._placement = placement
         self.priority = priority
         self.started = False
+        #: Parked tasks are runnable-nowhere: they emit no traffic and make
+        #: no progress (the freezer/empty-cpuset state a controller puts a
+        #: task in when it throttles it to zero cores).
+        self.parked = False
 
     # ----------------------------------------------------------- placement
     @property
@@ -111,6 +115,20 @@ class Task:
     def set_placement(self, placement: Placement) -> None:
         """Adopt a new placement and trigger a contention re-solve."""
         self._placement = placement
+        if self.started:
+            self.machine.notify_change()
+
+    def set_parked(self, parked: bool) -> None:
+        """Park (run on zero cores) or unpark this task.
+
+        A parked task stays attached to the machine but contributes no
+        traffic sources and makes no forward progress until unparked —
+        exactly what a cgroup with an empty effective cpuset (or a frozen
+        cgroup) does on a real host.
+        """
+        if parked == self.parked:
+            return
+        self.parked = parked
         if self.started:
             self.machine.notify_change()
 

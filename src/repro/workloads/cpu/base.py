@@ -74,7 +74,7 @@ class BatchTask(Task):
 
     # ---------------------------------------------------------- protocol
     def traffic_sources(self) -> list[TrafficSource]:
-        if not self.started:
+        if not self.started or self.parked:
             return []
         return [self._make_source(self.profile.phase)]
 
@@ -82,6 +82,10 @@ class BatchTask(Task):
         self.meter.sync(now)
 
     def apply_rates(self, result: SolveResult, now: float) -> None:
+        if self.parked:
+            self._speed = 0.0
+            self.meter.set_rate(0.0, now)
+            return
         rates = result.rates_for(f"{self.task_id}:host")
         self._speed = phase_speed(rates, self.profile.phase)
         nominal = self.profile.unit_rate_per_thread * self.profile.phase.threads

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.cluster.node import LO_SUBDOMAIN, Node
 from repro.core.actions import Action
 from repro.core.kelp import KelpRuntime
-from repro.core.watermarks import default_profile
+from repro.core.watermarks import Watermark, default_profile
 from repro.hw.placement import Placement
 from repro.workloads.cpu.base import BatchTask
 from repro.workloads.cpu.catalog import cpu_workload
@@ -108,9 +110,88 @@ class TestBackfillControl:
         # Stitch's 8 backfilled threads exceed the hi-subdomain watermark:
         # the controller must have removed cores.
         assert runtime.hi_plan.core_num < runtime.profile.max_backfill_cores
-        assert len(backfill.placement.cores) == max(
-            1, runtime.hi_plan.core_num
+        if runtime.hi_plan.core_num > 0:
+            assert len(backfill.placement.cores) == runtime.hi_plan.core_num
+        else:
+            assert backfill.parked
+
+    def test_backfill_throttled_to_zero_parks_tasks(self, node: Node) -> None:
+        """Regression: a plan at zero cores must evict backfill entirely.
+
+        The old enforcement clamped the mask to ``max(1, core_num)`` cores,
+        so a fully-throttled plan still left one backfill core stealing
+        hi-subdomain bandwidth. Zero cores now parks the tasks (empty
+        effective cpuset): no traffic, no progress, until the next BOOST.
+        """
+        node.machine.set_snc(True)
+        backfill = BatchTask(
+            "backfill",
+            node.machine,
+            Placement(
+                cores=frozenset(node.hi_subdomain_cores()[4:]),
+                mem_weights={0: 1.0},
+            ),
+            cpu_workload("stitch", 3).scaled_to_threads(8),
         )
+        backfill.start()
+        node.backfill_tasks.append(backfill)
+        # A profile whose hi-subdomain watermark is always exceeded and
+        # whose floor allows full eviction: every tick throttles.
+        base = default_profile(node.machine.spec, ml_cores=4)
+        profile = replace(
+            base,
+            hipri_bw=Watermark(lo=0.0, hi=1e-6),
+            min_backfill_cores=0,
+        )
+        runtime = KelpRuntime(node=node, profile=profile)
+        for _ in range(profile.max_backfill_cores + 1):
+            node.sim.run_until(node.sim.now + 1.0)
+            runtime.tick()
+        assert runtime.hi_plan.core_num == 0
+        assert backfill.parked
+        assert backfill.traffic_sources() == []
+        # A parked task makes no forward progress.
+        backfill.sync(node.sim.now)
+        done_before = backfill.meter.units
+        node.sim.run_until(node.sim.now + 5.0)
+        backfill.sync(node.sim.now)
+        assert backfill.speed == 0.0
+        assert backfill.meter.units == pytest.approx(done_before)
+
+    def test_boost_after_park_restores_backfill(self, node: Node) -> None:
+        """A parked backfill task is revived once the controller boosts."""
+        node.machine.set_snc(True)
+        backfill = BatchTask(
+            "backfill",
+            node.machine,
+            Placement(
+                cores=frozenset(node.hi_subdomain_cores()[4:]),
+                mem_weights={0: 1.0},
+            ),
+            cpu_workload("stitch", 1),
+        )
+        backfill.start()
+        node.backfill_tasks.append(backfill)
+        base = default_profile(node.machine.spec, ml_cores=4)
+        throttling = replace(
+            base,
+            hipri_bw=Watermark(lo=0.0, hi=1e-6),
+            min_backfill_cores=0,
+        )
+        runtime = KelpRuntime(node=node, profile=throttling)
+        for _ in range(throttling.max_backfill_cores + 1):
+            node.sim.run_until(node.sim.now + 1.0)
+            runtime.tick()
+        assert backfill.parked
+        # Flip to a permissive profile: the idle hi-subdomain now boosts.
+        runtime.profile = replace(
+            base, hipri_bw=Watermark(lo=1e9, hi=2e9), min_backfill_cores=0
+        )
+        node.sim.run_until(node.sim.now + 1.0)
+        runtime.tick()
+        assert runtime.hi_plan.core_num > 0
+        assert not backfill.parked
+        assert len(backfill.placement.cores) == runtime.hi_plan.core_num
 
     def test_history_records_every_tick(self, node: Node) -> None:
         runtime = make_runtime(node)

@@ -26,9 +26,22 @@ class TestCpuset:
         node.cpuset.set_cpus(task, {4, 5})
         assert task.placement.cores == frozenset({4, 5})
 
-    def test_empty_mask_rejected(self, node: Node, task: BatchTask) -> None:
-        with pytest.raises(HostInterfaceError):
-            node.cpuset.set_cpus(task, set())
+    def test_empty_mask_parks(self, node: Node, task: BatchTask) -> None:
+        node.cpuset.set_cpus(task, set())
+        assert task.parked
+        assert task.traffic_sources() == []
+        # A non-empty mask unparks again.
+        node.cpuset.set_cpus(task, {4, 5})
+        assert not task.parked
+        assert task.placement.cores == frozenset({4, 5})
+
+    def test_parked_task_makes_no_progress(
+        self, node: Node, task: BatchTask
+    ) -> None:
+        node.cpuset.park(task)
+        node.sim.run_until(5.0)
+        assert task.throughput(5.0) == 0.0
+        assert task.speed == 0.0
 
     def test_out_of_range_rejected(self, node: Node, task: BatchTask) -> None:
         with pytest.raises(HostInterfaceError):

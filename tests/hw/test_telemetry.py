@@ -7,7 +7,6 @@ import pytest
 from repro.hw.contention import TrafficSource
 from repro.hw.machine import Machine
 from repro.hw.telemetry import TelemetryAccumulator
-from repro.sim import Simulator
 
 
 def make_state(machine: Machine, demand: float):
@@ -54,6 +53,35 @@ class TestTelemetryAccumulator:
         assert window.bandwidth_of((0, 1)) >= window.bandwidth_of((0,))
         assert window.max_latency_factor((0, 1)) >= 1.0
         assert 0.0 <= window.max_saturation((0, 1)) <= 1.0
+
+    def test_zero_width_window_reports_defaults(self, machine: Machine) -> None:
+        """Regression: two reads at the same instant must not fabricate data.
+
+        The old code floored the elapsed time at 1e-12, so the degenerate
+        window divided the (zero) integral deltas by an epsilon and the
+        documented defaults were unreachable. A zero-width window now
+        reports elapsed 0.0 and the per-signal defaults.
+        """
+        acc = TelemetryAccumulator()
+        acc.set_state(make_state(machine, 50.0), now=0.0)
+        acc.advance(2.0)
+        mark = acc.copy_snapshot()
+        window = acc.window_since(mark, now=2.0)  # double read, same time
+        assert window.elapsed == 0.0
+        assert window.mc_bandwidth_gbps[0] == 0.0
+        assert window.mc_latency_factor[0] == 1.0
+        assert window.mc_saturation[0] == 0.0
+        assert window.socket_throttle[0] == 1.0
+
+    def test_window_after_degenerate_read_recovers(self, machine: Machine) -> None:
+        """A zero-width read must not poison the next, real window."""
+        acc = TelemetryAccumulator()
+        acc.set_state(make_state(machine, 10.0), now=0.0)
+        mark = acc.copy_snapshot()
+        acc.window_since(mark, now=0.0)  # degenerate
+        window = acc.window_since(mark, now=4.0)
+        assert window.elapsed == pytest.approx(4.0)
+        assert window.mc_bandwidth_gbps[0] == pytest.approx(13.0)
 
     def test_time_never_goes_backwards(self) -> None:
         acc = TelemetryAccumulator()

@@ -1,0 +1,122 @@
+"""End-to-end: a small fig13 run exports parseable, consistent artifacts.
+
+The observability contract the docs promise: every observed experiment run
+yields (a) a JSONL stream where each row parses and carries a ``kind``,
+(b) a Chrome trace whose events Perfetto would accept (ph/ts/pid/tid all
+present, metadata lanes named), and (c) a manifest linking back to the
+outputs. This exercises the full path CLI users take with ``--trace-out``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.fig13_overall import run_fig13
+from repro.obs import ObsConfig, RunObserver
+
+KNOWN_KINDS = {"run", "solver_stats", "tick", "telemetry", "metric"}
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """One small observed fig13 run shared by every assertion below."""
+    out = tmp_path_factory.mktemp("obs-e2e")
+    observer = RunObserver(
+        ObsConfig(trace_dir=out, metrics_path=out / "metrics.jsonl"),
+        name="fig13",
+    )
+    result = run_fig13(
+        duration=10.0,
+        policies=("BL", "KP"),
+        ml_workloads=("cnn1",),
+        mixes=(("stitch", 2),),
+        observer=observer,
+    )
+    written = observer.finalize(command="pytest e2e")
+    return out, result, written
+
+
+class TestEndToEndArtifacts:
+    def test_all_three_outputs_written(self, artifacts) -> None:
+        out, _, written = artifacts
+        names = sorted(p.name for p in written)
+        assert names == ["fig13.manifest.json", "metrics.jsonl", "trace.json"]
+        for path in written:
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_metrics_stream_parses_and_is_typed(self, artifacts) -> None:
+        out, _, _ = artifacts
+        rows = [json.loads(line) for line in (out / "metrics.jsonl").open()]
+        assert rows, "stream must not be empty"
+        kinds = {row["kind"] for row in rows}
+        assert kinds <= KNOWN_KINDS
+        # One run row per (policy, mix) cell of the reduced matrix.
+        assert sum(1 for r in rows if r["kind"] == "run") == 2
+        # The KP cell must have produced controller ticks.
+        assert any(
+            r["kind"] == "tick" and r["label"].endswith(":KP") for r in rows
+        )
+
+    def test_metric_rows_cover_fig13_rollups(self, artifacts) -> None:
+        out, _, _ = artifacts
+        rows = [json.loads(line) for line in (out / "metrics.jsonl").open()]
+        metric_names = {r["name"] for r in rows if r["kind"] == "metric"}
+        assert "fig13.ml_slowdown_avg" in metric_names
+        assert "fig13.cpu_throughput_hmean" in metric_names
+        assert "colocation.runs" in metric_names
+
+    def test_trace_is_perfetto_loadable_shape(self, artifacts) -> None:
+        out, _, _ = artifacts
+        trace = json.loads((out / "trace.json").read_text())
+        events = trace["traceEvents"]
+        assert events
+        for event in events:
+            assert event["ph"] in {"X", "C", "i", "M"}
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] != "M":
+                assert event["ts"] >= 0.0
+            if event["ph"] == "X":
+                assert event["dur"] >= 0.0
+        processes = [
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        ]
+        assert any(p.startswith("fig13:") for p in processes)
+
+    def test_tick_rows_match_trace_counters(self, artifacts) -> None:
+        out, _, _ = artifacts
+        rows = [json.loads(line) for line in (out / "metrics.jsonl").open()]
+        trace = json.loads((out / "trace.json").read_text())
+        ticks = [r for r in rows if r["kind"] == "tick"]
+        knob_samples = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "C" and e["name"] == "controller knobs"
+        ]
+        assert len(knob_samples) == len(ticks)
+
+    def test_manifest_links_outputs(self, artifacts) -> None:
+        out, _, _ = artifacts
+        manifest = json.loads((out / "fig13.manifest.json").read_text())
+        assert manifest["schema"] == "repro.obs.manifest/1"
+        assert manifest["run_id"] == "fig13"
+        assert manifest["config"]["fig13_policies"] == ["BL", "KP"]
+        outputs = [json.loads(json.dumps(o)) for o in manifest["outputs"]]
+        assert str(out / "metrics.jsonl") in outputs
+        assert str(out / "trace.json") in outputs
+
+    def test_observed_run_matches_unobserved(self, artifacts) -> None:
+        _, observed, _ = artifacts
+        plain = run_fig13(
+            duration=10.0,
+            policies=("BL", "KP"),
+            ml_workloads=("cnn1",),
+            mixes=(("stitch", 2),),
+        )
+        for cell, ref in zip(observed.cells, plain.cells):
+            assert cell.ml_slowdown == pytest.approx(ref.ml_slowdown)
+            assert cell.cpu_norm_throughput == pytest.approx(
+                ref.cpu_norm_throughput
+            )

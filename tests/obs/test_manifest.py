@@ -1,0 +1,47 @@
+"""Tests for run manifests."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.manifest import build_manifest, git_revision, write_manifest
+
+
+class TestGitRevision:
+    def test_inside_repo(self) -> None:
+        info = git_revision()
+        # The test suite runs inside the project checkout.
+        if info is not None:
+            assert len(info["revision"]) == 40
+            assert isinstance(info["dirty"], bool) or info["dirty"] is None
+
+    def test_outside_repo(self, tmp_path) -> None:
+        assert git_revision(cwd=str(tmp_path)) is None
+
+
+class TestBuildManifest:
+    def test_required_fields(self) -> None:
+        manifest = build_manifest(run_id="fig13", command="repro run fig13")
+        assert manifest["schema"] == "repro.obs.manifest/1"
+        assert manifest["run_id"] == "fig13"
+        assert manifest["command"] == "repro run fig13"
+        assert manifest["config"] == {}
+        assert manifest["seeds"] == {}
+        assert "python" in manifest and "platform" in manifest
+
+    def test_optional_fields(self) -> None:
+        manifest = build_manifest(
+            run_id="r", command="c",
+            config={"duration": 8.0}, seeds={"fleet.seed": 42},
+            wall_s=1.23456, outputs=["a.json"], extra={"note": "x"},
+        )
+        assert manifest["wall_s"] == 1.235
+        assert manifest["outputs"] == ["a.json"]
+        assert manifest["seeds"]["fleet.seed"] == 42
+        assert manifest["extra"]["note"] == "x"
+
+    def test_write_round_trips(self, tmp_path) -> None:
+        path = tmp_path / "run.manifest.json"
+        write_manifest(path, build_manifest(run_id="r", command="c"))
+        loaded = json.loads(path.read_text())
+        assert loaded["run_id"] == "r"

@@ -1,0 +1,108 @@
+"""Tests for the metrics primitives and registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    label_key,
+)
+
+
+class TestLabelKey:
+    def test_sorted_and_stringified(self) -> None:
+        assert label_key({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+
+    def test_empty(self) -> None:
+        assert label_key({}) == ()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self) -> None:
+        c = Counter()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self) -> None:
+        with pytest.raises(MeasurementError):
+            Counter().inc(-1.0)
+
+    def test_sample(self) -> None:
+        c = Counter()
+        c.inc(4)
+        assert c.sample() == {"value": 4.0}
+
+
+class TestGauge:
+    def test_last_write_wins(self) -> None:
+        g = Gauge()
+        g.set(1.0)
+        g.set(7.0)
+        assert g.sample() == {"value": 7.0}
+
+
+class TestHistogram:
+    def test_empty_sample(self) -> None:
+        assert Histogram().sample() == {"count": 0}
+
+    def test_statistics(self) -> None:
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        fields = h.sample()
+        assert fields["count"] == 100
+        assert fields["min"] == 1.0
+        assert fields["max"] == 100.0
+        assert fields["mean"] == pytest.approx(50.5)
+        assert fields["p50"] == pytest.approx(50.0, abs=1.5)
+        assert fields["p99"] == pytest.approx(99.0, abs=1.5)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_stable(self) -> None:
+        reg = MetricsRegistry()
+        a = reg.counter("runs", policy="KP")
+        b = reg.counter("runs", policy="KP")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_labels_distinguish_metrics(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("runs", policy="KP").inc()
+        reg.counter("runs", policy="BL").inc(2)
+        rows = reg.snapshot()
+        assert len(rows) == 2
+        by_label = {row["labels"]["policy"]: row["value"] for row in rows}
+        assert by_label == {"BL": 2.0, "KP": 1.0}
+
+    def test_type_mismatch_raises(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(MeasurementError):
+            reg.gauge("x")
+
+    def test_snapshot_rows_are_jsonl_ready(self) -> None:
+        import json
+
+        reg = MetricsRegistry()
+        reg.gauge("g", host="a").set(1.5)
+        reg.histogram("h").observe(2.0)
+        for row in reg.snapshot():
+            assert row["kind"] == "metric"
+            assert row["type"] in {"counter", "gauge", "histogram"}
+            json.dumps(row)  # must not raise
+
+    def test_snapshot_sorted_by_name_then_labels(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a", z="2").inc()
+        reg.counter("a", z="1").inc()
+        names = [(r["name"], r["labels"]) for r in reg.snapshot()]
+        assert names == [("a", {"z": "1"}), ("a", {"z": "2"}), ("b", {})]

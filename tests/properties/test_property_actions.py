@@ -42,6 +42,35 @@ class TestHiPlanProperties:
             plan = config_hi_priority(plan, action)
             assert abs(plan.core_num - before) <= 1
 
+    @given(actions, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=80, deadline=None)
+    def test_zero_floor_allows_full_eviction(
+        self, seq: list[Action], max_cores: int
+    ) -> None:
+        """With ``min_core_num=0`` the plan may reach — but never pass —
+        zero, and any later BOOST recovers from the parked state."""
+        plan = HiPriorityPlan(
+            core_num=max_cores, min_core_num=0, max_core_num=max_cores
+        )
+        for action in seq:
+            before = plan.core_num
+            plan = config_hi_priority(plan, action)
+            assert 0 <= plan.core_num <= plan.max_core_num
+            if before == 0 and action is Action.BOOST:
+                assert plan.core_num == 1
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_sustained_throttle_reaches_zero(self, max_cores: int) -> None:
+        plan = HiPriorityPlan(
+            core_num=max_cores, min_core_num=0, max_core_num=max_cores
+        )
+        for _ in range(max_cores):
+            plan = config_hi_priority(plan, Action.THROTTLE)
+        assert plan.core_num == 0
+        # Further throttles are absorbed at the floor.
+        assert config_hi_priority(plan, Action.THROTTLE).core_num == 0
+
 
 class TestLoPlanProperties:
     @given(actions, st.integers(min_value=2, max_value=16))

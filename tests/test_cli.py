@@ -34,3 +34,45 @@ class TestCli:
     def test_missing_command_errors(self) -> None:
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCliObservability:
+    def test_run_with_trace_and_metrics(self, tmp_path, capsys) -> None:
+        out_dir = tmp_path / "out"
+        code = main([
+            "run", "fig03",
+            "--trace-out", str(out_dir),
+            "--metrics-out", str(out_dir / "m.jsonl"),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "wrote" in stdout
+        assert (out_dir / "trace.json").exists()
+        assert (out_dir / "m.jsonl").exists()
+        assert (out_dir / "fig03.manifest.json").exists()
+
+    def test_mix_with_trace_out(self, tmp_path, capsys) -> None:
+        import json
+
+        out_dir = tmp_path / "out"
+        code = main([
+            "mix", "--ml", "rnn1", "--policy", "KP",
+            "--cpu", "cpuml", "--intensity", "2", "--duration", "10",
+            "--trace-out", str(out_dir),
+        ])
+        assert code == 0
+        trace = json.loads((out_dir / "trace.json").read_text())
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        # Phase intervals, counters, metadata all present.
+        assert {"X", "C", "M"} <= phases
+
+    def test_trace_env_var_default(self, tmp_path, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "envout"))
+        assert main(["run", "fig03"]) == 0
+        assert (tmp_path / "envout" / "trace.json").exists()
+
+    def test_no_flags_writes_nothing(self, tmp_path, monkeypatch) -> None:
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "fig03"]) == 0
+        assert list(tmp_path.iterdir()) == []
