@@ -2,9 +2,10 @@
 """Perf smoke benchmark: fixed experiment subset -> BENCH_PR<n>.json.
 
 Runs a fixed, representative slice of the experiment registry four ways —
-serial/parallel x cache-on/cache-off — plus one instrumented colocation mix,
-and writes a JSON trajectory (wall-clock per experiment, solver cache
-hit-rate, events dispatched) that later PRs can compare against.
+serial/parallel x cache-on/cache-off — plus one instrumented colocation mix
+and one small fleet-sim run, and writes a JSON trajectory (wall-clock per
+experiment, solver cache hit-rate, events dispatched) that later PRs can
+compare against.
 
 Usage::
 
@@ -45,6 +46,18 @@ DURATION = 16.0
 #: The instrumented single-mix probe.
 MIX = MixConfig(
     ml="cnn1", policy="KP", cpu="stream", intensity=1, duration=20.0, warmup=4.0
+)
+#: The fleet-scale probe: many nodes in one event loop is a different
+#: performance profile (event-bound, many servers) than the mix probe.
+FLEET = dict(
+    nodes=8,
+    policy="KP",
+    routing="interference-aware",
+    batch_jobs=4,
+    batch_intensity=8,
+    duration=6.0,
+    warmup=2.0,
+    seed=0,
 )
 
 
@@ -88,6 +101,28 @@ def _timed_mix(cache: bool) -> dict:
     }
 
 
+def _timed_fleet(cache: bool) -> dict:
+    from repro.experiments.fleet_sim import run_fleet_sim
+
+    set_cache_default(cache)
+    _fresh_state()
+    started = time.perf_counter()
+    result = run_fleet_sim(**FLEET)
+    wall = time.perf_counter() - started
+    run = result.results[0]
+    return {
+        "wall_s": round(wall, 3),
+        "cache": cache,
+        "events_dispatched": run.events_dispatched,
+        "efficiency": round(result.efficiency, 6),
+        "fraction_saturated": round(result.fraction_saturated, 6),
+        "serving_p99_ms": {
+            row.name: None if row.p99_ms is None else round(row.p99_ms, 3)
+            for row in result.tenant_rows
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -105,6 +140,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     mix_on = _timed_mix(cache=True)
     mix_off = _timed_mix(cache=False)
+    fleet_on = _timed_fleet(cache=True)
+    fleet_off = _timed_fleet(cache=False)
     set_cache_default(None)
 
     report = {
@@ -146,6 +183,14 @@ def main(argv: list[str] | None = None) -> int:
                 mix_off["wall_s"] / max(mix_on["wall_s"], 1e-9), 3
             ),
         },
+        "fleet": {
+            "config": dict(FLEET),
+            "cache_on": fleet_on,
+            "cache_off": fleet_off,
+            "speedup_cache": round(
+                fleet_off["wall_s"] / max(fleet_on["wall_s"], 1e-9), 3
+            ),
+        },
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
@@ -167,6 +212,12 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"mix:   cache-on {mix_on['wall_s']}s, cache-off {mix_off['wall_s']}s, "
         f"hit-rate {hit_rate:.2%}, events {mix_on['events_dispatched']}"
+    )
+    print(
+        f"fleet: cache-on {fleet_on['wall_s']}s, "
+        f"cache-off {fleet_off['wall_s']}s, "
+        f"efficiency {fleet_on['efficiency']:.3f}, "
+        f"events {fleet_on['events_dispatched']}"
     )
     return 0
 

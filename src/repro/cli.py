@@ -80,6 +80,47 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_arguments(report)
 
+    fleet = sub.add_parser(
+        "fleet-sim",
+        help="run the fleet orchestrator (nodes x policy x routing)",
+    )
+    fleet.add_argument("--nodes", type=int, default=8, help="fleet size")
+    fleet.add_argument(
+        "--policy", default="KP", help="per-node policy: BL | CT | KP-SD | KP"
+    )
+    fleet.add_argument(
+        "--routing", default="interference-aware",
+        help="random | least-loaded | interference-aware",
+    )
+    fleet.add_argument("--ml", default="rnn1", help="served inference workload")
+    fleet.add_argument(
+        "--load", type=float, default=None,
+        help="aggregate per-node offered load fraction (default 0.50)",
+    )
+    fleet.add_argument("--duration", type=float, default=8.0)
+    fleet.add_argument("--warmup", type=float, default=2.0)
+    fleet.add_argument(
+        "--trials", type=int, default=1,
+        help="independent fleet replications (aggregated)",
+    )
+    fleet.add_argument(
+        "--batch-jobs", type=int, default=0,
+        help="best-effort batch jobs submitted to the cluster queue",
+    )
+    fleet.add_argument("--batch-workload", default="stream")
+    fleet.add_argument("--batch-intensity", default="8")
+    fleet.add_argument(
+        "--no-eviction", action="store_true",
+        help="pin batch jobs where first placed (no watermark eviction)",
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the trial sweep; results are identical "
+             "to a serial run (default REPRO_JOBS or 1)",
+    )
+    _add_obs_arguments(fleet)
+
     mix = sub.add_parser("mix", help="run a single colocation mix")
     mix.add_argument("--ml", required=True, help="rnn1 | cnn1 | cnn2 | cnn3")
     mix.add_argument("--policy", default="BL", help="BL | CT | KP-SD | KP | HW-QOS")
@@ -158,6 +199,39 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {args.out} ({len(entries)} experiments)")
         if observer.enabled:
             _finalize_observer(observer, "repro report")
+        return 0
+
+    if args.command == "fleet-sim":
+        from repro.experiments.fleet_sim import format_fleet_sim, run_fleet_sim
+
+        observer = _make_observer(args, "fleet-sim")
+        intensity: int | str = args.batch_intensity
+        if isinstance(intensity, str) and intensity.isdigit():
+            intensity = int(intensity)
+        started = time.perf_counter()
+        result = run_fleet_sim(
+            nodes=args.nodes,
+            policy=args.policy,
+            routing=args.routing,
+            ml=args.ml,
+            load=args.load,
+            duration=args.duration,
+            warmup=args.warmup,
+            batch_jobs=args.batch_jobs,
+            batch_workload=args.batch_workload,
+            batch_intensity=intensity,
+            batch_eviction=not args.no_eviction,
+            trials=args.trials,
+            seed=args.seed,
+            jobs=args.jobs,
+            observer=observer if observer.enabled else None,
+        )
+        print(format_fleet_sim(result))
+        if observer.enabled:
+            wall = time.perf_counter() - started
+            observer.add_span("cli", "experiments", "fleet-sim", 0.0, wall)
+            observer.note_seed("fleet.seed", args.seed)
+            _finalize_observer(observer, "repro fleet-sim")
         return 0
 
     if args.command == "mix":

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cluster.node import ACCEL_SOCKET, HI_SUBDOMAIN, Node
+from repro.cluster.node import Node
 
 
 @dataclass(frozen=True)
@@ -33,9 +33,9 @@ def measure_node(node: Node, reader: str = "kelp") -> KelpMeasurements:
     """Sample all four measurements since this reader's previous call."""
     reading = node.perf.read(reader)
     return KelpMeasurements(
-        socket_bw=reading.socket_bandwidth_gbps.get(ACCEL_SOCKET, 0.0),
-        socket_latency=reading.socket_latency_factor.get(ACCEL_SOCKET, 1.0),
-        saturation=reading.socket_saturation.get(ACCEL_SOCKET, 0.0),
-        hipri_bw=reading.subdomain_bandwidth_gbps.get(HI_SUBDOMAIN, 0.0),
+        socket_bw=reading.socket_bandwidth_gbps.get(node.accel_socket, 0.0),
+        socket_latency=reading.socket_latency_factor.get(node.accel_socket, 1.0),
+        saturation=reading.socket_saturation.get(node.accel_socket, 0.0),
+        hipri_bw=reading.subdomain_bandwidth_gbps.get(node.hi_subdomain, 0.0),
         elapsed=reading.elapsed,
     )

@@ -13,7 +13,6 @@ from repro.core.policies.base import (
     ParameterSample,
     ROLE_LO,
 )
-from repro.cluster.node import ACCEL_SOCKET
 from repro.hw.placement import Placement
 from repro.workloads.cpu.base import BatchProfile
 
@@ -31,7 +30,7 @@ class BaselinePolicy(IsolationPolicy):
         cores = self.node.accel_socket_cores()[: self.ml_cores]
         return Placement(
             cores=frozenset(cores),
-            mem_weights=topo.socket_memory_weights(ACCEL_SOCKET),
+            mem_weights=topo.socket_memory_weights(self.node.accel_socket),
         )
 
     def plan_cpu(self, profile: BatchProfile) -> list[CpuTaskPlan]:
@@ -42,7 +41,7 @@ class BaselinePolicy(IsolationPolicy):
                 profile=profile,
                 placement=Placement(
                     cores=frozenset(self._spare_socket_cores()),
-                    mem_weights=topo.socket_memory_weights(ACCEL_SOCKET),
+                    mem_weights=topo.socket_memory_weights(self.node.accel_socket),
                 ),
                 role=ROLE_LO,
             )

@@ -9,7 +9,6 @@ profile's watermarks. NUMA subdomains stay off; prefetchers stay on.
 
 from __future__ import annotations
 
-from repro.cluster.node import ACCEL_SOCKET
 from repro.core.actions import Action
 from repro.core.measurements import measure_node
 from repro.core.policies.base import (
@@ -65,7 +64,7 @@ class CoreThrottlePolicy(IsolationPolicy):
         cores = self.node.accel_socket_cores()[: self.ml_cores]
         return Placement(
             cores=frozenset(cores),
-            mem_weights=topo.socket_memory_weights(ACCEL_SOCKET),
+            mem_weights=topo.socket_memory_weights(self.node.accel_socket),
             clos=ML_CLOS,
         )
 
@@ -79,7 +78,7 @@ class CoreThrottlePolicy(IsolationPolicy):
                 profile=profile,
                 placement=Placement(
                     cores=frozenset(spare),
-                    mem_weights=topo.socket_memory_weights(ACCEL_SOCKET),
+                    mem_weights=topo.socket_memory_weights(self.node.accel_socket),
                 ),
                 role=ROLE_LO,
             )

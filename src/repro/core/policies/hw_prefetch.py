@@ -14,7 +14,6 @@ advantage over the sampled software loop during load transients.
 
 from __future__ import annotations
 
-from repro.cluster.node import HI_SUBDOMAIN, LO_SUBDOMAIN
 from repro.core.policies.base import (
     CpuTaskPlan,
     IsolationPolicy,
@@ -40,7 +39,7 @@ class HwPrefetchPolicy(IsolationPolicy):
     def ml_placement(self) -> Placement:
         return Placement(
             cores=frozenset(self.node.hi_subdomain_cores()[: self.ml_cores]),
-            mem_weights={HI_SUBDOMAIN: 1.0},
+            mem_weights={self.node.hi_subdomain: 1.0},
             clos=ML_CLOS,
         )
 
@@ -51,7 +50,7 @@ class HwPrefetchPolicy(IsolationPolicy):
                 profile=profile,
                 placement=Placement(
                     cores=frozenset(self.node.lo_subdomain_cores()),
-                    mem_weights={LO_SUBDOMAIN: 1.0},
+                    mem_weights={self.node.lo_subdomain: 1.0},
                 ),
                 role=ROLE_LO,
             )

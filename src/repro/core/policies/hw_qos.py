@@ -12,7 +12,6 @@ and simply lose the bandwidth race at the controller.
 
 from __future__ import annotations
 
-from repro.cluster.node import ACCEL_SOCKET
 from repro.core.policies.base import (
     CpuTaskPlan,
     IsolationPolicy,
@@ -39,7 +38,7 @@ class HwQosPolicy(IsolationPolicy):
         cores = self.node.accel_socket_cores()[: self.ml_cores]
         return Placement(
             cores=frozenset(cores),
-            mem_weights=topo.socket_memory_weights(ACCEL_SOCKET),
+            mem_weights=topo.socket_memory_weights(self.node.accel_socket),
             clos=ML_CLOS,
         )
 
@@ -51,7 +50,7 @@ class HwQosPolicy(IsolationPolicy):
                 profile=profile,
                 placement=Placement(
                     cores=frozenset(self._spare_socket_cores()),
-                    mem_weights=topo.socket_memory_weights(ACCEL_SOCKET),
+                    mem_weights=topo.socket_memory_weights(self.node.accel_socket),
                 ),
                 role=ROLE_LO,
             )

@@ -11,7 +11,6 @@ second.
 
 from __future__ import annotations
 
-from repro.cluster.node import HI_SUBDOMAIN, LO_SUBDOMAIN
 from repro.core.kelp import KelpRuntime
 from repro.core.policies.base import (
     CpuTaskPlan,
@@ -49,7 +48,7 @@ class KelpPolicy(IsolationPolicy):
         cores = self.node.hi_subdomain_cores()[: self.ml_cores]
         return Placement(
             cores=frozenset(cores),
-            mem_weights={HI_SUBDOMAIN: 1.0},
+            mem_weights={self.node.hi_subdomain: 1.0},
             clos=ML_CLOS,
         )
 
@@ -66,7 +65,7 @@ class KelpPolicy(IsolationPolicy):
                 profile=profile.scaled_to_threads(lo_threads),
                 placement=Placement(
                     cores=frozenset(lo_cores),
-                    mem_weights={LO_SUBDOMAIN: 1.0},
+                    mem_weights={self.node.lo_subdomain: 1.0},
                 ),
                 role=ROLE_LO,
             )
@@ -81,7 +80,7 @@ class KelpPolicy(IsolationPolicy):
                     profile=profile.scaled_to_threads(backfill_threads),
                     placement=Placement(
                         cores=frozenset(backfill_cores),
-                        mem_weights={HI_SUBDOMAIN: 1.0},
+                        mem_weights={self.node.hi_subdomain: 1.0},
                     ),
                     role=ROLE_BACKFILL,
                 )

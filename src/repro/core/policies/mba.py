@@ -11,7 +11,6 @@ trade against CT/Kelp (the ``ablation-mba`` experiment).
 
 from __future__ import annotations
 
-from repro.cluster.node import ACCEL_SOCKET
 from repro.core.measurements import measure_node
 from repro.core.policies.base import (
     CpuTaskPlan,
@@ -58,7 +57,7 @@ class MbaPolicy(IsolationPolicy):
         topo = self.node.machine.topology
         return Placement(
             cores=frozenset(self.node.accel_socket_cores()[: self.ml_cores]),
-            mem_weights=topo.socket_memory_weights(ACCEL_SOCKET),
+            mem_weights=topo.socket_memory_weights(self.node.accel_socket),
             clos=ML_CLOS,
         )
 
@@ -70,7 +69,7 @@ class MbaPolicy(IsolationPolicy):
                 profile=profile,
                 placement=Placement(
                     cores=frozenset(self._spare_socket_cores()),
-                    mem_weights=topo.socket_memory_weights(ACCEL_SOCKET),
+                    mem_weights=topo.socket_memory_weights(self.node.accel_socket),
                     clos=LO_CLOS,
                 ),
                 role=ROLE_LO,

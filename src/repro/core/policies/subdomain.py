@@ -11,7 +11,6 @@ exactly the fragmentation cost Fig 13/14 charge this configuration with.
 
 from __future__ import annotations
 
-from repro.cluster.node import HI_SUBDOMAIN, LO_SUBDOMAIN
 from repro.core.kelp import KelpRuntime
 from repro.core.policies.base import (
     CpuTaskPlan,
@@ -48,7 +47,7 @@ class SubdomainPolicy(IsolationPolicy):
         cores = self.node.hi_subdomain_cores()[: self.ml_cores]
         return Placement(
             cores=frozenset(cores),
-            mem_weights={HI_SUBDOMAIN: 1.0},
+            mem_weights={self.node.hi_subdomain: 1.0},
             clos=ML_CLOS,
         )
 
@@ -59,7 +58,7 @@ class SubdomainPolicy(IsolationPolicy):
                 profile=profile,
                 placement=Placement(
                     cores=frozenset(self.node.lo_subdomain_cores()),
-                    mem_weights={LO_SUBDOMAIN: 1.0},
+                    mem_weights={self.node.lo_subdomain: 1.0},
                 ),
                 role=ROLE_LO,
             )

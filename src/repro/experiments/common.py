@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.cluster.node import ACCEL_SOCKET, HI_SUBDOMAIN, LO_SUBDOMAIN, Node
+from repro.cluster.node import Node
 from repro.core.policies import IsolationPolicy, ParameterSample, make_policy
 from repro.core.policies.base import ROLE_BACKFILL, ROLE_LO
 from repro.errors import ExperimentError
@@ -103,12 +103,18 @@ def _telemetry_sample(node: Node) -> dict[str, float]:
     return {
         "time": node.sim.now,
         "window_s": reading.elapsed,
-        "socket_bw_gbps": reading.socket_bandwidth_gbps.get(ACCEL_SOCKET, 0.0),
-        "socket_latency": reading.socket_latency_factor.get(ACCEL_SOCKET, 1.0),
-        "saturation": reading.socket_saturation.get(ACCEL_SOCKET, 0.0),
-        "hipri_bw_gbps": reading.subdomain_bandwidth_gbps.get(HI_SUBDOMAIN, 0.0),
-        "lopri_bw_gbps": reading.subdomain_bandwidth_gbps.get(LO_SUBDOMAIN, 0.0),
-        "socket_throttle": reading.socket_throttle.get(ACCEL_SOCKET, 1.0),
+        "socket_bw_gbps": reading.socket_bandwidth_gbps.get(node.accel_socket, 0.0),
+        "socket_latency": reading.socket_latency_factor.get(
+            node.accel_socket, 1.0
+        ),
+        "saturation": reading.socket_saturation.get(node.accel_socket, 0.0),
+        "hipri_bw_gbps": reading.subdomain_bandwidth_gbps.get(
+            node.hi_subdomain, 0.0
+        ),
+        "lopri_bw_gbps": reading.subdomain_bandwidth_gbps.get(
+            node.lo_subdomain, 0.0
+        ),
+        "socket_throttle": reading.socket_throttle.get(node.accel_socket, 1.0),
     }
 
 

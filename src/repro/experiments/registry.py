@@ -90,6 +90,12 @@ def _fig16():
     return run, format_fig16
 
 
+def _fleet_sim():
+    from repro.experiments.fleet_sim import format_fleet_sim, run_fleet_sim
+
+    return run_fleet_sim, format_fleet_sim
+
+
 def _table1():
     from repro.experiments.table1_workloads import format_table1, run_table1
 
@@ -188,6 +194,7 @@ _REGISTRY: dict[str, Callable[[], tuple[Callable, Callable]]] = {
     "fig15": _fig15,
     "fig16": _fig16,
     "table1": _table1,
+    "fleet-sim": _fleet_sim,
     "ablation-hwqos": _ablation_hwqos,
     "ablation-backfill": _ablation_backfill,
     "ablation-mba": _ablation_mba,
@@ -201,12 +208,12 @@ _REGISTRY: dict[str, Callable[[], tuple[Callable, Callable]]] = {
 
 #: Experiments whose runners accept a ``jobs`` argument (internal sweeps
 #: that can fan out over a process pool; see :mod:`repro.parallel`).
-JOBS_AWARE = {"fig02", "fig05", "fig16"}
+JOBS_AWARE = {"fig02", "fig05", "fig16", "fleet-sim"}
 
 #: Experiments whose runners accept an ``observer`` argument (deep
 #: observability export; see :mod:`repro.obs`). Other experiments still get
 #: run-level spans and a manifest from the CLI wrapper.
-OBS_AWARE = {"fig02", "fig03", "fig11", "fig12", "fig13"}
+OBS_AWARE = {"fig02", "fig03", "fig11", "fig12", "fig13", "fleet-sim"}
 
 
 def experiment_ids() -> list[str]:

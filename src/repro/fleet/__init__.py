@@ -1,0 +1,74 @@
+"""Fleet orchestration: QoS-aware cluster scheduling over Kelp nodes.
+
+The node-level Kelp stack (:mod:`repro.core`) isolates one server; this
+package scales it out. A fleet run places many independently managed nodes
+under one simulator clock, routes multi-tenant high-priority inference
+traffic at admission time, bin-packs a best-effort batch tier around the
+serving tier, and accounts the outcome in SLO terms.
+
+Entry points: :func:`run_fleet` / :class:`FleetOrchestrator` for library
+use, the ``fleet-sim`` experiment family for the CLI.
+"""
+
+from repro.fleet.batch import BatchJob, BatchQueue, BatchQueueStats
+from repro.fleet.config import (
+    BatchJobSpec,
+    FleetConfig,
+    ROUTING_NAMES,
+    SATURATED_BW_FRACTION,
+    TenantSpec,
+    default_tenants,
+    uniform_batch_jobs,
+)
+from repro.fleet.member import FleetMember, NodeSignals
+from repro.fleet.orchestrator import (
+    FleetOrchestrator,
+    FleetResult,
+    NodeStats,
+    run_fleet,
+)
+from repro.fleet.routing import (
+    InterferenceAwareRouter,
+    LeastLoadedRouter,
+    RandomRouter,
+    Router,
+    make_router,
+)
+from repro.fleet.slo import TenantAccount, TenantSlo, fleet_efficiency
+from repro.fleet.validate import (
+    FleetInterferenceProfile,
+    empirical_probability_any_interfered,
+    empirical_slowdown,
+    interference_profile,
+)
+
+__all__ = [
+    "BatchJob",
+    "BatchJobSpec",
+    "BatchQueue",
+    "BatchQueueStats",
+    "FleetConfig",
+    "FleetInterferenceProfile",
+    "FleetMember",
+    "FleetOrchestrator",
+    "FleetResult",
+    "InterferenceAwareRouter",
+    "LeastLoadedRouter",
+    "NodeSignals",
+    "NodeStats",
+    "ROUTING_NAMES",
+    "RandomRouter",
+    "Router",
+    "SATURATED_BW_FRACTION",
+    "TenantAccount",
+    "TenantSlo",
+    "TenantSpec",
+    "default_tenants",
+    "empirical_probability_any_interfered",
+    "empirical_slowdown",
+    "fleet_efficiency",
+    "interference_profile",
+    "make_router",
+    "run_fleet",
+    "uniform_batch_jobs",
+]

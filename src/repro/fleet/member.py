@@ -1,0 +1,277 @@
+"""One fleet node: machine + isolation policy + inference server + batch slots.
+
+A :class:`FleetMember` owns everything node-local that the single-node
+experiments build by hand — the :class:`~repro.cluster.node.Node`, the
+per-node isolation policy (prepared and ticking on its own control loop),
+and the pipelined inference server the fleet routes requests to. On top it
+adds the two things only a fleet needs: request attribution (which tenant
+owns which in-flight request) and dynamic batch-job slots the cluster queue
+places into and evicts from.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.node import Node
+from repro.core.policies import IsolationPolicy, make_policy
+from repro.core.policies.base import ROLE_BACKFILL, ROLE_LO
+from repro.errors import SchedulingError
+from repro.fleet.config import SATURATED_BW_FRACTION
+from repro.sim import Simulator
+from repro.sim.engine import PRIORITY_CONTROL
+from repro.workloads.cpu.base import BatchProfile, BatchTask
+from repro.workloads.ml.base import InferenceServerTask
+from repro.workloads.ml.catalog import MlInstance, MlWorkloadFactory
+
+
+@dataclass(frozen=True)
+class NodeSignals:
+    """One control-interval snapshot of a node, as the fleet sees it.
+
+    The routing layer and the batch queue act on these signals only — they
+    never reach into the node's machine directly, mirroring how a cluster
+    scheduler consumes per-node telemetry exports rather than raw counters.
+    """
+
+    node_index: int
+    time: float
+    #: Accel-socket bandwidth over the window, GB/s.
+    socket_bw_gbps: float
+    #: Worst loaded-latency factor on the accel socket (1.0 = unloaded).
+    latency_factor: float
+    #: FAST_ASSERTED fraction on the accel socket, [0, 1].
+    saturation: float
+    #: High-priority-subdomain bandwidth, GB/s.
+    hipri_bw_gbps: float
+    #: Requests in flight + queued on the node's inference server.
+    inflight: int
+    queued: int
+    #: Batch jobs currently resident on the node.
+    batch_jobs: int
+    #: The Fig 2 statistic: socket bandwidth above 70 % of peak.
+    saturated: bool
+    #: Hi-subdomain watermarks tripped (eviction signal for the queue).
+    hot: bool
+
+    def pressure(self) -> float:
+        """Scalar interference pressure used by interference-aware routing.
+
+        Saturation dominates; loaded latency above 1.0 adds a secondary
+        term. Rounded so that float jitter cannot reorder near-ties and
+        break run-to-run determinism.
+        """
+        return round(self.saturation + 0.5 * max(self.latency_factor - 1.0, 0.0), 9)
+
+
+class FleetMember:
+    """One managed node inside a fleet simulation."""
+
+    def __init__(
+        self,
+        index: int,
+        sim: Simulator,
+        factory: MlWorkloadFactory,
+        policy_name: str,
+        interval: float,
+        warmup: float,
+        seed: int,
+        accel_socket: int = 0,
+        on_complete: Callable[["FleetMember", int, float, float], None] | None = None,
+    ) -> None:
+        self.index = index
+        self.sim = sim
+        self.node: Node = Node.create(factory.host_spec(), sim, accel_socket=accel_socket)
+        self.policy: IsolationPolicy = make_policy(
+            policy_name,
+            self.node,
+            ml_cores=factory.default_cores(),
+            interval=interval,
+        )
+        self.policy.prepare()
+        # ``load_fraction=0`` builds the server with *no* load generator:
+        # arrivals come from the fleet's tenant generators via the router.
+        self.instance: MlInstance = factory.build(
+            self.node.machine,
+            self.policy.ml_placement(),
+            warmup_until=warmup,
+            seed=seed,
+            load_fraction=0.0,
+        )
+        self._interval = interval
+        self._on_complete = on_complete
+        self._cancel_policy_loop: Callable[[], None] | None = None
+        #: FIFO of owning tenant indices per request-start timestamp.
+        self._owners: dict[float, deque[int]] = {}
+        #: Latest telemetry snapshot (None before the first control tick).
+        self.last_signals: NodeSignals | None = None
+        #: Consecutive samples with the hot predicate true (eviction patience).
+        self.hot_streak = 0
+        #: job_id -> live BatchTask list for resident batch jobs.
+        self._jobs: dict[str, list[BatchTask]] = {}
+        #: Every batch task this node ever ran (live + evicted), for accounting.
+        self.batch_task_history: list[BatchTask] = []
+        self._peak_bw = self.node.machine.spec.sockets[accel_socket].peak_bw_gbps
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Start the inference server and the node policy's control loop."""
+        self.instance.start()
+        self.server.completion_listeners.append(self._complete)
+        if self.policy.has_control_loop:
+            self._cancel_policy_loop = self.sim.every(
+                self._interval,
+                self.policy.tick,
+                label=f"fleet:policy:{self.index}",
+                priority=PRIORITY_CONTROL,
+            )
+
+    def stop(self) -> None:
+        """Stop the control loop, resident batch jobs and the server."""
+        if self._cancel_policy_loop is not None:
+            self._cancel_policy_loop()
+            self._cancel_policy_loop = None
+        for job_id in list(self._jobs):
+            self.remove_job(job_id)
+        try:
+            self.server.completion_listeners.remove(self._complete)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        self.instance.stop()
+
+    # ------------------------------------------------------------- serving
+    @property
+    def server(self) -> InferenceServerTask:
+        """The node's pipelined inference server."""
+        task = self.instance.task
+        assert isinstance(task, InferenceServerTask)
+        return task
+
+    @property
+    def load(self) -> int:
+        """Requests in flight plus queued (the least-loaded routing key)."""
+        return self.server.inflight + self.server.queued
+
+    def submit(self, tenant: int) -> None:
+        """Accept one request on behalf of ``tenant``."""
+        self._owners.setdefault(self.sim.now, deque()).append(tenant)
+        self.server.submit()
+
+    def _complete(self, start: float, end: float) -> None:
+        owners = self._owners.get(start)
+        if not owners:  # pragma: no cover - foreign traffic, defensive
+            return
+        tenant = owners.popleft()
+        if not owners:
+            del self._owners[start]
+        if self._on_complete is not None:
+            self._on_complete(self, tenant, start, end)
+
+    # ----------------------------------------------------------- telemetry
+    def sample(self) -> NodeSignals:
+        """One windowed telemetry read, refreshed into :attr:`last_signals`.
+
+        The hot predicate mirrors the THROTTLE side of Algorithm 1's
+        low-priority decision: the queue should not keep (or add) batch work
+        on a node whose socket-level watermarks are tripping.
+        """
+        reading = self.node.perf.read("fleet")
+        node = self.node
+        profile = self.policy.profile
+        saturation = reading.socket_saturation.get(node.accel_socket, 0.0)
+        latency = reading.socket_latency_factor.get(node.accel_socket, 1.0)
+        socket_bw = reading.socket_bandwidth_gbps.get(node.accel_socket, 0.0)
+        hot = (
+            profile.saturation.above(saturation)
+            or profile.socket_latency.above(latency)
+            or profile.socket_bw.above(socket_bw)
+        )
+        signals = NodeSignals(
+            node_index=self.index,
+            time=self.sim.now,
+            socket_bw_gbps=socket_bw,
+            latency_factor=latency,
+            saturation=saturation,
+            hipri_bw_gbps=reading.subdomain_bandwidth_gbps.get(
+                node.hi_subdomain, 0.0
+            ),
+            inflight=self.server.inflight,
+            queued=self.server.queued,
+            batch_jobs=len(self._jobs),
+            saturated=socket_bw >= SATURATED_BW_FRACTION * self._peak_bw,
+            hot=hot,
+        )
+        self.last_signals = signals
+        self.hot_streak = self.hot_streak + 1 if hot else 0
+        return signals
+
+    # ---------------------------------------------------------- batch jobs
+    @property
+    def job_count(self) -> int:
+        """Batch jobs currently resident on this node."""
+        return len(self._jobs)
+
+    @property
+    def job_ids(self) -> tuple[str, ...]:
+        """Resident job ids in placement order."""
+        return tuple(self._jobs)
+
+    def place_job(self, job_id: str, profile: BatchProfile, warmup: float) -> None:
+        """Create, register and start the tasks of one batch job."""
+        if job_id in self._jobs:
+            raise SchedulingError(f"job {job_id!r} already on node {self.index}")
+        roles: dict[str, list[BatchTask]] = {ROLE_LO: [], ROLE_BACKFILL: []}
+        tasks: list[BatchTask] = []
+        for plan in self.policy.plan_cpu(profile):
+            task = BatchTask(
+                task_id=f"{job_id}/{plan.task_id}",
+                machine=self.node.machine,
+                placement=plan.placement,
+                profile=plan.profile,
+                warmup_until=warmup,
+            )
+            tasks.append(task)
+            roles.setdefault(plan.role, []).append(task)
+        self.policy.register(roles)
+        for task in tasks:
+            task.start()
+        self._jobs[job_id] = tasks
+        self.batch_task_history.extend(tasks)
+
+    def remove_job(self, job_id: str) -> None:
+        """Stop one job's tasks and forget them in the node's role lists.
+
+        The role lists matter: the Kelp runtime's enforcement pass iterates
+        ``node.lo_tasks``/``node.backfill_tasks`` every tick, so an evicted
+        task left behind would keep receiving cpuset writes forever.
+        """
+        tasks = self._jobs.pop(job_id, None)
+        if tasks is None:
+            raise SchedulingError(f"job {job_id!r} not on node {self.index}")
+        for task in tasks:
+            # Freeze the meter at the eviction instant: a detached task no
+            # longer receives solver rates, and a stale non-zero rate would
+            # extrapolate phantom units to the end of the run.
+            task.meter.set_rate(0.0, self.sim.now)
+            task.stop()
+            if task in self.node.lo_tasks:
+                self.node.lo_tasks.remove(task)
+            if task in self.node.backfill_tasks:
+                self.node.backfill_tasks.remove(task)
+
+    # ------------------------------------------------------------- metrics
+    def batch_throughput(self, measurement_end: float) -> float:
+        """Aggregate post-warmup units/s over every task this node ran."""
+        return sum(
+            task.throughput(measurement_end) for task in self.batch_task_history
+        )
+
+    def rng_stream(self, base_seed: int, tag: int) -> np.random.Generator:
+        """A node-scoped RNG stream (deterministic in (seed, node, tag))."""
+        return np.random.default_rng(
+            np.random.SeedSequence((base_seed, self.index, tag))
+        )

@@ -1,0 +1,328 @@
+"""The fleet orchestrator: many Kelp nodes under one simulator clock.
+
+One :class:`FleetOrchestrator` run assembles ``nodes`` independent machines
+(each with its own isolation policy and inference server) inside a single
+:class:`~repro.sim.Simulator`, drives multi-tenant open-loop arrivals
+through the admission router, manages the best-effort batch queue on the
+fleet control interval, and reports per-tenant SLO outcomes plus
+fleet-level statistics.
+
+Everything is deterministic in ``FleetConfig.seed``: tenant arrival
+processes, the random router and per-node workload noise each draw from
+dedicated ``SeedSequence`` streams, so the same config produces the same
+summary bit-for-bit regardless of process parallelism around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.fleet.batch import BatchQueue
+from repro.fleet.config import FleetConfig
+from repro.fleet.member import FleetMember
+from repro.fleet.routing import Router, make_router
+from repro.fleet.slo import (
+    TenantAccount,
+    TenantSlo,
+    finalize_tenant,
+    fleet_efficiency,
+)
+from repro.metrics.percentile import StreamingPercentiles
+from repro.sim import Simulator
+from repro.sim.engine import PRIORITY_OBSERVE
+from repro.workloads.loadgen import OpenLoopGenerator
+from repro.workloads.ml.catalog import ml_workload
+
+#: Stream tags keeping the fleet's RNG consumers independent.
+_STREAM_ROUTER = 0xF1EE
+_STREAM_TENANT = 0xA171
+_STREAM_NODE = 0x50DE
+
+
+def _derive_seed(*parts: int) -> int:
+    """A stable 32-bit seed from a tuple of integer parts."""
+    return int(np.random.SeedSequence(parts).generate_state(1)[0])
+
+
+@dataclass(frozen=True)
+class NodeStats:
+    """Per-node outcome of one fleet run (validation + diagnostics)."""
+
+    index: int
+    #: Post-warmup completions served by this node.
+    completed: int
+    #: Mean post-warmup request latency on this node (None if it served none).
+    mean_latency_s: float | None
+    #: Fraction of post-warmup control samples with the node saturated.
+    saturated_fraction: float
+    #: Batch jobs resident at the end of the run.
+    batch_jobs: int
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Everything one fleet run measured."""
+
+    config: FleetConfig
+    tenants: tuple[TenantSlo, ...]
+    #: Mean over post-warmup samples of (saturated nodes / nodes) — the
+    #: cluster-scope Fig 2 statistic.
+    fraction_saturated: float
+    #: SLO-good completions / offered requests, all tenants pooled.
+    serving_yield: float
+    #: Delivered batch units / nominal full-speed units (1.0 = no batch tier
+    #: slowdown and no queueing delay); 0.0 when no jobs were submitted.
+    batch_yield: float
+    #: Combined useful-work fraction (see :func:`repro.fleet.slo.fleet_efficiency`).
+    efficiency: float
+    offered_total: int
+    completed_total: int
+    good_total: int
+    batch_placements: int
+    batch_evictions: int
+    batch_pending_at_end: int
+    node_stats: tuple[NodeStats, ...]
+    events_dispatched: int
+    #: Control-interval telemetry rows (one per node per interval).
+    telemetry: tuple[dict, ...] = ()
+
+    def summary(self) -> dict:
+        """A JSON-clean summary — the artifact determinism tests compare."""
+        return {
+            "nodes": self.config.nodes,
+            "policy": self.config.policy,
+            "routing": self.config.routing,
+            "ml": self.config.ml,
+            "seed": self.config.seed,
+            "duration": self.config.duration,
+            "tenants": [t.as_dict() for t in self.tenants],
+            "fraction_saturated": round(self.fraction_saturated, 9),
+            "serving_yield": round(self.serving_yield, 9),
+            "batch_yield": round(self.batch_yield, 9),
+            "efficiency": round(self.efficiency, 9),
+            "offered": self.offered_total,
+            "completed": self.completed_total,
+            "slo_good": self.good_total,
+            "batch_placements": self.batch_placements,
+            "batch_evictions": self.batch_evictions,
+            "batch_pending_at_end": self.batch_pending_at_end,
+        }
+
+
+class FleetOrchestrator:
+    """Builds and runs one fleet simulation from a :class:`FleetConfig`."""
+
+    def __init__(self, config: FleetConfig, collect_telemetry: bool = True) -> None:
+        self.config = config
+        self._collect_telemetry = collect_telemetry
+        #: Raises WorkloadError for non-inference workloads up front.
+        self._factory = ml_workload(config.ml)
+        self._capacity = self._factory.standalone_capacity()
+        self.members: list[FleetMember] = []
+        self.router: Router | None = None
+        self._accounts = [TenantAccount(spec=t) for t in config.tenants]
+        self._node_completed: list[int] = []
+        self._node_latency: list[StreamingPercentiles] = []
+        self._node_saturated: list[int] = []
+        self._saturation_samples: list[float] = []
+        self._post_warmup_samples = 0
+        self._telemetry: list[dict] = []
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> FleetResult:
+        """Execute the configured fleet run and return its measurements."""
+        config = self.config
+        sim = Simulator()
+        self.members = [
+            FleetMember(
+                index=i,
+                sim=sim,
+                factory=self._factory,
+                policy_name=config.policy,
+                interval=config.interval,
+                warmup=config.warmup,
+                seed=_derive_seed(config.seed, _STREAM_NODE, i),
+                on_complete=self._on_complete,
+            )
+            for i in range(config.nodes)
+        ]
+        self._node_completed = [0] * config.nodes
+        self._node_latency = [StreamingPercentiles() for _ in range(config.nodes)]
+        self._node_saturated = [0] * config.nodes
+
+        self.router = make_router(
+            config.routing,
+            rng=np.random.default_rng(
+                np.random.SeedSequence((config.seed, _STREAM_ROUTER))
+            ),
+        )
+        generators = [
+            OpenLoopGenerator(
+                sim=sim,
+                rate_qps=tenant.load_fraction * self._capacity * config.nodes,
+                submit=partial(self._admit, index),
+                rng=np.random.default_rng(
+                    np.random.SeedSequence((config.seed, _STREAM_TENANT, index))
+                ),
+                deterministic=tenant.deterministic,
+            )
+            for index, tenant in enumerate(config.tenants)
+        ]
+        queue = BatchQueue(
+            config.batch_jobs,
+            max_jobs_per_node=config.max_jobs_per_node,
+            eviction=config.batch_eviction,
+            patience=config.eviction_patience,
+            warmup=config.warmup,
+        )
+
+        for member in self.members:
+            member.start()
+        # t=0 batch placement: telemetry is empty, so the queue bin-packs on
+        # slot counts alone; later ticks re-balance on live signals.
+        queue.tick(self.members)
+        for generator in generators:
+            generator.start()
+        sim.every(
+            config.interval,
+            partial(self._control_tick, queue),
+            label="fleet:control",
+            priority=PRIORITY_OBSERVE,
+        )
+
+        sim.run_until(config.duration)
+
+        for generator in generators:
+            generator.stop()
+        events = sim.dispatched_events
+        batch_units, batch_nominal = self._batch_units(queue)
+        result = self._finalize(queue, events, batch_units, batch_nominal)
+        for member in self.members:
+            member.stop()
+        return result
+
+    # ------------------------------------------------------------ admission
+    def _admit(self, tenant: int) -> None:
+        assert self.router is not None
+        member = self.router.choose(self.members)
+        if member.sim.now >= self.config.warmup:
+            self._accounts[tenant].offered += 1
+        member.submit(tenant)
+
+    def _on_complete(
+        self, member: FleetMember, tenant: int, start: float, end: float
+    ) -> None:
+        if start < self.config.warmup:
+            return
+        latency = end - start
+        self._accounts[tenant].record(latency)
+        self._node_completed[member.index] += 1
+        self._node_latency[member.index].add(latency)
+
+    # --------------------------------------------------------- control loop
+    def _control_tick(self, queue: BatchQueue) -> None:
+        now = None
+        post_warmup = False
+        saturated = 0
+        for member in self.members:
+            signals = member.sample()
+            now = signals.time
+            post_warmup = signals.time > self.config.warmup
+            if post_warmup:
+                if signals.saturated:
+                    saturated += 1
+                    self._node_saturated[member.index] += 1
+            if self._collect_telemetry:
+                self._telemetry.append(
+                    {
+                        "time": signals.time,
+                        "node": signals.node_index,
+                        "socket_bw_gbps": signals.socket_bw_gbps,
+                        "latency_factor": signals.latency_factor,
+                        "saturation": signals.saturation,
+                        "hipri_bw_gbps": signals.hipri_bw_gbps,
+                        "inflight": signals.inflight,
+                        "queued": signals.queued,
+                        "batch_jobs": signals.batch_jobs,
+                        "saturated": signals.saturated,
+                        "hot": signals.hot,
+                    }
+                )
+        if post_warmup and now is not None:
+            self._saturation_samples.append(saturated / len(self.members))
+            self._post_warmup_samples += 1
+        queue.tick(self.members)
+
+    # ------------------------------------------------------------- finalize
+    def _batch_units(self, queue: BatchQueue) -> tuple[float, float]:
+        window = self.config.duration - self.config.warmup
+        delivered = sum(
+            member.batch_throughput(self.config.duration) for member in self.members
+        ) * window
+        nominal = queue.nominal_rate_total() * window
+        return delivered, nominal
+
+    def _finalize(
+        self,
+        queue: BatchQueue,
+        events: int,
+        batch_units: float,
+        batch_nominal: float,
+    ) -> FleetResult:
+        config = self.config
+        window = config.duration - config.warmup
+        if window <= 0:  # pragma: no cover - guarded by FleetConfig
+            raise ExperimentError("fleet window must be positive")
+        tenants = tuple(
+            finalize_tenant(account, window) for account in self._accounts
+        )
+        offered = sum(a.offered for a in self._accounts)
+        completed = sum(a.completed for a in self._accounts)
+        good = sum(a.good for a in self._accounts)
+        serving_yield = good / offered if offered else 0.0
+        batch_yield = batch_units / batch_nominal if batch_nominal > 0 else 0.0
+        samples = self._saturation_samples
+        node_stats = tuple(
+            NodeStats(
+                index=i,
+                completed=self._node_completed[i],
+                mean_latency_s=(
+                    self._node_latency[i].mean()
+                    if self._node_latency[i].count
+                    else None
+                ),
+                saturated_fraction=(
+                    self._node_saturated[i] / self._post_warmup_samples
+                    if self._post_warmup_samples
+                    else 0.0
+                ),
+                batch_jobs=self.members[i].job_count,
+            )
+            for i in range(config.nodes)
+        )
+        return FleetResult(
+            config=config,
+            tenants=tenants,
+            fraction_saturated=sum(samples) / len(samples) if samples else 0.0,
+            serving_yield=serving_yield,
+            batch_yield=batch_yield,
+            efficiency=fleet_efficiency(good, offered, batch_units, batch_nominal),
+            offered_total=offered,
+            completed_total=completed,
+            good_total=good,
+            batch_placements=queue.stats.placements,
+            batch_evictions=queue.stats.evictions,
+            batch_pending_at_end=queue.stats.pending_at_end,
+            node_stats=node_stats,
+            events_dispatched=events,
+            telemetry=tuple(self._telemetry),
+        )
+
+
+def run_fleet(config: FleetConfig, collect_telemetry: bool = True) -> FleetResult:
+    """Convenience wrapper: build and run one fleet simulation."""
+    return FleetOrchestrator(config, collect_telemetry=collect_telemetry).run()

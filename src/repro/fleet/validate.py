@@ -1,0 +1,130 @@
+"""Cross-validation of the analytic tail-amplification model.
+
+Section II-D's tail-amplification argument is analytic: given the fleet
+probability ``p`` of landing a shard on an interfered machine and the local
+stretch ``s`` interference causes, lock-step fan-out amplifies the expected
+service slowdown as ``shards`` grows. The fleet simulator produces both
+inputs *empirically* — which nodes saturated, and how much slower their
+requests ran — so this module closes the loop: fit a
+:class:`~repro.distributed.service.TailAmplificationModel` from a fleet
+run, then Monte-Carlo shard placements over the *actual* per-node latencies
+and check the two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributed.service import TailAmplificationModel
+from repro.errors import ExperimentError
+from repro.fleet.orchestrator import FleetResult
+
+
+@dataclass(frozen=True)
+class FleetInterferenceProfile:
+    """What one fleet run says about interference, model-input shaped."""
+
+    #: Fraction of nodes classified interfered (the model's ``p``).
+    interference_probability: float
+    #: Mean request latency on interfered nodes / clean nodes (``s``).
+    interfered_stretch: float
+    #: Mean request latency on clean nodes, seconds.
+    clean_latency_s: float
+    #: Node indices on each side of the classification.
+    interfered_nodes: tuple[int, ...]
+    clean_nodes: tuple[int, ...]
+    #: Per-node mean latency normalized to the clean mean (index-aligned
+    #: with the fleet's nodes; nodes that served nothing are excluded).
+    normalized_latencies: tuple[float, ...]
+
+    def model(self, latency_cv: float = 0.0) -> TailAmplificationModel:
+        """The analytic model fitted from this fleet run."""
+        return TailAmplificationModel(
+            interference_probability=self.interference_probability,
+            interfered_stretch=max(self.interfered_stretch, 1.0),
+            latency_cv=latency_cv,
+        )
+
+
+def interference_profile(
+    result: FleetResult, saturated_threshold: float = 0.5
+) -> FleetInterferenceProfile:
+    """Classify nodes and fit the model inputs from one fleet run.
+
+    A node counts as *interfered* when it was bandwidth-saturated in at
+    least ``saturated_threshold`` of the post-warmup control samples —
+    the per-node version of the Fig 2 fleet statistic.
+    """
+    served = [s for s in result.node_stats if s.mean_latency_s is not None]
+    if not served:
+        raise ExperimentError("fleet run served no requests; cannot fit model")
+    interfered = [s for s in served if s.saturated_fraction >= saturated_threshold]
+    clean = [s for s in served if s.saturated_fraction < saturated_threshold]
+    if not clean:
+        raise ExperimentError(
+            "every node is saturated; no clean baseline to normalize against"
+        )
+    clean_mean = float(
+        np.mean([s.mean_latency_s for s in clean])
+    )
+    if interfered:
+        interfered_mean = float(np.mean([s.mean_latency_s for s in interfered]))
+        stretch = interfered_mean / clean_mean
+    else:
+        stretch = 1.0
+    return FleetInterferenceProfile(
+        interference_probability=len(interfered) / len(served),
+        interfered_stretch=stretch,
+        clean_latency_s=clean_mean,
+        interfered_nodes=tuple(s.index for s in interfered),
+        clean_nodes=tuple(s.index for s in clean),
+        normalized_latencies=tuple(
+            s.mean_latency_s / clean_mean for s in served
+        ),
+    )
+
+
+def empirical_slowdown(
+    profile: FleetInterferenceProfile,
+    shards: int,
+    samples: int = 4000,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo lock-step slowdown over the fleet's *measured* nodes.
+
+    Each sample places ``shards`` parameter-server shards on uniformly
+    drawn nodes and takes the max of their normalized mean latencies — the
+    empirical counterpart of
+    :meth:`~repro.distributed.service.TailAmplificationModel.expected_slowdown`
+    with ``latency_cv=0``.
+    """
+    if shards < 1:
+        raise ExperimentError("shards must be >= 1")
+    latencies = np.asarray(profile.normalized_latencies)
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, len(latencies), size=(samples, shards))
+    return float(np.mean(np.max(latencies[picks], axis=1)))
+
+
+def empirical_probability_any_interfered(
+    profile: FleetInterferenceProfile,
+    shards: int,
+    samples: int = 4000,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo fraction of placements touching an interfered node."""
+    if shards < 1:
+        raise ExperimentError("shards must be >= 1")
+    total = len(profile.clean_nodes) + len(profile.interfered_nodes)
+    interfered = np.zeros(total, dtype=bool)
+    index_of = {
+        node: i
+        for i, node in enumerate(profile.clean_nodes + profile.interfered_nodes)
+    }
+    for node in profile.interfered_nodes:
+        interfered[index_of[node]] = True
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, total, size=(samples, shards))
+    return float(np.mean(np.any(interfered[picks], axis=1)))

@@ -40,7 +40,18 @@ class OpenLoopGenerator:
         self.generated = 0
 
     def start(self) -> None:
-        """Begin generating arrivals from the current simulated time."""
+        """Begin generating arrivals from the current simulated time.
+
+        Raises :class:`~repro.errors.ConfigurationError` when called while
+        the generator is already running — a second call would schedule a
+        second arrival chain and silently double the offered rate. Call
+        :meth:`stop` first to restart.
+        """
+        if not self._stopped:
+            raise ConfigurationError(
+                "open-loop generator already running; stop() before "
+                "restarting"
+            )
         self._stopped = False
         self._schedule_next()
 
@@ -81,17 +92,38 @@ class ClosedLoopGenerator:
         self.server = server
         self.concurrency = concurrency
         self._stopped = True
-        server.completion_listeners.append(self._on_complete)
+        self._attached = False
 
     def start(self) -> None:
-        """Fill the pipeline."""
+        """Fill the pipeline (attaching the completion listener)."""
         self._stopped = False
+        self._attach()
         for _ in range(self.concurrency):
             self.server.submit()
 
     def stop(self) -> None:
-        """Stop replacing completed requests."""
+        """Stop replacing completed requests and detach from the server.
+
+        Without the detach, every generator ever pointed at a server would
+        keep a listener in ``server.completion_listeners`` forever — and a
+        stale generator that was merely re-``start()``-ed elsewhere would
+        re-submit on completions it no longer owns.
+        """
         self._stopped = True
+        self._detach()
+
+    def _attach(self) -> None:
+        if not self._attached:
+            self.server.completion_listeners.append(self._on_complete)
+            self._attached = True
+
+    def _detach(self) -> None:
+        if self._attached:
+            try:
+                self.server.completion_listeners.remove(self._on_complete)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            self._attached = False
 
     def _on_complete(self, _start: float, _end: float) -> None:
         if not self._stopped:
@@ -105,13 +137,30 @@ class SerialGenerator:
         if total_requests <= 0:
             raise ConfigurationError("total_requests must be positive")
         self.server = server
+        self.total_requests = total_requests
         self.remaining = total_requests
         self.completed = 0
-        server.completion_listeners.append(self._on_complete)
+        self._attached = False
 
     def start(self) -> None:
-        """Issue the first request."""
+        """Issue the first request (attaching the completion listener)."""
+        if not self._attached:
+            self.server.completion_listeners.append(self._on_complete)
+            self._attached = True
         self._issue()
+
+    def stop(self) -> None:
+        """Stop issuing further requests and detach from the server."""
+        self.remaining = 0
+        self._detach()
+
+    def _detach(self) -> None:
+        if self._attached:
+            try:
+                self.server.completion_listeners.remove(self._on_complete)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            self._attached = False
 
     def _issue(self) -> None:
         if self.remaining <= 0:
@@ -121,4 +170,8 @@ class SerialGenerator:
 
     def _on_complete(self, _start: float, _end: float) -> None:
         self.completed += 1
+        if self.remaining <= 0 and self.completed >= self.total_requests:
+            # Exhausted: leave no listener behind on the server.
+            self._detach()
+            return
         self._issue()

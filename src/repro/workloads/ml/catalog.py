@@ -103,6 +103,24 @@ class MlWorkloadFactory:
         """Host cores the node scheduler allots the ML task."""
         return self.spec.default_cores
 
+    def standalone_capacity(self, cores: int | None = None) -> float:
+        """Peak unloaded QPS of one server instance (inference only).
+
+        The fleet admission layer sizes per-tenant arrival rates against
+        this analytic capacity.
+        """
+        if self.kind != "inference":
+            raise WorkloadError(
+                f"{self.name!r} is a {self.kind} workload; standalone "
+                "capacity is defined for inference servers only"
+            )
+        spec = self.spec
+        assert isinstance(spec, InferenceSpec)
+        device_spec = _DEVICE_SPECS[spec.platform]()
+        return spec.standalone_capacity(
+            device_spec, cores if cores is not None else self.default_cores()
+        )
+
     def build(
         self,
         machine: Machine,

@@ -1,0 +1,90 @@
+"""FleetConfig / TenantSpec / BatchJobSpec validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.config import (
+    BatchJobSpec,
+    FleetConfig,
+    ROUTING_NAMES,
+    TenantSpec,
+    default_tenants,
+    uniform_batch_jobs,
+)
+
+
+class TestTenantSpec:
+    def test_defaults(self):
+        spec = TenantSpec(name="t")
+        assert spec.load_fraction == pytest.approx(0.30)
+        assert spec.slo_p99_s == pytest.approx(0.060)
+        assert not spec.deterministic
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"name": "t", "load_fraction": 0.0},
+            {"name": "t", "load_fraction": -0.1},
+            {"name": "t", "slo_p99_s": 0.0},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TenantSpec(**kwargs)
+
+
+class TestBatchJobSpec:
+    def test_requires_workload(self):
+        with pytest.raises(ConfigurationError):
+            BatchJobSpec(workload="")
+
+    def test_uniform_batch_jobs(self):
+        jobs = uniform_batch_jobs(3, workload="stitch", intensity=2)
+        assert len(jobs) == 3
+        assert all(j == BatchJobSpec("stitch", 2) for j in jobs)
+        assert uniform_batch_jobs(0) == ()
+        with pytest.raises(ConfigurationError):
+            uniform_batch_jobs(-1)
+
+
+class TestFleetConfig:
+    def test_defaults_are_valid(self):
+        config = FleetConfig()
+        assert config.nodes == 8
+        assert config.routing in ROUTING_NAMES
+        assert config.tenants == default_tenants()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nodes": 0},
+            {"routing": "round-robin"},
+            {"tenants": ()},
+            {"duration": 2.0, "warmup": 2.0},
+            {"interval": 0.0},
+            {"max_jobs_per_node": 0},
+            {"eviction_patience": 0},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FleetConfig(**kwargs)
+
+    def test_scaled_load(self):
+        config = FleetConfig()
+        scaled = config.scaled_load(2.0)
+        assert scaled.total_load_fraction() == pytest.approx(
+            2.0 * config.total_load_fraction()
+        )
+        # The tenant split is preserved.
+        assert [t.name for t in scaled.tenants] == [
+            t.name for t in config.tenants
+        ]
+        with pytest.raises(ConfigurationError):
+            config.scaled_load(0.0)
+
+    def test_total_load_fraction_default_mix(self):
+        assert FleetConfig().total_load_fraction() == pytest.approx(0.50)

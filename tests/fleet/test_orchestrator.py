@@ -1,0 +1,116 @@
+"""FleetOrchestrator integration: small runs, determinism, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.fleet.config import FleetConfig, TenantSpec, uniform_batch_jobs
+from repro.fleet.orchestrator import FleetOrchestrator, run_fleet
+
+
+def _config(**kwargs) -> FleetConfig:
+    defaults = dict(nodes=2, duration=3.0, warmup=1.0, seed=0)
+    defaults.update(kwargs)
+    return FleetConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    """One shared small KP fleet run (module-scoped: it is the slow part)."""
+    return run_fleet(_config())
+
+
+class TestSmallRun:
+    def test_serves_and_accounts(self, small_run):
+        result = small_run
+        assert result.offered_total > 0
+        assert result.completed_total > 0
+        assert result.good_total <= result.completed_total
+        assert 0.0 <= result.serving_yield <= 1.0
+        assert 0.0 <= result.fraction_saturated <= 1.0
+        assert result.events_dispatched > 0
+
+    def test_tenant_rows(self, small_run):
+        tenants = small_run.tenants
+        assert [t.name for t in tenants] == ["search", "assist"]
+        for tenant in tenants:
+            assert tenant.completed > 0
+            assert tenant.p99_s is not None and tenant.p99_s > 0
+            assert tenant.p50_s <= tenant.p99_s
+            assert 0.0 <= tenant.attainment <= 1.0
+            row = tenant.as_dict()
+            assert row["tenant"] == tenant.name
+            assert row["p99_ms"] == pytest.approx(tenant.p99_s * 1e3, abs=1e-3)
+
+    def test_every_node_served(self, small_run):
+        # Both routers' default (interference-aware) spreads a light load.
+        assert all(s.completed > 0 for s in small_run.node_stats)
+        assert sum(s.completed for s in small_run.node_stats) == (
+            small_run.completed_total
+        )
+
+    def test_no_batch_tier_reports_zero(self, small_run):
+        assert small_run.batch_yield == 0.0
+        assert small_run.batch_placements == 0
+        # Efficiency collapses to the serving yield without a batch tier.
+        assert small_run.efficiency == pytest.approx(small_run.serving_yield)
+
+    def test_telemetry_rows(self, small_run):
+        result = small_run
+        config = result.config
+        intervals = int(config.duration / config.interval)
+        assert len(result.telemetry) == pytest.approx(
+            intervals * config.nodes, abs=config.nodes
+        )
+        row = result.telemetry[0]
+        assert {"time", "node", "socket_bw_gbps", "saturation"} <= set(row)
+
+
+class TestDeterminism:
+    def test_same_config_same_summary(self):
+        config = _config(batch_jobs=uniform_batch_jobs(1, intensity=4))
+        assert run_fleet(config).summary() == run_fleet(config).summary()
+
+    def test_seed_changes_outcome(self):
+        base = run_fleet(_config()).summary()
+        other = run_fleet(_config(seed=1)).summary()
+        assert base != other
+
+    def test_deterministic_tenant_offered_count(self):
+        """Evenly spaced arrivals make the offered count predictable."""
+        tenant = TenantSpec(name="t", load_fraction=0.30, deterministic=True)
+        config = _config(nodes=1, tenants=(tenant,))
+        result = run_fleet(config)
+        # rate = 0.30 * standalone capacity (166.67 qps) * 1 node = 50 qps
+        window = config.duration - config.warmup
+        assert result.offered_total == pytest.approx(50.0 * window, abs=2)
+
+
+class TestOptions:
+    def test_collect_telemetry_off(self):
+        result = FleetOrchestrator(_config(), collect_telemetry=False).run()
+        assert result.telemetry == ()
+        assert result.completed_total > 0
+
+    def test_rejects_non_inference_workload(self):
+        with pytest.raises(WorkloadError):
+            FleetOrchestrator(_config(ml="cnn1"))
+
+    def test_batch_jobs_are_conserved(self):
+        config = _config(
+            nodes=2,
+            batch_jobs=uniform_batch_jobs(3, intensity=4),
+            max_jobs_per_node=2,
+        )
+        result = run_fleet(config)
+        assert result.batch_placements >= 3
+        assert result.batch_yield > 0.0
+        resident = sum(s.batch_jobs for s in result.node_stats)
+        assert resident + result.batch_pending_at_end == 3
+
+    def test_summary_is_json_clean(self, small_run):
+        import json
+
+        text = json.dumps(small_run.summary())
+        assert "search" in text

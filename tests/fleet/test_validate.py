@@ -1,0 +1,153 @@
+"""Tail-amplification cross-check: analytic model vs empirical fleet run.
+
+The fleet run used here is engineered to split the fleet: three of four BL
+nodes carry a pinned high-intensity batch job (saturated), one runs clean.
+Fitting Section II-D's :class:`TailAmplificationModel` from that run and
+Monte-Carlo-ing shard placements over the *measured* per-node latencies
+must agree — this is the emergent-behavior validation the fleet subsystem
+promises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.service import TailAmplificationModel
+from repro.errors import ExperimentError
+from repro.fleet.config import FleetConfig, uniform_batch_jobs
+from repro.fleet.orchestrator import FleetResult, NodeStats, run_fleet
+from repro.fleet.validate import (
+    empirical_probability_any_interfered,
+    empirical_slowdown,
+    interference_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def split_fleet() -> FleetResult:
+    """4 BL nodes, 3 pinned stream jobs: 3 saturated nodes + 1 clean."""
+    return run_fleet(
+        FleetConfig(
+            nodes=4,
+            policy="BL",
+            routing="random",
+            batch_jobs=uniform_batch_jobs(3, intensity=8),
+            batch_eviction=False,
+            duration=8.0,
+            warmup=2.0,
+            seed=1,
+        )
+    )
+
+
+def _stats(index, mean_latency_s, saturated_fraction):
+    return NodeStats(
+        index=index,
+        completed=100,
+        mean_latency_s=mean_latency_s,
+        saturated_fraction=saturated_fraction,
+        batch_jobs=0,
+    )
+
+
+def _result(node_stats) -> FleetResult:
+    return FleetResult(
+        config=FleetConfig(nodes=len(node_stats)),
+        tenants=(),
+        fraction_saturated=0.0,
+        serving_yield=0.0,
+        batch_yield=0.0,
+        efficiency=0.0,
+        offered_total=0,
+        completed_total=0,
+        good_total=0,
+        batch_placements=0,
+        batch_evictions=0,
+        batch_pending_at_end=0,
+        node_stats=tuple(node_stats),
+        events_dispatched=0,
+    )
+
+
+class TestProfileFitting:
+    def test_classification_and_stretch(self):
+        profile = interference_profile(
+            _result([_stats(0, 0.010, 0.0), _stats(1, 0.013, 1.0)])
+        )
+        assert profile.interference_probability == pytest.approx(0.5)
+        assert profile.interfered_stretch == pytest.approx(1.3)
+        assert profile.clean_nodes == (0,)
+        assert profile.interfered_nodes == (1,)
+        assert profile.normalized_latencies == pytest.approx((1.0, 1.3))
+
+    def test_no_interference_gives_stretch_one(self):
+        profile = interference_profile(
+            _result([_stats(0, 0.010, 0.0), _stats(1, 0.010, 0.0)])
+        )
+        assert profile.interference_probability == 0.0
+        assert profile.interfered_stretch == 1.0
+
+    def test_rejects_unserved_fleet(self):
+        with pytest.raises(ExperimentError):
+            interference_profile(_result([_stats(0, None, 0.0)]))
+
+    def test_rejects_fully_saturated_fleet(self):
+        with pytest.raises(ExperimentError):
+            interference_profile(
+                _result([_stats(0, 0.013, 1.0), _stats(1, 0.014, 1.0)])
+            )
+
+    def test_model_construction(self):
+        profile = interference_profile(
+            _result([_stats(0, 0.010, 0.0), _stats(1, 0.013, 1.0)])
+        )
+        model = profile.model()
+        assert isinstance(model, TailAmplificationModel)
+        assert model.interference_probability == pytest.approx(0.5)
+        assert model.interfered_stretch == pytest.approx(1.3)
+
+
+class TestEmergentAgreement:
+    """The analytic model reproduces the simulated fleet's tail behavior."""
+
+    def test_fleet_splits_as_engineered(self, split_fleet):
+        profile = interference_profile(split_fleet)
+        assert profile.interference_probability == pytest.approx(0.75)
+        assert profile.interfered_stretch > 1.1
+        assert len(profile.interfered_nodes) == 3
+        assert len(profile.clean_nodes) == 1
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_expected_slowdown_matches(self, split_fleet, shards):
+        profile = interference_profile(split_fleet)
+        model = profile.model(latency_cv=0.0)
+        analytic = model.expected_slowdown(shards, samples=4000, seed=0)
+        empirical = empirical_slowdown(profile, shards, samples=4000, seed=0)
+        assert empirical == pytest.approx(analytic, rel=0.10)
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8, 16])
+    def test_probability_any_interfered_matches(self, split_fleet, shards):
+        profile = interference_profile(split_fleet)
+        model = profile.model()
+        empirical = empirical_probability_any_interfered(
+            profile, shards, samples=8000, seed=0
+        )
+        assert empirical == pytest.approx(
+            model.probability_any_interfered(shards), abs=0.02
+        )
+
+    def test_amplification_grows_with_fanout(self, split_fleet):
+        profile = interference_profile(split_fleet)
+        slowdowns = [
+            empirical_slowdown(profile, shards, seed=0)
+            for shards in (1, 2, 4, 8)
+        ]
+        assert slowdowns == sorted(slowdowns)
+        assert slowdowns[-1] > slowdowns[0]
+
+    def test_shard_validation(self, split_fleet):
+        profile = interference_profile(split_fleet)
+        with pytest.raises(ExperimentError):
+            empirical_slowdown(profile, 0)
+        with pytest.raises(ExperimentError):
+            empirical_probability_any_interfered(profile, 0)

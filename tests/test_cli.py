@@ -31,6 +31,17 @@ class TestCli:
         assert main(["mix", "--ml", "cnn2", "--duration", "12"]) == 0
         assert "cpu_throughput   0.000" in capsys.readouterr().out
 
+    def test_fleet_sim(self, capsys) -> None:
+        code = main([
+            "fleet-sim", "--nodes", "2", "--policy", "KP",
+            "--routing", "least-loaded", "--duration", "3",
+            "--warmup", "1", "--batch-jobs", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet-sim: 2 nodes x KP (least-loaded routing)" in out
+        assert "fleet efficiency" in out
+
     def test_missing_command_errors(self) -> None:
         with pytest.raises(SystemExit):
             main([])
@@ -76,3 +87,26 @@ class TestCliObservability:
         monkeypatch.chdir(tmp_path)
         assert main(["run", "fig03"]) == 0
         assert list(tmp_path.iterdir()) == []
+
+    def test_fleet_sim_with_outputs(self, tmp_path, capsys) -> None:
+        import json
+
+        out_dir = tmp_path / "out"
+        code = main([
+            "fleet-sim", "--nodes", "2", "--duration", "3", "--warmup", "1",
+            "--trials", "2", "--jobs", "2",
+            "--trace-out", str(out_dir),
+            "--metrics-out", str(out_dir / "m.jsonl"),
+        ])
+        assert code == 0
+        assert (out_dir / "trace.json").exists()
+        assert (out_dir / "fleet-sim.manifest.json").exists()
+        rows = [
+            json.loads(line)
+            for line in (out_dir / "m.jsonl").read_text().splitlines()
+        ]
+        kinds = {row.get("kind") for row in rows}
+        assert "fleet_run" in kinds and "fleet_tenant" in kinds
+        manifest = json.loads((out_dir / "fleet-sim.manifest.json").read_text())
+        assert manifest["config"]["fleet_nodes"] == 2
+        assert "fleet.seed" in manifest["seeds"]

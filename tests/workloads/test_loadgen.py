@@ -7,7 +7,26 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.sim import Simulator
-from repro.workloads.loadgen import OpenLoopGenerator
+from repro.workloads.loadgen import (
+    ClosedLoopGenerator,
+    OpenLoopGenerator,
+    SerialGenerator,
+)
+
+
+class _StubServer:
+    """Duck-typed stand-in for InferenceServerTask (submit + listeners)."""
+
+    def __init__(self) -> None:
+        self.completion_listeners = []
+        self.submitted = 0
+
+    def submit(self) -> None:
+        self.submitted += 1
+
+    def complete_one(self, start: float = 0.0, end: float = 1.0) -> None:
+        for listener in list(self.completion_listeners):
+            listener(start, end)
 
 
 class TestOpenLoop:
@@ -57,3 +76,109 @@ class TestOpenLoop:
         gen.start()
         sim.run_until(1.0)
         assert gen.generated == 5
+
+    def test_start_while_running_raises(self, sim: Simulator) -> None:
+        """A second start() must not schedule a second arrival chain."""
+        count = [0]
+        gen = OpenLoopGenerator(
+            sim, rate_qps=10.0, submit=lambda: count.__setitem__(0, count[0] + 1),
+            rng=np.random.default_rng(0), deterministic=True,
+        )
+        gen.start()
+        with pytest.raises(ConfigurationError):
+            gen.start()
+        sim.run_until(1.0)
+        assert count[0] == 10  # rate not doubled
+
+    def test_restart_after_stop_is_allowed(self, sim: Simulator) -> None:
+        count = [0]
+        gen = OpenLoopGenerator(
+            sim, rate_qps=10.0, submit=lambda: count.__setitem__(0, count[0] + 1),
+            rng=np.random.default_rng(0), deterministic=True,
+        )
+        gen.start()
+        sim.run_until(1.0)
+        gen.stop()
+        sim.run_until(2.0)
+        after_stop = count[0]
+        gen.start()
+        sim.run_until(3.0)
+        assert count[0] == pytest.approx(after_stop + 10, abs=1)
+
+
+class TestClosedLoopListeners:
+    def test_stop_detaches_listener(self) -> None:
+        server = _StubServer()
+        gen = ClosedLoopGenerator(server, concurrency=2)
+        assert server.completion_listeners == []  # attach happens on start
+        gen.start()
+        assert len(server.completion_listeners) == 1
+        gen.stop()
+        assert server.completion_listeners == []
+
+    def test_stopped_generator_does_not_resubmit(self) -> None:
+        server = _StubServer()
+        gen = ClosedLoopGenerator(server, concurrency=2)
+        gen.start()
+        gen.stop()
+        submitted = server.submitted
+        server.complete_one()
+        assert server.submitted == submitted
+
+    def test_repeated_generators_do_not_accumulate(self) -> None:
+        """Regression: serial generator lifetimes must not leak listeners."""
+        server = _StubServer()
+        for _ in range(5):
+            gen = ClosedLoopGenerator(server, concurrency=1)
+            gen.start()
+            gen.stop()
+        assert server.completion_listeners == []
+        gen = ClosedLoopGenerator(server, concurrency=1)
+        gen.start()
+        server.complete_one()
+        # Exactly one live generator replaces the completion: 1 initial
+        # submit + 1 replacement (not one per historical generator).
+        assert server.submitted == 5 + 2
+        gen.stop()
+
+    def test_restart_does_not_double_attach(self) -> None:
+        server = _StubServer()
+        gen = ClosedLoopGenerator(server, concurrency=1)
+        gen.start()
+        gen.stop()
+        gen.start()
+        assert len(server.completion_listeners) == 1
+        gen.stop()
+        assert server.completion_listeners == []
+
+
+class TestSerialGeneratorListeners:
+    def test_exhaustion_detaches_listener(self) -> None:
+        server = _StubServer()
+        gen = SerialGenerator(server, total_requests=3)
+        gen.start()
+        assert len(server.completion_listeners) == 1
+        for _ in range(3):
+            server.complete_one()
+        assert gen.completed == 3
+        assert server.completion_listeners == []
+        # Later completions (from other traffic) must not re-issue.
+        submitted = server.submitted
+        server.complete_one()
+        assert server.submitted == submitted
+
+    def test_stop_detaches_listener(self) -> None:
+        server = _StubServer()
+        gen = SerialGenerator(server, total_requests=10)
+        gen.start()
+        gen.stop()
+        assert server.completion_listeners == []
+
+    def test_repeated_serial_generators_do_not_accumulate(self) -> None:
+        server = _StubServer()
+        for _ in range(4):
+            gen = SerialGenerator(server, total_requests=1)
+            gen.start()
+            server.complete_one()
+        assert server.completion_listeners == []
+        assert server.submitted == 4
