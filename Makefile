@@ -1,10 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench report lint check
+.PHONY: test bench report lint layering check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Import-layering rules of the control-plane architecture
+# (docs/architecture.md): hw !-> core/control, control !-> experiments/fleet,
+# hostif !-> core.
+layering:
+	$(PYTHON) scripts/check_layering.py
 
 bench:
 	$(PYTHON) scripts/bench_smoke.py
@@ -23,4 +29,4 @@ lint:
 		echo "ruff not installed; skipping lint (pip install ruff to enable)"; \
 	fi
 
-check: lint test
+check: lint layering test

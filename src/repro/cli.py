@@ -25,6 +25,50 @@ from repro.experiments.common import MixConfig, run_colocation
 from repro.experiments.registry import experiment_ids, run_experiment
 
 
+def _add_control_plane_arguments(parser: argparse.ArgumentParser) -> None:
+    """Degraded-telemetry and actuation-fault knobs (see docs/architecture.md)."""
+    parser.add_argument(
+        "--sensor-staleness", type=float, default=0.0, metavar="SECONDS",
+        help="sample-and-hold period for controller telemetry (0 = fresh)",
+    )
+    parser.add_argument(
+        "--sensor-noise", type=float, default=0.0, metavar="SIGMA",
+        help="multiplicative Gaussian noise sigma on each counter",
+    )
+    parser.add_argument(
+        "--sensor-dropout", type=float, default=0.0, metavar="PROB",
+        help="probability each fresh telemetry sample is lost",
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="PROB",
+        help="probability each knob write attempt fails (bounded retry)",
+    )
+    parser.add_argument(
+        "--fault-defer", type=float, default=0.0, metavar="PROB",
+        help="probability a knob write is delayed to the next tick",
+    )
+
+
+def _control_plane_configs(args: argparse.Namespace, seed: int):
+    """Materialize (SensorConfig | None, ActuationFaultConfig | None)."""
+    from repro.control import ActuationFaultConfig, SensorConfig
+
+    sensors = None
+    if args.sensor_staleness or args.sensor_noise or args.sensor_dropout:
+        sensors = SensorConfig(
+            staleness_period=args.sensor_staleness,
+            noise_sigma=args.sensor_noise,
+            dropout_prob=args.sensor_dropout,
+            seed=seed,
+        )
+    faults = None
+    if args.fault_rate or args.fault_defer:
+        faults = ActuationFaultConfig(
+            fail_prob=args.fault_rate, defer_prob=args.fault_defer, seed=seed
+        )
+    return sensors, faults
+
+
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace-out", default=None, metavar="DIR",
@@ -119,6 +163,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the trial sweep; results are identical "
              "to a serial run (default REPRO_JOBS or 1)",
     )
+    _add_control_plane_arguments(fleet)
     _add_obs_arguments(fleet)
 
     mix = sub.add_parser("mix", help="run a single colocation mix")
@@ -128,6 +173,7 @@ def _build_parser() -> argparse.ArgumentParser:
     mix.add_argument("--intensity", default="1", help="instances/threads/level")
     mix.add_argument("--duration", type=float, default=40.0)
     mix.add_argument("--seed", type=int, default=0)
+    _add_control_plane_arguments(mix)
     _add_obs_arguments(mix)
     return parser
 
@@ -208,6 +254,7 @@ def main(argv: list[str] | None = None) -> int:
         intensity: int | str = args.batch_intensity
         if isinstance(intensity, str) and intensity.isdigit():
             intensity = int(intensity)
+        sensors, faults = _control_plane_configs(args, args.seed)
         started = time.perf_counter()
         result = run_fleet_sim(
             nodes=args.nodes,
@@ -225,6 +272,8 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             jobs=args.jobs,
             observer=observer if observer.enabled else None,
+            sensors=sensors,
+            faults=faults,
         )
         print(format_fleet_sim(result))
         if observer.enabled:
@@ -242,6 +291,7 @@ def main(argv: list[str] | None = None) -> int:
         intensity: int | str = args.intensity
         if isinstance(intensity, str) and intensity.isdigit():
             intensity = int(intensity)
+        sensors, faults = _control_plane_configs(args, args.seed)
         result = run_colocation(
             MixConfig(
                 ml=args.ml,
@@ -250,6 +300,8 @@ def main(argv: list[str] | None = None) -> int:
                 intensity=intensity,
                 duration=args.duration,
                 seed=args.seed,
+                sensors=sensors,
+                faults=faults,
             ),
             tracer=tracer,
             observer=observer if observer.enabled else None,

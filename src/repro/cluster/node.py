@@ -129,20 +129,15 @@ class Node:
 
     # -------------------------------------------------------- prefetchers
     def lo_prefetchers_enabled(self) -> int:
-        """Cores among the low-priority subdomain with prefetching on."""
+        """Cores among the low-priority subdomain with prefetching on.
+
+        Read-only: *writing* prefetcher state goes through the journaled
+        :class:`~repro.control.actuators.HostControlPlane` facade (the old
+        ``set_lo_prefetchers_enabled`` convenience bypass was removed with
+        the control-plane refactor).
+        """
         return sum(
             1
             for core in self.lo_subdomain_cores()
             if self.machine.prefetchers.is_enabled(core)
         )
-
-    def set_lo_prefetchers_enabled(self, count: int) -> None:
-        """Enable prefetchers on exactly ``count`` low-subdomain cores.
-
-        Cores are enabled lowest-id first, mirroring how the runtime writes
-        MSR 0x1A4 per logical CPU in a fixed order.
-        """
-        cores = self.lo_subdomain_cores()
-        count = max(0, min(count, len(cores)))
-        for index, core in enumerate(cores):
-            self.msr.set_prefetchers(core, index < count)

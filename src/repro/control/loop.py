@@ -1,0 +1,83 @@
+"""The shared control loop: sample → decide → actuate → record.
+
+:class:`ControlLoop` owns the tick skeleton every managed policy used to
+re-implement: draw one sample from the :class:`~repro.control.sensors`
+suite, ask the :class:`~repro.control.governors.Governor` for a decision,
+enforce the decided knob values through the
+:class:`~repro.control.actuators.HostControlPlane`, and append one
+:class:`~repro.control.records.ControlTickRecord` to :attr:`history`.
+
+Enforcement order is the historical one (low-task cpusets → prefetcher
+MSRs → backfill cpusets → MBA cap), so a fault-free run replays the exact
+write sequence of the pre-refactor policies. A ``None`` decision (a
+dormant governor) still consumes the sample — the perf window keeps its
+historical cadence — but performs no writes and records nothing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.control.actuators import HostControlPlane
+from repro.control.governors import Governor
+from repro.control.records import ControlTickRecord
+from repro.control.sensors import SensorSuite
+
+if TYPE_CHECKING:
+    from repro.cluster.node import Node
+
+
+class ControlLoop:
+    """One node's sense→decide→enforce tick, with unified history."""
+
+    def __init__(
+        self,
+        node: "Node",
+        governor: Governor,
+        sensors: SensorSuite,
+        plane: HostControlPlane,
+    ) -> None:
+        self.node = node
+        self.governor = governor
+        self.sensors = sensors
+        self.plane = plane
+        #: One :class:`ControlTickRecord` per engaged tick, in time order.
+        self.history: list[ControlTickRecord] = []
+
+    def tick(self) -> ControlTickRecord | None:
+        """Run one control interval; ``None`` when the governor is dormant."""
+        node = self.node
+        plane = self.plane
+        plane.begin_tick()
+        m = self.sensors.sample()
+        decision = self.governor.decide(m)
+        if decision is None:
+            return None
+
+        if decision.lo_task_mask is not None:
+            for task in node.lo_tasks:
+                plane.set_task_cpus(task, decision.lo_task_mask)
+        if decision.prefetcher_count is not None:
+            plane.set_lo_prefetchers(decision.prefetcher_count)
+        if decision.backfill_mask is not None:
+            for task in node.backfill_tasks:
+                plane.set_task_cpus(task, decision.backfill_mask)
+        if decision.mb_percent is not None:
+            clos, percent = decision.mb_percent
+            plane.set_mb_percent(clos, percent)
+
+        record = ControlTickRecord(
+            time=node.sim.now,
+            lo_cores=decision.lo_cores,
+            lo_prefetchers=decision.lo_prefetchers,
+            backfill_cores=(
+                decision.backfill_cores if node.backfill_tasks else 0
+            ),
+            action_hi=decision.action_hi,
+            action_lo=decision.action_lo,
+            measurements=m,
+            extra=decision.extra,
+            writes=plane.writes_this_tick,
+        )
+        self.history.append(record)
+        return record

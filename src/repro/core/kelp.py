@@ -5,177 +5,98 @@ THROTTLE/BOOST/NOP action per subdomain by comparing against the loaded QoS
 profile, updates the resource plans via the Algorithm 2 procedures, and
 enforces them through cpusets (core counts) and MSR writes (prefetchers).
 
-The runtime is deliberately mechanism-complete but policy-light: which plans
-it manages (only prefetchers for KP-SD; prefetchers + low cores + backfill
-cores for full Kelp) is chosen by the constructing policy.
+Since the control-plane refactor this module is a thin facade: the decision
+kernel lives in :class:`~repro.control.governors.KelpGovernor`, sensing in a
+:class:`~repro.control.sensors.SensorSuite`, enforcement in the
+:class:`~repro.control.actuators.HostControlPlane`, and the tick skeleton in
+:class:`~repro.control.loop.ControlLoop`. :class:`KelpRuntime` wires the
+four together with the historical constructor signature and per-tick
+behaviour (under perfect sensors and no actuation faults it is bit-identical
+to the pre-refactor implementation), and ``KelpTickRecord`` is now an alias
+of the unified :class:`~repro.control.records.ControlTickRecord`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.cluster.node import Node
-from repro.core.actions import (
-    Action,
-    HiPriorityPlan,
-    LoPriorityPlan,
-    config_hi_priority,
-    config_lo_priority,
-)
-from repro.core.measurements import KelpMeasurements, measure_node
+from repro.control.actuators import ActuationFaultConfig, HostControlPlane
+from repro.control.governors import KelpGovernor
+from repro.control.loop import ControlLoop
+from repro.control.records import ControlTickRecord
+from repro.control.sensors import SensorSuite, build_sensor_suite
+from repro.core.actions import HiPriorityPlan, LoPriorityPlan
 from repro.core.watermarks import QosProfile
 
-
-@dataclass
-class KelpTickRecord:
-    """What the controller saw and decided on one tick (Figs 11-12 data)."""
-
-    time: float
-    measurements: KelpMeasurements
-    action_hi: Action
-    action_lo: Action
-    backfill_cores: int
-    lo_cores: int
-    lo_prefetchers: int
-
-    def as_dict(self) -> dict[str, float | str]:
-        """A flat JSON-clean row (the ``tick`` record of the JSONL export)."""
-        m = self.measurements
-        return {
-            "time": self.time,
-            "socket_bw_gbps": m.socket_bw,
-            "socket_latency": m.socket_latency,
-            "saturation": m.saturation,
-            "hipri_bw_gbps": m.hipri_bw,
-            "window_s": m.elapsed,
-            "action_hi": self.action_hi.value,
-            "action_lo": self.action_lo.value,
-            "backfill_cores": self.backfill_cores,
-            "lo_cores": self.lo_cores,
-            "lo_prefetchers": self.lo_prefetchers,
-        }
+#: Backwards-compatible name for the unified control tick record.
+KelpTickRecord = ControlTickRecord
 
 
-@dataclass
 class KelpRuntime:
-    """The Kelp controller for one node."""
+    """The Kelp controller for one node (a facade over the control plane)."""
 
-    node: Node
-    profile: QosProfile
-    #: Manage the core count of the low-priority subdomain's tasks.
-    manage_lo_cores: bool = True
-    #: Manage backfilled tasks in the high-priority subdomain.
-    manage_backfill: bool = True
-    #: Manage low-priority prefetchers (always on in the paper's Kelp).
-    manage_prefetchers: bool = True
-    history: list[KelpTickRecord] = field(default_factory=list)
-    _hi_plan: HiPriorityPlan = field(init=False)
-    _lo_plan: LoPriorityPlan = field(init=False)
-
-    def __post_init__(self) -> None:
-        lo_cores = len(self.node.lo_subdomain_cores())
-        self._hi_plan = HiPriorityPlan(
-            core_num=self.profile.max_backfill_cores,
-            min_core_num=self.profile.min_backfill_cores,
-            max_core_num=self.profile.max_backfill_cores,
+    def __init__(
+        self,
+        node: Node,
+        profile: QosProfile,
+        manage_lo_cores: bool = True,
+        manage_backfill: bool = True,
+        manage_prefetchers: bool = True,
+        sensors: SensorSuite | None = None,
+        plane: HostControlPlane | None = None,
+        faults: ActuationFaultConfig | None = None,
+    ) -> None:
+        self.node = node
+        self._governor = KelpGovernor(
+            node,
+            profile,
+            manage_lo_cores=manage_lo_cores,
+            manage_backfill=manage_backfill,
+            manage_prefetchers=manage_prefetchers,
         )
-        self._lo_plan = LoPriorityPlan(
-            core_num=lo_cores,
-            prefetcher_num=lo_cores,
-            min_core_num=self.profile.min_lo_cores,
-            max_core_num=lo_cores,
-        )
+        if sensors is None:
+            sensors = build_sensor_suite(node, reader="kelp", config=None)
+        if plane is None:
+            plane = HostControlPlane(node, faults)
+        self.loop = ControlLoop(node, self._governor, sensors, plane)
 
     # ------------------------------------------------------------ access
     @property
+    def profile(self) -> QosProfile:
+        """The QoS profile the governor compares against (swappable)."""
+        return self._governor.profile
+
+    @profile.setter
+    def profile(self, value: QosProfile) -> None:
+        self._governor.profile = value
+
+    @property
+    def governor(self) -> KelpGovernor:
+        """The Algorithm 1/2 decision kernel."""
+        return self._governor
+
+    @property
+    def plane(self) -> HostControlPlane:
+        """The journaled actuator facade all writes go through."""
+        return self.loop.plane
+
+    @property
+    def history(self) -> list[ControlTickRecord]:
+        """One record per tick, in time order (the loop's live history)."""
+        return self.loop.history
+
+    @property
     def hi_plan(self) -> HiPriorityPlan:
         """Current backfill resource plan."""
-        return self._hi_plan
+        return self._governor.hi_plan
 
     @property
     def lo_plan(self) -> LoPriorityPlan:
         """Current low-priority resource plan."""
-        return self._lo_plan
+        return self._governor.lo_plan
 
     # -------------------------------------------------------------- tick
-    def tick(self) -> KelpTickRecord:
+    def tick(self) -> ControlTickRecord:
         """One pass of Algorithm 1: measure, decide, configure, enforce."""
-        m = measure_node(self.node)
-        profile = self.profile
-
-        # Lines 4-9: high-priority-subdomain (backfill) decision.
-        if profile.hipri_bw.above(m.hipri_bw) or profile.socket_latency.above(
-            m.socket_latency
-        ):
-            action_hi = Action.THROTTLE
-        elif profile.hipri_bw.below(m.hipri_bw) and profile.socket_latency.below(
-            m.socket_latency
-        ):
-            action_hi = Action.BOOST
-        else:
-            action_hi = Action.NOP
-
-        # Lines 10-15: low-priority-subdomain decision.
-        if (
-            profile.socket_bw.above(m.socket_bw)
-            or profile.socket_latency.above(m.socket_latency)
-            or profile.saturation.above(m.saturation)
-        ):
-            action_lo = Action.THROTTLE
-        elif (
-            profile.socket_bw.below(m.socket_bw)
-            and profile.socket_latency.below(m.socket_latency)
-            and profile.saturation.below(m.saturation)
-        ):
-            action_lo = Action.BOOST
-        else:
-            action_lo = Action.NOP
-
-        # Lines 16-18: configure and enforce.
-        if self.manage_backfill:
-            self._hi_plan = config_hi_priority(self._hi_plan, action_hi)
-        new_lo = config_lo_priority(self._lo_plan, action_lo)
-        if not self.manage_lo_cores and new_lo.core_num != self._lo_plan.core_num:
-            new_lo = self._lo_plan  # cores frozen; prefetcher move only
-        if not self.manage_prefetchers:
-            new_lo = LoPriorityPlan(
-                core_num=new_lo.core_num,
-                prefetcher_num=self._lo_plan.prefetcher_num,
-                min_core_num=new_lo.min_core_num,
-                max_core_num=new_lo.max_core_num,
-            )
-        self._lo_plan = new_lo
-        self._enforce()
-
-        record = KelpTickRecord(
-            time=self.node.sim.now,
-            measurements=m,
-            action_hi=action_hi,
-            action_lo=action_lo,
-            backfill_cores=self._hi_plan.core_num,
-            lo_cores=self._lo_plan.core_num,
-            lo_prefetchers=self._lo_plan.prefetcher_num,
-        )
-        self.history.append(record)
+        record = self.loop.tick()
+        assert record is not None  # the Kelp governor is never dormant
         return record
-
-    # ----------------------------------------------------------- enforce
-    def _enforce(self) -> None:
-        lo_cores = self.node.lo_subdomain_cores()
-        mask = frozenset(lo_cores[: self._lo_plan.core_num])
-        if self.manage_lo_cores:
-            for task in self.node.lo_tasks:
-                self.node.cpuset.set_cpus(task, mask)
-        if self.manage_prefetchers:
-            self.node.set_lo_prefetchers_enabled(self._lo_plan.prefetcher_num)
-        if self.manage_backfill and self.node.backfill_tasks:
-            spare = list(self.node.hi_subdomain_cores())
-            # Backfill occupies the *highest* hi-subdomain core ids so the
-            # ML task keeps the lowest ones. The plan invariant already
-            # guarantees ``core_num >= min_core_num``; a plan throttled all
-            # the way to zero must yield an *empty* cpuset (parked tasks),
-            # not a lingering one-core mask stealing hi-subdomain bandwidth.
-            count = self._hi_plan.core_num
-            backfill_mask = frozenset(spare[-count:]) if count > 0 else frozenset()
-            for task in self.node.backfill_tasks:
-                self.node.cpuset.set_cpus(task, backfill_mask)

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 from repro.cluster.node import Node
+from repro.control.actuators import ActuationFaultConfig
+from repro.control.sensors import SensorConfig
 from repro.core.policies.base import (
     CpuTaskPlan,
     IsolationPolicy,
@@ -42,8 +44,15 @@ def make_policy(
     ml_cores: int,
     profile: QosProfile | None = None,
     interval: float = 1.0,
+    sensors: SensorConfig | None = None,
+    faults: ActuationFaultConfig | None = None,
 ) -> IsolationPolicy:
-    """Instantiate a policy by its paper name (BL/CT/KP-SD/KP/HW-QOS)."""
+    """Instantiate a policy by its paper name (BL/CT/KP-SD/KP/HW-QOS).
+
+    ``sensors`` degrades the policy's telemetry path (staleness, noise,
+    dropout); ``faults`` injects actuation-write failures. Both default to
+    the perfect/lossless historical behaviour.
+    """
     try:
         cls = _POLICIES[name.upper()]
     except KeyError:
@@ -52,7 +61,9 @@ def make_policy(
         ) from None
     if profile is None:
         profile = cls.default_qos_profile(node.machine.spec, ml_cores=ml_cores)
-    return cls(node, ml_cores, profile, interval=interval)
+    return cls(
+        node, ml_cores, profile, interval=interval, sensors=sensors, faults=faults
+    )
 
 
 __all__ = [

@@ -1,10 +1,20 @@
-"""Policy interface shared by the four evaluated configurations.
+"""Policy interface shared by the evaluated configurations.
 
 A policy decides machine-level preparation (SNC, CAT, priority mode), where
 the ML task and the CPU tasks are placed, and what — if anything — its
 control loop does every interval. The experiment harness is policy-agnostic:
 it asks the policy for placements, builds the tasks, registers them, and
 drives ``tick()`` on the policy's interval.
+
+Since the control-plane refactor every policy owns a
+:class:`~repro.control.actuators.HostControlPlane` — the single journaled
+facade all its knob writes go through — and managed policies drive a
+:class:`~repro.control.loop.ControlLoop` assembled from a sensor suite
+(optionally degraded via :class:`~repro.control.sensors.SensorConfig`) and a
+policy-specific :class:`~repro.control.governors.Governor`. ``tick``,
+``tick_history`` and ``parameter_history`` all default to the loop's
+unified :class:`~repro.control.records.ControlTickRecord` stream;
+``ParameterSample`` remains as a backwards-compatible alias of that record.
 """
 
 from __future__ import annotations
@@ -13,6 +23,11 @@ import abc
 from dataclasses import dataclass
 
 from repro.cluster.node import Node
+from repro.control.actuators import ActuationFaultConfig, HostControlPlane
+from repro.control.governors import Governor
+from repro.control.loop import ControlLoop
+from repro.control.records import ActuationRecord, ControlTickRecord
+from repro.control.sensors import SensorConfig, build_sensor_suite
 from repro.core.watermarks import QosProfile
 from repro.hw.placement import Placement
 from repro.workloads.cpu.base import BatchProfile
@@ -26,6 +41,12 @@ ML_DEDICATED_WAYS = 6
 ROLE_LO = "lo"
 ROLE_BACKFILL = "backfill"
 
+#: Backwards-compatible name for the unified control tick record
+#: (``ParameterSample`` rows are now full tick records; the Fig 11/12
+#: consumers only read the ``time``/``lo_cores``/``lo_prefetchers``/
+#: ``backfill_cores`` attributes, which are unchanged).
+ParameterSample = ControlTickRecord
+
 
 @dataclass(frozen=True)
 class CpuTaskPlan:
@@ -37,29 +58,30 @@ class CpuTaskPlan:
     role: str
 
 
-@dataclass(frozen=True)
-class ParameterSample:
-    """One control-interval sample of the policy's knobs (Figs 11-12)."""
-
-    time: float
-    lo_cores: int
-    lo_prefetchers: int
-    backfill_cores: int
-
-
 class IsolationPolicy(abc.ABC):
-    """Base class for BL / CT / KP-SD / KP / HW-QoS."""
+    """Base class for BL / CT / KP-SD / KP / HW-QoS / MBA / HW-PF."""
 
     #: Registry name, set by subclasses.
     name: str = "abstract"
 
     def __init__(
-        self, node: Node, ml_cores: int, profile: QosProfile, interval: float = 1.0
+        self,
+        node: Node,
+        ml_cores: int,
+        profile: QosProfile,
+        interval: float = 1.0,
+        sensors: SensorConfig | None = None,
+        faults: ActuationFaultConfig | None = None,
     ) -> None:
         self.node = node
         self.ml_cores = ml_cores
         self.profile = profile
         self.interval = interval
+        #: Telemetry-degradation knobs applied to this policy's sensors.
+        self.sensor_config = sensors
+        #: The journaled actuator facade every knob write goes through.
+        self.control_plane = HostControlPlane(node, faults)
+        self._loop: ControlLoop | None = None
 
     @classmethod
     def default_qos_profile(cls, spec, ml_cores: int) -> QosProfile:
@@ -96,25 +118,43 @@ class IsolationPolicy(abc.ABC):
         """Whether the harness should schedule periodic ticks."""
         return True
 
-    @abc.abstractmethod
+    @property
+    def loop(self) -> ControlLoop | None:
+        """The policy's control loop (``None`` for unmanaged policies)."""
+        return self._loop
+
     def tick(self) -> None:
-        """One control interval."""
+        """One control interval: drive the loop, if one was assembled."""
+        if self._loop is not None:
+            self._loop.tick()
 
-    @abc.abstractmethod
-    def parameter_history(self) -> list[ParameterSample]:
-        """Knob values over time, for the Fig 11/12 plots."""
-
-    def tick_history(self) -> list:
+    def tick_history(self) -> list[ControlTickRecord]:
         """Full controller tick records (measurements + decisions).
 
-        Policies built on :class:`~repro.core.kelp.KelpRuntime` return its
-        :class:`~repro.core.kelp.KelpTickRecord` stream; others have no
-        Algorithm-1 loop and return an empty list. Consumed by the
-        observability layer (:mod:`repro.obs`) for the JSONL tick export.
+        The unified stream consumed by the observability layer
+        (:mod:`repro.obs`) for the JSONL tick export.
         """
-        return []
+        return list(self._loop.history) if self._loop is not None else []
+
+    def parameter_history(self) -> list[ControlTickRecord]:
+        """Knob values over time, for the Fig 11/12 plots.
+
+        Same records as :meth:`tick_history` — the knob fields double as
+        the historical ``ParameterSample`` attributes.
+        """
+        return self.tick_history()
+
+    def actuation_journal(self) -> list[ActuationRecord]:
+        """Every physical knob write this policy performed, in order."""
+        return list(self.control_plane.journal)
 
     # ------------------------------------------------------------ helpers
+    def _make_loop(self, governor: Governor, reader: str) -> ControlLoop:
+        """Assemble this policy's control loop over its plane and sensors."""
+        suite = build_sensor_suite(self.node, reader, self.sensor_config)
+        self._loop = ControlLoop(self.node, governor, suite, self.control_plane)
+        return self._loop
+
     def _spare_socket_cores(self) -> tuple[int, ...]:
         """Socket-0 cores not reserved for the ML task (SNC-off layouts)."""
         return self.node.accel_socket_cores()[self.ml_cores:]
@@ -125,5 +165,5 @@ class IsolationPolicy(abc.ABC):
 
     def _apply_cat(self) -> None:
         """Dedicate an LLC partition to the ML task's class of service."""
-        self.node.resctrl.create_group(ML_CLOS)
-        self.node.resctrl.dedicate_ways(ML_CLOS, ML_DEDICATED_WAYS)
+        self.control_plane.create_clos_group(ML_CLOS)
+        self.control_plane.dedicate_llc_ways(ML_CLOS, ML_DEDICATED_WAYS)

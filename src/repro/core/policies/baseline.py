@@ -10,7 +10,6 @@ from __future__ import annotations
 from repro.core.policies.base import (
     CpuTaskPlan,
     IsolationPolicy,
-    ParameterSample,
     ROLE_LO,
 )
 from repro.hw.placement import Placement
@@ -50,9 +49,3 @@ class BaselinePolicy(IsolationPolicy):
     @property
     def has_control_loop(self) -> bool:
         return False
-
-    def tick(self) -> None:
-        """Baseline has no runtime control."""
-
-    def parameter_history(self) -> list[ParameterSample]:
-        return []

@@ -5,17 +5,21 @@ dedicated LLC partition via CAT, and memory-bandwidth interference is managed
 reactively by shrinking or growing the CPU mask of the low-priority tasks —
 one core at a time — whenever socket bandwidth or loaded latency crosses the
 profile's watermarks. NUMA subdomains stay off; prefetchers stay on.
+
+The feedback kernel lives in
+:class:`~repro.control.governors.CoreThrottleGovernor`; this policy assembles
+it into a :class:`~repro.control.loop.ControlLoop` over its sensor suite and
+journaled actuator plane, and arms it with the initial core grant when the
+CPU tasks are planned.
 """
 
 from __future__ import annotations
 
-from repro.core.actions import Action
-from repro.core.measurements import measure_node
+from repro.control.governors import CoreThrottleGovernor
 from repro.core.policies.base import (
     CpuTaskPlan,
     IsolationPolicy,
     ML_CLOS,
-    ParameterSample,
     ROLE_LO,
 )
 from repro.hw.placement import Placement
@@ -29,8 +33,10 @@ class CoreThrottlePolicy(IsolationPolicy):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self._history: list[ParameterSample] = []
-        self._lo_cores: int | None = None
+        self._governor = CoreThrottleGovernor(
+            self.node, self.profile, self.ml_cores
+        )
+        self._make_loop(self._governor, reader="ct")
 
     @classmethod
     def default_qos_profile(cls, spec, ml_cores: int):
@@ -71,7 +77,7 @@ class CoreThrottlePolicy(IsolationPolicy):
     def plan_cpu(self, profile: BatchProfile) -> list[CpuTaskPlan]:
         topo = self.node.machine.topology
         spare = self._spare_socket_cores()
-        self._lo_cores = len(spare)
+        self._governor.engage(len(spare))
         return [
             CpuTaskPlan(
                 task_id=profile.name,
@@ -83,36 +89,3 @@ class CoreThrottlePolicy(IsolationPolicy):
                 role=ROLE_LO,
             )
         ]
-
-    def tick(self) -> None:
-        m = measure_node(self.node, reader="ct")
-        if self._lo_cores is None:
-            return
-        spare = self._spare_socket_cores()
-        if self.profile.socket_bw.above(m.socket_bw) or self.profile.socket_latency.above(
-            m.socket_latency
-        ):
-            action = Action.THROTTLE
-            self._lo_cores = max(1, self._lo_cores - 1)
-        elif self.profile.socket_bw.below(m.socket_bw) and self.profile.socket_latency.below(
-            m.socket_latency
-        ):
-            action = Action.BOOST
-            self._lo_cores = min(len(spare), self._lo_cores + 1)
-        else:
-            action = Action.NOP
-        if action is not Action.NOP:
-            mask = frozenset(spare[: self._lo_cores])
-            for task in self.node.lo_tasks:
-                self.node.cpuset.set_cpus(task, mask)
-        self._history.append(
-            ParameterSample(
-                time=self.node.sim.now,
-                lo_cores=self._lo_cores,
-                lo_prefetchers=self._lo_cores,
-                backfill_cores=0,
-            )
-        )
-
-    def parameter_history(self) -> list[ParameterSample]:
-        return list(self._history)

@@ -18,7 +18,6 @@ from repro.core.policies.base import (
     CpuTaskPlan,
     IsolationPolicy,
     ML_CLOS,
-    ParameterSample,
     ROLE_LO,
 )
 from repro.hw.placement import Placement
@@ -59,9 +58,3 @@ class HwPrefetchPolicy(IsolationPolicy):
     @property
     def has_control_loop(self) -> bool:
         return False
-
-    def tick(self) -> None:
-        """All management happens in hardware; nothing to do."""
-
-    def parameter_history(self) -> list[ParameterSample]:
-        return []

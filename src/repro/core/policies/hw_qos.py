@@ -16,7 +16,6 @@ from repro.core.policies.base import (
     CpuTaskPlan,
     IsolationPolicy,
     ML_CLOS,
-    ParameterSample,
     ROLE_LO,
 )
 from repro.hw.placement import Placement
@@ -59,9 +58,3 @@ class HwQosPolicy(IsolationPolicy):
     @property
     def has_control_loop(self) -> bool:
         return False
-
-    def tick(self) -> None:
-        """Hardware QoS needs no software control loop."""
-
-    def parameter_history(self) -> list[ParameterSample]:
-        return []

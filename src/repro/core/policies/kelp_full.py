@@ -11,12 +11,12 @@ second.
 
 from __future__ import annotations
 
+from repro.control.sensors import build_sensor_suite
 from repro.core.kelp import KelpRuntime
 from repro.core.policies.base import (
     CpuTaskPlan,
     IsolationPolicy,
     ML_CLOS,
-    ParameterSample,
     ROLE_BACKFILL,
     ROLE_LO,
 )
@@ -42,7 +42,10 @@ class KelpPolicy(IsolationPolicy):
             manage_lo_cores=True,
             manage_backfill=True,
             manage_prefetchers=True,
+            sensors=build_sensor_suite(self.node, "kelp", self.sensor_config),
+            plane=self.control_plane,
         )
+        self._loop = self._runtime.loop
 
     def ml_placement(self) -> Placement:
         cores = self.node.hi_subdomain_cores()[: self.ml_cores]
@@ -87,22 +90,7 @@ class KelpPolicy(IsolationPolicy):
             )
         return plans
 
-    def tick(self) -> None:
-        if self._runtime is not None:
-            self._runtime.tick()
-
-    def tick_history(self) -> list:
-        return list(self._runtime.history) if self._runtime is not None else []
-
-    def parameter_history(self) -> list[ParameterSample]:
-        if self._runtime is None:
-            return []
-        return [
-            ParameterSample(
-                time=r.time,
-                lo_cores=r.lo_cores,
-                lo_prefetchers=r.lo_prefetchers,
-                backfill_cores=r.backfill_cores if self.node.backfill_tasks else 0,
-            )
-            for r in self._runtime.history
-        ]
+    @property
+    def runtime(self) -> KelpRuntime | None:
+        """The assembled Algorithm 1 runtime (``None`` before prepare)."""
+        return self._runtime

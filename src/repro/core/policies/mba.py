@@ -7,16 +7,19 @@ BW in addition to main memory BW" — low-priority tasks pay an extra compute
 tax per unit of bandwidth reclaimed. This policy closes the loop on the MB%
 knob the way CT closes it on core counts, and exists to quantify that
 trade against CT/Kelp (the ``ablation-mba`` experiment).
+
+The feedback kernel is :class:`~repro.control.governors.MbaGovernor`; the
+throttle value rides in the tick record's ``lo_prefetchers`` slot (the
+historical Fig 11/12 encoding) and as an ``("mb_percent", …)`` extra.
 """
 
 from __future__ import annotations
 
-from repro.core.measurements import measure_node
+from repro.control.governors import MbaGovernor
 from repro.core.policies.base import (
     CpuTaskPlan,
     IsolationPolicy,
     ML_CLOS,
-    ParameterSample,
     ROLE_LO,
 )
 from repro.hw.placement import Placement
@@ -37,8 +40,16 @@ class MbaPolicy(IsolationPolicy):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self._history: list[ParameterSample] = []
-        self._mb_percent = MBA_MAX
+        self._governor = MbaGovernor(
+            self.node,
+            self.profile,
+            self.ml_cores,
+            clos=LO_CLOS,
+            step=MBA_STEP,
+            floor=MBA_MIN,
+            ceiling=MBA_MAX,
+        )
+        self._make_loop(self._governor, reader="mba")
 
     @classmethod
     def default_qos_profile(cls, spec, ml_cores: int):
@@ -50,8 +61,8 @@ class MbaPolicy(IsolationPolicy):
     def prepare(self) -> None:
         self.node.machine.set_snc(False)
         self._apply_cat()
-        self.node.resctrl.create_group(LO_CLOS)
-        self.node.resctrl.set_mb_percent(LO_CLOS, MBA_MAX)
+        self.control_plane.create_clos_group(LO_CLOS)
+        self.control_plane.setup_mb_percent(LO_CLOS, MBA_MAX)
 
     def ml_placement(self) -> Placement:
         topo = self.node.machine.topology
@@ -76,35 +87,16 @@ class MbaPolicy(IsolationPolicy):
             )
         ]
 
-    def tick(self) -> None:
-        m = measure_node(self.node, reader="mba")
-        if self.profile.socket_bw.above(m.socket_bw) or self.profile.socket_latency.above(
-            m.socket_latency
-        ):
-            self._mb_percent = max(MBA_MIN, self._mb_percent - MBA_STEP)
-            self.node.resctrl.set_mb_percent(LO_CLOS, self._mb_percent)
-        elif self.profile.socket_bw.below(m.socket_bw) and self.profile.socket_latency.below(
-            m.socket_latency
-        ):
-            self._mb_percent = min(MBA_MAX, self._mb_percent + MBA_STEP)
-            self.node.resctrl.set_mb_percent(LO_CLOS, self._mb_percent)
-        spare = len(self._spare_socket_cores())
-        self._history.append(
-            ParameterSample(
-                time=self.node.sim.now,
-                lo_cores=spare,
-                # Report the throttle as "effective prefetchers" equivalent:
-                # the history consumer only needs the raw knob, stored here
-                # as a percentage in the prefetcher slot's units.
-                lo_prefetchers=self._mb_percent,
-                backfill_cores=0,
-            )
-        )
-
-    def parameter_history(self) -> list[ParameterSample]:
-        return list(self._history)
-
     @property
     def mb_percent(self) -> int:
         """The current MB% throttle applied to the low-priority CLOS."""
-        return self._mb_percent
+        return self._governor.mb_percent
+
+    @property
+    def _mb_percent(self) -> int:
+        """Backwards-compatible access to the governor's throttle state."""
+        return self._governor.mb_percent
+
+    @_mb_percent.setter
+    def _mb_percent(self, value: int) -> None:
+        self._governor.mb_percent = value

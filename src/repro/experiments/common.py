@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.cluster.node import Node
+from repro.control.actuators import ActuationFaultConfig
+from repro.control.sensors import SensorConfig
 from repro.core.policies import IsolationPolicy, ParameterSample, make_policy
 from repro.core.policies.base import ROLE_BACKFILL, ROLE_LO
 from repro.errors import ExperimentError
@@ -47,6 +49,12 @@ class MixConfig:
     warmup: float = DEFAULT_WARMUP
     interval: float = DEFAULT_INTERVAL
     seed: int = 0
+    #: Telemetry-degradation knobs for the policy's sensor suite
+    #: (``None`` = perfect sensing, the historical behaviour).
+    sensors: SensorConfig | None = None
+    #: Actuation-fault knobs for the policy's control plane
+    #: (``None`` = every write lands, the historical behaviour).
+    faults: ActuationFaultConfig | None = None
 
 
 @dataclass
@@ -141,6 +149,8 @@ def run_colocation(
         node,
         ml_cores=factory.default_cores(),
         interval=config.interval,
+        sensors=config.sensors,
+        faults=config.faults,
     )
     policy.prepare()
 
@@ -219,6 +229,7 @@ def run_colocation(
             result,
             ticks=policy.tick_history(),
             telemetry=telemetry_rows,
+            journal=policy.actuation_journal(),
         )
         if tracer is not None:
             observer.observe_tracer(run_label, tracer)

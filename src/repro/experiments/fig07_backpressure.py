@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.node import ACCEL_SOCKET, HI_SUBDOMAIN, LO_SUBDOMAIN, Node
+from repro.control.actuators import HostControlPlane
 from repro.experiments.common import standalone_performance
 from repro.experiments.report import format_table
 from repro.hw.placement import Placement
@@ -82,7 +83,7 @@ def _run_point(
         warmup_until=warmup,
     ).start()
     disabled = round(disabled_fraction * len(lo_cores))
-    node.set_lo_prefetchers_enabled(len(lo_cores) - disabled)
+    HostControlPlane(node).set_lo_prefetchers(len(lo_cores) - disabled)
 
     node.perf.read("fig07")  # reset the window at t=0
     sim.run_until(duration)

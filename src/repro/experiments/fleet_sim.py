@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.control.actuators import ActuationFaultConfig
+from repro.control.sensors import SensorConfig
 from repro.errors import ExperimentError
 from repro.fleet.config import FleetConfig, default_tenants, uniform_batch_jobs
 from repro.fleet.orchestrator import FleetResult, run_fleet
@@ -24,6 +26,8 @@ if TYPE_CHECKING:
 
 #: Telemetry rows exported to the observer (first trial only, capped).
 _MAX_TELEMETRY_ROWS = 4096
+#: Controller/actuation rows exported to the observer (first trial only).
+_MAX_CONTROLLER_ROWS = 4096
 
 #: Default aggregate per-node load of the canonical two-tenant mix.
 _DEFAULT_TOTAL_LOAD = sum(t.load_fraction for t in default_tenants())
@@ -88,6 +92,8 @@ def run_fleet_sim(
     seed: int = 0,
     jobs: int | None = None,
     observer: "RunObserver | None" = None,
+    sensors: SensorConfig | None = None,
+    faults: ActuationFaultConfig | None = None,
 ) -> FleetSimResult:
     """Run the fleet simulation family and aggregate over trials.
 
@@ -116,6 +122,8 @@ def run_fleet_sim(
         warmup=warmup,
         interval=interval,
         seed=seed,
+        sensors=sensors,
+        faults=faults,
     )
     if load is not None:
         base = base.scaled_load(load / _DEFAULT_TOTAL_LOAD)
@@ -198,6 +206,10 @@ def _observe(result: FleetSimResult, observer: "RunObserver | None") -> None:
         )
     for sample in result.results[0].telemetry[:_MAX_TELEMETRY_ROWS]:
         observer.record("fleet_telemetry", trial=0, **sample)
+    for row in result.results[0].controller[:_MAX_CONTROLLER_ROWS]:
+        observer.record("fleet_controller", trial=0, **row)
+    for row in result.results[0].actuation[:_MAX_CONTROLLER_ROWS]:
+        observer.record("fleet_actuation", trial=0, **row)
     observer.metrics.gauge(
         "fleet.efficiency", policy=result.policy, routing=result.routing
     ).set(result.efficiency)

@@ -171,6 +171,15 @@ def _ablation_tail():
     return run_ablation_tail, format_ablation_tail
 
 
+def _ablation_sensor_noise():
+    from repro.experiments.ablation_sensor_noise import (
+        format_ablation_sensor_noise,
+        run_ablation_sensor_noise,
+    )
+
+    return run_ablation_sensor_noise, format_ablation_sensor_noise
+
+
 def _ablation_knee():
     from repro.experiments.ablation_knee import (
         format_ablation_knee,
@@ -203,17 +212,21 @@ _REGISTRY: dict[str, Callable[[], tuple[Callable, Callable]]] = {
     "ablation-churn": _ablation_churn,
     "ablation-tail": _ablation_tail,
     "ablation-hwprefetch": _ablation_hwprefetch,
+    "ablation-sensor-noise": _ablation_sensor_noise,
 }
 
 
 #: Experiments whose runners accept a ``jobs`` argument (internal sweeps
 #: that can fan out over a process pool; see :mod:`repro.parallel`).
-JOBS_AWARE = {"fig02", "fig05", "fig16", "fleet-sim"}
+JOBS_AWARE = {"fig02", "fig05", "fig16", "fleet-sim", "ablation-sensor-noise"}
 
 #: Experiments whose runners accept an ``observer`` argument (deep
 #: observability export; see :mod:`repro.obs`). Other experiments still get
 #: run-level spans and a manifest from the CLI wrapper.
-OBS_AWARE = {"fig02", "fig03", "fig11", "fig12", "fig13", "fleet-sim"}
+OBS_AWARE = {
+    "fig02", "fig03", "fig11", "fig12", "fig13", "fleet-sim",
+    "ablation-sensor-noise",
+}
 
 
 def experiment_ids() -> list[str]:

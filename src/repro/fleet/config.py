@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.control.actuators import ActuationFaultConfig
+from repro.control.sensors import SensorConfig
 from repro.errors import ConfigurationError
 
 #: Routing strategies understood by :func:`repro.fleet.routing.make_router`.
@@ -93,6 +95,12 @@ class FleetConfig:
     #: batch-queue management), simulated seconds.
     interval: float = 0.5
     seed: int = 0
+    #: Telemetry degradation applied to every node policy's sensor suite
+    #: (``None`` = perfect sensing).
+    sensors: SensorConfig | None = None
+    #: Actuation faults injected into every node policy's control plane
+    #: (``None`` = every write lands).
+    faults: ActuationFaultConfig | None = None
 
     def __post_init__(self) -> None:
         if self.nodes < 1:

@@ -18,6 +18,9 @@ from typing import Callable
 import numpy as np
 
 from repro.cluster.node import Node
+from repro.control.actuators import ActuationFaultConfig
+from repro.control.records import ActuationRecord, ControlTickRecord
+from repro.control.sensors import SensorConfig
 from repro.core.policies import IsolationPolicy, make_policy
 from repro.core.policies.base import ROLE_BACKFILL, ROLE_LO
 from repro.errors import SchedulingError
@@ -27,6 +30,11 @@ from repro.sim.engine import PRIORITY_CONTROL
 from repro.workloads.cpu.base import BatchProfile, BatchTask
 from repro.workloads.ml.base import InferenceServerTask
 from repro.workloads.ml.catalog import MlInstance, MlWorkloadFactory
+
+
+def _mix_seed(*parts: int) -> int:
+    """A stable 32-bit seed from a tuple of integer parts."""
+    return int(np.random.SeedSequence(parts).generate_state(1)[0])
 
 
 @dataclass(frozen=True)
@@ -82,15 +90,29 @@ class FleetMember:
         seed: int,
         accel_socket: int = 0,
         on_complete: Callable[["FleetMember", int, float, float], None] | None = None,
+        sensors: SensorConfig | None = None,
+        faults: ActuationFaultConfig | None = None,
     ) -> None:
         self.index = index
         self.sim = sim
         self.node: Node = Node.create(factory.host_spec(), sim, accel_socket=accel_socket)
+        # Derive node-scoped degradation seeds so every member draws an
+        # independent noise/fault stream even under one shared config.
+        from dataclasses import replace as _replace
+
+        if sensors is not None and sensors.degraded:
+            sensors = _replace(
+                sensors, seed=_mix_seed(sensors.seed, index, seed)
+            )
+        if faults is not None and faults.active:
+            faults = _replace(faults, seed=_mix_seed(faults.seed, index, seed))
         self.policy: IsolationPolicy = make_policy(
             policy_name,
             self.node,
             ml_cores=factory.default_cores(),
             interval=interval,
+            sensors=sensors,
+            faults=faults,
         )
         self.policy.prepare()
         # ``load_fraction=0`` builds the server with *no* load generator:
@@ -264,6 +286,14 @@ class FleetMember:
                 self.node.backfill_tasks.remove(task)
 
     # ------------------------------------------------------------- metrics
+    def controller_history(self) -> list[ControlTickRecord]:
+        """The node policy's unified control tick records."""
+        return self.policy.tick_history()
+
+    def actuation_journal(self) -> list[ActuationRecord]:
+        """Every physical knob write the node's control plane performed."""
+        return self.policy.actuation_journal()
+
     def batch_throughput(self, measurement_end: float) -> float:
         """Aggregate post-warmup units/s over every task this node ran."""
         return sum(

@@ -89,6 +89,11 @@ class FleetResult:
     events_dispatched: int
     #: Control-interval telemetry rows (one per node per interval).
     telemetry: tuple[dict, ...] = ()
+    #: Per-node controller tick rows (``{"node": i, **record.as_dict()}``),
+    #: empty for unmanaged policies or when telemetry collection is off.
+    controller: tuple[dict, ...] = ()
+    #: Per-node actuation journal rows (``{"node": i, **record.as_dict()}``).
+    actuation: tuple[dict, ...] = ()
 
     def summary(self) -> dict:
         """A JSON-clean summary — the artifact determinism tests compare."""
@@ -147,6 +152,8 @@ class FleetOrchestrator:
                 warmup=config.warmup,
                 seed=_derive_seed(config.seed, _STREAM_NODE, i),
                 on_complete=self._on_complete,
+                sensors=config.sensors,
+                faults=config.faults,
             )
             for i in range(config.nodes)
         ]
@@ -320,6 +327,28 @@ class FleetOrchestrator:
             node_stats=node_stats,
             events_dispatched=events,
             telemetry=tuple(self._telemetry),
+            controller=self._controller_rows(),
+            actuation=self._actuation_rows(),
+        )
+
+    def _controller_rows(self) -> tuple[dict, ...]:
+        """Every member's unified control tick records, node-tagged."""
+        if not self._collect_telemetry:
+            return ()
+        return tuple(
+            {"node": member.index, **record.as_dict()}
+            for member in self.members
+            for record in member.controller_history()
+        )
+
+    def _actuation_rows(self) -> tuple[dict, ...]:
+        """Every physical knob write performed fleet-wide, node-tagged."""
+        if not self._collect_telemetry:
+            return ()
+        return tuple(
+            {"node": member.index, **record.as_dict()}
+            for member in self.members
+            for record in member.actuation_journal()
         )
 
 

@@ -42,6 +42,13 @@ class CpusetController:
         (SIGSTOP / the freezer controller). The simulated surface folds both
         into one call: ``set_cpus(task, frozenset())`` parks the task, and
         any non-empty mask unparks it again.
+
+        The mask is validated against the machine topology: it must lie
+        inside one OS-visible NUMA domain — a subdomain when SNC is enabled,
+        a socket otherwise. A mask straddling domains would silently migrate
+        part of the cgroup off the task's memory, which the real control
+        plane never does; it is always a controller bug, so it raises
+        :class:`~repro.errors.HostInterfaceError` instead of being accepted.
         """
         cores = frozenset(cores)
         if not cores:
@@ -51,10 +58,26 @@ class CpusetController:
         bad = [c for c in cores if not 0 <= c < total]
         if bad:
             raise HostInterfaceError(f"cores out of range: {sorted(bad)}")
+        self._check_domain(task, cores)
         if task.parked:
             task.set_parked(False)
         if cores != task.placement.cores:
             task.set_placement(task.placement.with_cores(cores))
+
+    def _check_domain(self, task: PlaceableTask, cores: frozenset[int]) -> None:
+        """Reject masks that straddle OS-visible NUMA domains."""
+        topo = self._machine.topology
+        if self._machine.snc_enabled:
+            domains = {topo.subdomain_of_core(c) for c in cores}
+            kind = "subdomains"
+        else:
+            domains = {topo.socket_of_core(c) for c in cores}
+            kind = "sockets"
+        if len(domains) > 1:
+            raise HostInterfaceError(
+                f"cpuset mask for task {task.task_id!r} straddles "
+                f"{kind} {sorted(domains)}: {sorted(cores)}"
+            )
 
     def park(self, task: PlaceableTask) -> None:
         """Freeze ``task``: no runnable cores until the next ``set_cpus``."""

@@ -49,6 +49,12 @@ class ResctrlFs:
         self._require_group(clos)
         return self._machine.llcs[socket].clos_mask(clos)
 
+    def mb_percent(self, clos: int) -> int | None:
+        """Read back the MB% cap of ``clos`` (``None`` when uncapped)."""
+        self._require_group(clos)
+        cap = self._machine.solver.mba_caps.get(clos)
+        return None if cap is None else round(cap * 100)
+
     def set_mb_percent(self, clos: int, percent: int) -> None:
         """Set MBA throttling: cap the CLOS's offered demand at ``percent``.
 

@@ -28,7 +28,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import ChromeTraceBuilder
 
 if TYPE_CHECKING:
-    from repro.core.kelp import KelpTickRecord
+    from repro.control.records import ActuationRecord, ControlTickRecord
     from repro.experiments.common import ColocationResult
     from repro.sim.tracing import TimelineTracer
 
@@ -122,15 +122,17 @@ class RunObserver:
         self,
         label: str,
         result: "ColocationResult",
-        ticks: Iterable["KelpTickRecord"] = (),
+        ticks: Iterable["ControlTickRecord"] = (),
         telemetry: Iterable[dict] = (),
+        journal: Iterable["ActuationRecord"] = (),
     ) -> None:
-        """Export everything one colocation run saw and decided.
+        """Export everything one colocation run saw, decided and wrote.
 
         Emits a ``run`` summary row, a ``solver_stats`` row, one ``tick``
         row per controller interval (the Algorithm-1 measurement/decision
-        stream), and one ``telemetry`` row per sampler interval; the same
-        data also lands in the trace as counter series and action markers.
+        stream), one ``telemetry`` row per sampler interval, and one
+        ``actuation`` row per journaled physical knob write; the same data
+        also lands in the trace as counter series and action markers.
         """
         if not self.enabled:
             return
@@ -164,8 +166,22 @@ class RunObserver:
                     if k != "time" and isinstance(v, (int, float))
                 },
             )
+        journal_list = list(journal)
+        for write in journal_list:
+            self.record("actuation", label=label, **write.as_dict())
+            if write.status != "applied":
+                self.trace.add_instant(
+                    label,
+                    "actuation faults",
+                    f"{write.kind}:{write.status}",
+                    write.time,
+                    category="controller",
+                )
         # Registry roll-ups for the metrics stream.
         self.metrics.counter("colocation.runs", policy=config.policy).inc()
+        self.metrics.counter("colocation.actuation_writes").inc(
+            len(journal_list)
+        )
         self.metrics.histogram(
             "colocation.ml_perf_norm", policy=config.policy
         ).observe(result.ml_perf_norm)

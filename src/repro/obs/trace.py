@@ -19,7 +19,7 @@ import json
 from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:
-    from repro.core.kelp import KelpTickRecord
+    from repro.control.records import ControlTickRecord
     from repro.sim.tracing import TraceInterval
 
 #: Microseconds per simulated second.
@@ -140,33 +140,31 @@ class ChromeTraceBuilder:
         return count
 
     def add_tick_records(
-        self, process: str, records: Iterable["KelpTickRecord"]
+        self, process: str, records: Iterable["ControlTickRecord"]
     ) -> int:
         """Ingest controller ticks as knob/measurement counters + markers."""
         count = 0
         for record in records:
-            self.add_counter(
-                process,
-                "controller knobs",
-                record.time,
-                {
-                    "lo_cores": record.lo_cores,
-                    "lo_prefetchers": record.lo_prefetchers,
-                    "backfill_cores": record.backfill_cores,
-                },
-            )
+            knobs = {
+                "lo_cores": record.lo_cores,
+                "lo_prefetchers": record.lo_prefetchers,
+                "backfill_cores": record.backfill_cores,
+            }
+            knobs.update(record.extra)
+            self.add_counter(process, "controller knobs", record.time, knobs)
             m = record.measurements
-            self.add_counter(
-                process,
-                "measurements",
-                record.time,
-                {
-                    "socket_bw_gbps": m.socket_bw,
-                    "hipri_bw_gbps": m.hipri_bw,
-                    "socket_latency": m.socket_latency,
-                    "saturation": m.saturation,
-                },
-            )
+            if m is not None:
+                self.add_counter(
+                    process,
+                    "measurements",
+                    record.time,
+                    {
+                        "socket_bw_gbps": m.socket_bw,
+                        "hipri_bw_gbps": m.hipri_bw,
+                        "socket_latency": m.socket_latency,
+                        "saturation": m.saturation,
+                    },
+                )
             for domain, action in (
                 ("hi", record.action_hi), ("lo", record.action_lo)
             ):

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.cluster.node import ACCEL_SOCKET, HI_SUBDOMAIN, LO_SUBDOMAIN, Node
+from repro.control.actuators import HostControlPlane
 
 
 class TestNodeTopologyHelpers:
@@ -19,11 +20,20 @@ class TestNodeTopologyHelpers:
 
 
 class TestPrefetcherHelpers:
+    """Prefetcher writes go through the control plane; the node only reads.
+
+    Regression for the removed ``Node.set_lo_prefetchers_enabled`` bypass:
+    the journaled :class:`HostControlPlane` is the only write path.
+    """
+
     def test_all_enabled_initially(self, node: Node) -> None:
         assert node.lo_prefetchers_enabled() == len(node.lo_subdomain_cores())
 
+    def test_node_write_bypass_removed(self, node: Node) -> None:
+        assert not hasattr(node, "set_lo_prefetchers_enabled")
+
     def test_set_count(self, node: Node) -> None:
-        node.set_lo_prefetchers_enabled(3)
+        HostControlPlane(node).set_lo_prefetchers(3)
         assert node.lo_prefetchers_enabled() == 3
         # Lowest core ids keep prefetching.
         cores = node.lo_subdomain_cores()
@@ -31,13 +41,14 @@ class TestPrefetcherHelpers:
         assert not node.machine.prefetchers.is_enabled(cores[-1])
 
     def test_set_count_clamped(self, node: Node) -> None:
-        node.set_lo_prefetchers_enabled(-3)
+        plane = HostControlPlane(node)
+        plane.set_lo_prefetchers(-3)
         assert node.lo_prefetchers_enabled() == 0
-        node.set_lo_prefetchers_enabled(999)
+        plane.set_lo_prefetchers(999)
         assert node.lo_prefetchers_enabled() == len(node.lo_subdomain_cores())
 
     def test_hi_subdomain_untouched(self, node: Node) -> None:
-        node.set_lo_prefetchers_enabled(0)
+        HostControlPlane(node).set_lo_prefetchers(0)
         assert all(
             node.machine.prefetchers.is_enabled(c)
             for c in node.hi_subdomain_cores()

@@ -1,0 +1,136 @@
+"""Actuator facade: journaling, dedup, and fault injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.node import Node
+from repro.control.actuators import ActuationFaultConfig, HostControlPlane
+from repro.errors import ConfigurationError
+from repro.hw.placement import Placement
+from repro.workloads.cpu.base import BatchTask
+from repro.workloads.cpu.stream import stream_profile
+
+
+@pytest.fixture
+def task(node: Node) -> BatchTask:
+    placement = Placement(cores=frozenset(range(4, 8)), mem_weights={0: 1.0})
+    task = BatchTask("lo", node.machine, placement, stream_profile(4))
+    task.start()
+    return task
+
+
+class TestDedupAndJournal:
+    def test_cpuset_write_journaled_once(self, node: Node, task: BatchTask) -> None:
+        plane = HostControlPlane(node)
+        assert plane.set_task_cpus(task, {4, 5}) == 1
+        assert task.placement.cores == frozenset({4, 5})
+        # Re-writing the in-effect mask is dropped before the machine.
+        assert plane.set_task_cpus(task, {4, 5}) == 0
+        assert len(plane.journal) == 1
+        record = plane.journal[0]
+        assert (record.kind, record.target, record.value, record.status) == (
+            "cpuset", "lo", "4-5", "applied"
+        )
+
+    def test_park_dedup(self, node: Node, task: BatchTask) -> None:
+        plane = HostControlPlane(node)
+        assert plane.set_task_cpus(task, frozenset()) == 1
+        assert task.parked
+        assert plane.set_task_cpus(task, frozenset()) == 0
+        assert [r.value for r in plane.journal] == ["parked"]
+
+    def test_prefetcher_writes_only_changed_cores(self, node: Node) -> None:
+        plane = HostControlPlane(node)
+        cores = node.lo_subdomain_cores()
+        # All cores start enabled: disabling all but 2 writes len-2 MSRs.
+        assert plane.set_lo_prefetchers(2) == len(cores) - 2
+        assert plane.set_lo_prefetchers(2) == 0  # already in effect
+        assert plane.set_lo_prefetchers(3) == 1  # one core flips back on
+        assert all(r.kind == "msr" for r in plane.journal)
+
+    def test_mba_dedup_reads_live_state(self, node: Node) -> None:
+        plane = HostControlPlane(node)
+        plane.create_clos_group(2)
+        assert plane.set_mb_percent(2, 60) == 1
+        assert plane.set_mb_percent(2, 60) == 0
+        # A write that bypassed the plane is still seen by the dedup.
+        node.resctrl.set_mb_percent(2, 30)
+        assert plane.set_mb_percent(2, 30) == 0
+        assert plane.set_mb_percent(2, 60) == 1
+
+    def test_writes_this_tick_resets_at_begin_tick(
+        self, node: Node, task: BatchTask
+    ) -> None:
+        plane = HostControlPlane(node)
+        plane.begin_tick()
+        plane.set_task_cpus(task, {4, 5})
+        assert plane.writes_this_tick == 1
+        plane.begin_tick()
+        assert plane.writes_this_tick == 0
+
+
+class TestFaultInjection:
+    def test_config_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            ActuationFaultConfig(fail_prob=1.0)
+        with pytest.raises(ConfigurationError):
+            ActuationFaultConfig(defer_prob=-0.1)
+        with pytest.raises(ConfigurationError):
+            ActuationFaultConfig(max_retries=-1)
+        assert not ActuationFaultConfig().active
+        assert ActuationFaultConfig(fail_prob=0.1).active
+
+    def test_failed_write_leaves_knob_unchanged(
+        self, node: Node, task: BatchTask
+    ) -> None:
+        faults = ActuationFaultConfig(fail_prob=0.999, max_retries=2, seed=1)
+        plane = HostControlPlane(node, faults)
+        plane.set_task_cpus(task, {4, 5})
+        record = plane.journal[-1]
+        assert record.status == "failed"
+        assert record.attempts == 3  # first try + 2 retries
+        assert task.placement.cores == frozenset(range(4, 8))
+
+    def test_deferred_write_lands_at_next_tick(
+        self, node: Node, task: BatchTask
+    ) -> None:
+        faults = ActuationFaultConfig(defer_prob=0.999, seed=2)
+        plane = HostControlPlane(node, faults)
+        plane.begin_tick()
+        plane.set_task_cpus(task, {4, 5})
+        assert plane.journal[-1].status == "deferred"
+        assert task.placement.cores == frozenset(range(4, 8))  # not yet
+        plane.begin_tick()  # the deferred write lands before the decision
+        assert task.placement.cores == frozenset({4, 5})
+        assert plane.journal[-1].status == "applied"
+
+    def test_setup_writes_never_faulted(self, node: Node) -> None:
+        faults = ActuationFaultConfig(fail_prob=0.999, max_retries=0, seed=3)
+        plane = HostControlPlane(node, faults)
+        plane.create_clos_group(1)
+        plane.dedicate_llc_ways(1, 6)
+        plane.setup_mb_percent(1, 100)
+        assert [r.status for r in plane.journal] == ["applied"] * 3
+
+    def test_fault_stream_is_deterministic(self, node: Node) -> None:
+        def statuses() -> list[str]:
+            placement = Placement(
+                cores=frozenset(range(4, 8)), mem_weights={0: 1.0}
+            )
+            task = BatchTask("d", node.machine, placement, stream_profile(4))
+            task.start()
+            plane = HostControlPlane(
+                node,
+                ActuationFaultConfig(fail_prob=0.4, max_retries=0, seed=11),
+            )
+            out = []
+            for width in (2, 3, 2, 3, 2, 3, 2, 3):
+                plane.set_task_cpus(task, frozenset(range(4, 4 + width)))
+                out.append(plane.journal[-1].status)
+            task.stop()
+            return out
+
+        first, second = statuses(), statuses()
+        assert first == second
+        assert "failed" in first  # the fault rate actually bites

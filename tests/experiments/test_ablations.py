@@ -49,3 +49,37 @@ class TestTailAmplification:
         assert result.kp_slowdown[-1] <= result.bl_slowdown[-1]
         assert 0.0 < result.interference_probability < 0.5
         assert "tail amplification" in format_ablation_tail(result)
+
+
+class TestSensorNoise:
+    def test_mini_ladder(self) -> None:
+        from repro.experiments.ablation_sensor_noise import (
+            LEVELS,
+            format_ablation_sensor_noise,
+            run_ablation_sensor_noise,
+        )
+
+        result = run_ablation_sensor_noise(
+            duration=6.0, nodes=2, levels=(LEVELS[0], LEVELS[3])
+        )
+        clean, severe = result.outcomes
+        assert clean.level.name == "clean"
+        # The clean control plane loses no writes; the degraded one does.
+        assert clean.failed_writes == clean.deferred_writes == 0
+        assert severe.failed_writes + severe.deferred_writes > 0
+        # Degradation costs useful work.
+        assert severe.efficiency <= clean.efficiency + 1e-9
+        assert "graceful degradation" in format_ablation_sensor_noise(result)
+
+    def test_jobs_do_not_change_results(self) -> None:
+        from repro.experiments.ablation_sensor_noise import (
+            LEVELS,
+            run_ablation_sensor_noise,
+        )
+
+        kwargs = dict(duration=4.0, nodes=2, levels=(LEVELS[0], LEVELS[2]))
+        serial = run_ablation_sensor_noise(**kwargs)
+        pooled = run_ablation_sensor_noise(jobs=2, **kwargs)
+        assert [o.result.summary() for o in serial.outcomes] == [
+            o.result.summary() for o in pooled.outcomes
+        ]

@@ -20,6 +20,7 @@ class TestRegistry:
         assert "ablation-mba" in ids
         assert "ablation-infeed-ratio" in ids
         assert "ablation-knee" in ids
+        assert "ablation-sensor-noise" in ids
 
     def test_unknown_experiment_rejected(self) -> None:
         with pytest.raises(ExperimentError):

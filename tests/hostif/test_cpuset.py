@@ -47,6 +47,31 @@ class TestCpuset:
         with pytest.raises(HostInterfaceError):
             node.cpuset.set_cpus(task, {999})
 
+    def test_cross_socket_mask_rejected(self, node: Node, task: BatchTask) -> None:
+        # SNC off: the OS-visible NUMA domains are the sockets. A mask
+        # spanning both sockets would silently migrate part of the cgroup
+        # off the task's memory, so the controller must refuse it.
+        first_remote = node.machine.topology.first_core(1)
+        with pytest.raises(HostInterfaceError, match="straddles"):
+            node.cpuset.set_cpus(task, {4, first_remote})
+        # The rejected write must not have touched the task.
+        assert task.placement.cores == frozenset(range(4, 12))
+
+    def test_cross_subdomain_mask_rejected_under_snc(
+        self, node: Node, task: BatchTask
+    ) -> None:
+        # SNC on: the domains shrink to the channel-group subdomains, so a
+        # socket-local mask spanning both halves is now invalid too.
+        node.machine.set_snc(True)
+        boundary = len(node.machine.topology.cores_of_subdomain(0))
+        mask = {boundary - 1, boundary}
+        with pytest.raises(HostInterfaceError, match="straddles"):
+            node.cpuset.set_cpus(task, mask)
+        # The same mask is fine once SNC is off again (one socket).
+        node.machine.set_snc(False)
+        node.cpuset.set_cpus(task, mask)
+        assert task.placement.cores == frozenset(mask)
+
     def test_shrink_removes_highest_first(self, node: Node, task: BatchTask) -> None:
         removed = node.cpuset.shrink(task, 2)
         assert removed == 2

@@ -16,7 +16,7 @@ import pytest
 from repro.experiments.fig13_overall import run_fig13
 from repro.obs import ObsConfig, RunObserver
 
-KNOWN_KINDS = {"run", "solver_stats", "tick", "telemetry", "metric"}
+KNOWN_KINDS = {"run", "solver_stats", "tick", "telemetry", "metric", "actuation"}
 
 
 @pytest.fixture(scope="module")

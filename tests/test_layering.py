@@ -1,0 +1,42 @@
+"""The import-layering rules hold, and the checker can actually see."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_layering", _ROOT / "scripts" / "check_layering.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_repo_is_layer_clean(checker) -> None:
+    assert checker.check_layering(_ROOT / "src" / "repro") == []
+
+
+def test_checker_detects_violations(checker, tmp_path: Path) -> None:
+    (tmp_path / "hostif").mkdir()
+    (tmp_path / "hostif" / "bad.py").write_text(
+        "from repro.core.actions import Action\n"
+        "import repro.core.kelp\n"
+        "from repro.hw.machine import Machine  # allowed\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "hw").mkdir()
+    (tmp_path / "hw" / "worse.py").write_text(
+        "from repro import control\n", encoding="utf-8"
+    )
+    violations = checker.check_layering(tmp_path)
+    assert len(violations) == 3
+    assert sum("'hostif' must not import 'repro.core'" in v for v in violations) == 2
+    assert sum("'hw' must not import 'repro.control'" in v for v in violations) == 1
