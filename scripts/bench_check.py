@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Perf regression gate: fresh bench JSON vs the committed baseline.
+
+Compares the serial cache-on suite timings of a fresh ``bench_smoke.py``
+report against the committed baseline (``BENCH_PR6.json``), per experiment
+and in total, with a generous tolerance — CI runners are noisy, so the gate
+only catches real regressions (default: 40% over baseline fails).
+
+Usage::
+
+    python scripts/bench_smoke.py --out /tmp/bench-ci.json
+    python scripts/bench_check.py --baseline BENCH_PR6.json \
+        --current /tmp/bench-ci.json
+
+Exit status 0 when every comparison is within tolerance, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_serial(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    try:
+        return report["suite"]["serial_cache_on"]
+    except KeyError:
+        raise SystemExit(f"{path}: not a bench_smoke report (no suite section)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline", default="BENCH_PR6.json",
+        help="committed reference report (default: BENCH_PR6.json)",
+    )
+    parser.add_argument(
+        "--current", required=True, help="freshly generated report to check"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.40,
+        help="allowed fractional slowdown over baseline (default: 0.40)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_serial(args.baseline)
+    current = load_serial(args.current)
+    tolerance = args.tolerance
+
+    failures: list[str] = []
+    rows: list[tuple[str, float, float, float]] = []
+
+    def check(name: str, base_s: float, cur_s: float) -> None:
+        limit = base_s * (1.0 + tolerance)
+        rows.append((name, base_s, cur_s, limit))
+        if cur_s > limit:
+            failures.append(
+                f"{name}: {cur_s:.3f}s exceeds {base_s:.3f}s "
+                f"+{tolerance:.0%} (limit {limit:.3f}s)"
+            )
+
+    check("suite total", baseline["wall_s"], current["wall_s"])
+    base_per = baseline.get("per_experiment_s", {})
+    cur_per = current.get("per_experiment_s", {})
+    for exp_id, base_s in sorted(base_per.items()):
+        if exp_id not in cur_per:
+            failures.append(f"{exp_id}: missing from current report")
+            continue
+        check(exp_id, base_s, cur_per[exp_id])
+    for exp_id in sorted(set(cur_per) - set(base_per)):
+        print(f"note: {exp_id} has no baseline entry; skipped")
+
+    width = max(len(name) for name, *_ in rows)
+    print(f"{'experiment':<{width}}  baseline  current   limit")
+    for name, base_s, cur_s, limit in rows:
+        flag = "  <-- REGRESSION" if cur_s > limit else ""
+        print(
+            f"{name:<{width}}  {base_s:7.3f}s  {cur_s:7.3f}s  {limit:7.3f}s"
+            f"{flag}"
+        )
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s) beyond +{tolerance:.0%}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nOK: all timings within +{tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

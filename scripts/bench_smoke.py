@@ -17,6 +17,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import platform
@@ -32,6 +33,8 @@ from repro.experiments import common as common_mod  # noqa: E402
 from repro.experiments.common import MixConfig, run_colocation  # noqa: E402
 from repro.experiments.suite import run_suite  # noqa: E402
 from repro.hw.contention import (  # noqa: E402
+    KnobVariant,
+    clear_shared_cache,
     global_stats,
     reset_global_stats,
     set_cache_default,
@@ -62,9 +65,18 @@ FLEET = dict(
 
 
 def _fresh_state() -> None:
-    """Reset cross-run memo state so every pass is measured cold."""
+    """Reset cross-run memo state so every pass is measured cold.
+
+    Also collect and freeze the heap: without this, objects surviving from
+    *earlier* passes sit in the young generations and every pass after the
+    first pays extra GC time scanning them — the passes would not be
+    independent measurements (pyperf does the same).
+    """
     common_mod._STANDALONE_CACHE.clear()
+    clear_shared_cache()
     reset_global_stats()
+    gc.collect()
+    gc.freeze()
 
 
 def _timed_suite(jobs: int | None, cache: bool) -> dict:
@@ -123,6 +135,63 @@ def _timed_fleet(cache: bool) -> dict:
     }
 
 
+def _timed_batch_probe(variants: int = 64) -> dict:
+    """Vectorized what-if vs the scalar reference over one live source set.
+
+    Builds a small colocated machine, then scores ``variants`` MBA-cap
+    candidates twice — once through :meth:`ContentionSolver.solve_variant`
+    (the scalar semantic reference) and once through the numpy batch fixed
+    point — and reports both walls plus the solver's ``batch_points``
+    counter. The two paths agree bit-for-bit on solver outputs; this probe
+    only times them.
+    """
+    from repro.hw.machine import Machine
+    from repro.hw.placement import Placement
+    from repro.hw.spec import MachineSpec
+    from repro.sim import Simulator
+    from repro.workloads.cpu.base import BatchTask
+    from repro.workloads.cpu.catalog import cpu_workload
+
+    set_cache_default(True)
+    _fresh_state()
+    machine = Machine(MachineSpec(), Simulator())
+    BatchTask(
+        "probe-a",
+        machine,
+        Placement(cores=frozenset(range(0, 8)), mem_weights={0: 0.7, 1: 0.3}),
+        cpu_workload("stream", 8),
+    ).start()
+    BatchTask(
+        "probe-b",
+        machine,
+        Placement(cores=frozenset(range(8, 16)), mem_weights={2: 1.0}),
+        cpu_workload("dram", "H"),
+    ).start()
+    grid = [
+        KnobVariant(mba_caps=((0, 0.1 + 0.9 * i / max(variants - 1, 1)),))
+        for i in range(variants)
+    ]
+    sources = [
+        source for task in machine.tasks() for source in task.traffic_sources()
+    ]
+    solver = machine.solver
+    started = time.perf_counter()
+    for variant in grid:
+        solver.solve_variant(sources, variant)
+    scalar_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    machine.what_if(grid)
+    batch_wall = time.perf_counter() - started
+    stats = solver.stats.as_dict()
+    return {
+        "variants": variants,
+        "scalar_wall_s": round(scalar_wall, 4),
+        "batch_wall_s": round(batch_wall, 4),
+        "speedup_batch": round(scalar_wall / max(batch_wall, 1e-9), 3),
+        "batch_points": stats["batch_points"],
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -131,13 +200,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--out", default="BENCH_PR1.json")
     args = parser.parse_args(argv)
-    jobs = args.jobs if args.jobs is not None else min(4, os.cpu_count() or 1)
+    cpu_count = os.cpu_count() or 1
+    jobs = args.jobs if args.jobs is not None else min(4, cpu_count)
 
     suite_serial_on = _timed_suite(jobs=None, cache=True)
     suite_serial_off = _timed_suite(jobs=None, cache=False)
+    # Honesty on single-core hosts: a process pool cannot speed anything up
+    # there (the sweep engine falls back to serial anyway), so rather than
+    # reporting a meaningless ~1.0x, skip the pass and publish null.
+    run_parallel = jobs > 1 and cpu_count > 1
     suite_parallel_on = (
-        _timed_suite(jobs=jobs, cache=True) if jobs > 1 else None
+        _timed_suite(jobs=jobs, cache=True) if run_parallel else None
     )
+    batch_probe = _timed_batch_probe()
     mix_on = _timed_mix(cache=True)
     mix_off = _timed_mix(cache=False)
     fleet_on = _timed_fleet(cache=True)
@@ -150,7 +225,11 @@ def main(argv: list[str] | None = None) -> int:
             "generated": datetime.now(timezone.utc).isoformat(),
             "python": platform.python_version(),
             "platform": platform.platform(),
-            "cpu_count": os.cpu_count(),
+            "cpu_count": cpu_count,
+            "jobs_requested": jobs,
+            "parallel_skipped_reason": (
+                None if run_parallel else "single-cpu host or jobs<=1"
+            ),
             "subset": SUBSET,
             "duration_s": DURATION,
         },
@@ -172,6 +251,7 @@ def main(argv: list[str] | None = None) -> int:
                 else None
             ),
         },
+        "solver_fast_paths": batch_probe,
         "mix": {
             "config": {
                 "ml": MIX.ml, "policy": MIX.policy, "cpu": MIX.cpu,
@@ -207,8 +287,16 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"suite: --jobs {jobs} {suite_parallel_on['wall_s']}s "
             f"(parallel speedup {report['suite']['speedup_parallel']}x "
-            f"on {os.cpu_count()} cpu)"
+            f"on {cpu_count} cpu)"
         )
+    else:
+        print(f"suite: parallel pass skipped ({cpu_count} cpu); speedup null")
+    print(
+        f"batch: {batch_probe['variants']} variants scalar "
+        f"{batch_probe['scalar_wall_s']}s vs batch "
+        f"{batch_probe['batch_wall_s']}s "
+        f"({batch_probe['speedup_batch']}x)"
+    )
     print(
         f"mix:   cache-on {mix_on['wall_s']}s, cache-off {mix_off['wall_s']}s, "
         f"hit-rate {hit_rate:.2%}, events {mix_on['events_dispatched']}"

@@ -19,12 +19,15 @@ if TYPE_CHECKING:
 
 
 class _Transfer:
-    __slots__ = ("work", "on_complete", "handle")
+    __slots__ = ("work", "on_complete", "handle", "finisher")
 
     def __init__(self, work: FluidWork, on_complete: Callable[[], None]) -> None:
         self.work = work
         self.on_complete = on_complete
         self.handle: "EventHandle | None" = None
+        #: Completion callback, built once so rebalances don't allocate a
+        #: fresh closure for every in-flight transfer they reschedule.
+        self.finisher: Callable[[], None] | None = None
 
 
 class PcieLink:
@@ -37,6 +40,7 @@ class PcieLink:
         self.sim = sim
         self.name = name
         self._active: list[_Transfer] = []
+        self._xfer_label = f"{name}:xfer"
         self.bytes_moved_gb = 0.0
 
     @property
@@ -52,6 +56,7 @@ class PcieLink:
             on_complete()
             return
         entry = _Transfer(FluidWork(size_gb, now=self.sim.now), on_complete)
+        entry.finisher = self._make_finisher(entry)
         self._active.append(entry)
         self._rebalance()
 
@@ -61,12 +66,13 @@ class PcieLink:
         if not self._active:
             return
         share = self.spec.peak_bw_gbps / len(self._active)
+        label = self._xfer_label
         for entry in self._active:
             entry.work.set_rate(share, now=now)
             if entry.handle is not None:
                 entry.handle.cancel()
             entry.handle = self.sim.after(
-                entry.work.eta(), self._make_finisher(entry), label=f"{self.name}:xfer"
+                entry.work.eta(), entry.finisher, label=label
             )
 
     def _make_finisher(self, entry: _Transfer) -> Callable[[], None]:

@@ -23,6 +23,7 @@ import time
 
 from repro.experiments.common import MixConfig, run_colocation
 from repro.experiments.registry import experiment_ids, run_experiment
+from repro.parallel import maybe_profiled
 
 
 def _add_control_plane_arguments(parser: argparse.ArgumentParser) -> None:
@@ -218,7 +219,10 @@ def main(argv: list[str] | None = None) -> int:
         if observer.enabled and args.experiment in OBS_AWARE:
             kwargs["observer"] = observer
         started = time.perf_counter()
-        _, text = run_experiment(args.experiment, **kwargs)
+        # REPRO_PROFILE=1 dumps <experiment>.prof (and run_points forces
+        # itself serial so the profile sees the work in-process).
+        with maybe_profiled(args.experiment):
+            _, text = run_experiment(args.experiment, **kwargs)
         print(text)
         if observer.enabled:
             wall = time.perf_counter() - started

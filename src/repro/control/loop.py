@@ -43,28 +43,41 @@ class ControlLoop:
         self.plane = plane
         #: One :class:`ControlTickRecord` per engaged tick, in time order.
         self.history: list[ControlTickRecord] = []
+        #: Engaged ticks whose enforcement produced zero actuation writes
+        #: (every knob already held the decided value): the machine was
+        #: never notified, so no contention re-solve ran at all.
+        self.noop_ticks = 0
 
     def tick(self) -> ControlTickRecord | None:
         """Run one control interval; ``None`` when the governor is dormant."""
         node = self.node
         plane = self.plane
-        plane.begin_tick()
+        machine = node.machine
+        with machine.hold_recompute():
+            plane.begin_tick()
         m = self.sensors.sample()
         decision = self.governor.decide(m)
         if decision is None:
             return None
 
-        if decision.lo_task_mask is not None:
-            for task in node.lo_tasks:
-                plane.set_task_cpus(task, decision.lo_task_mask)
-        if decision.prefetcher_count is not None:
-            plane.set_lo_prefetchers(decision.prefetcher_count)
-        if decision.backfill_mask is not None:
-            for task in node.backfill_tasks:
-                plane.set_task_cpus(task, decision.backfill_mask)
-        if decision.mb_percent is not None:
-            clos, percent = decision.mb_percent
-            plane.set_mb_percent(clos, percent)
+        # All enforcement writes land at one simulated instant; the hold
+        # coalesces their notify_change storm into (at most) one re-solve.
+        # A fully-deduplicated tick — every knob already at its decided
+        # value — performs zero writes and therefore never re-solves.
+        with machine.hold_recompute():
+            if decision.lo_task_mask is not None:
+                for task in node.lo_tasks:
+                    plane.set_task_cpus(task, decision.lo_task_mask)
+            if decision.prefetcher_count is not None:
+                plane.set_lo_prefetchers(decision.prefetcher_count)
+            if decision.backfill_mask is not None:
+                for task in node.backfill_tasks:
+                    plane.set_task_cpus(task, decision.backfill_mask)
+            if decision.mb_percent is not None:
+                clos, percent = decision.mb_percent
+                plane.set_mb_percent(clos, percent)
+        if plane.writes_this_tick == 0:
+            self.noop_ticks += 1
 
         record = ControlTickRecord(
             time=node.sim.now,

@@ -1,4 +1,4 @@
-"""Experiment-facing alias of the deterministic process-pool sweep runner.
+"""Experiment-facing alias of the deterministic sweep engine.
 
 The implementation lives in :mod:`repro.parallel` (a leaf module, so the
 low-level :mod:`repro.cluster` layer can use it without importing the
@@ -8,17 +8,35 @@ experiment drivers). Experiment code imports it from here.
 from __future__ import annotations
 
 from repro.parallel import (
+    CHUNK_ENV,
     DEFAULT_BASE_SEED,
     JOBS_ENV,
+    PROFILE_DIR_ENV,
+    PROFILE_ENV,
+    SweepPool,
+    get_pool,
+    maybe_profiled,
     point_seed,
+    profiling_enabled,
     resolve_jobs,
     run_points,
+    shutdown_pool,
+    sweep_context,
 )
 
 __all__ = [
+    "CHUNK_ENV",
     "DEFAULT_BASE_SEED",
     "JOBS_ENV",
+    "PROFILE_DIR_ENV",
+    "PROFILE_ENV",
+    "SweepPool",
+    "get_pool",
+    "maybe_profiled",
     "point_seed",
+    "profiling_enabled",
     "resolve_jobs",
     "run_points",
+    "shutdown_pool",
+    "sweep_context",
 ]

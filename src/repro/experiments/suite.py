@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from functools import partial
 from typing import TYPE_CHECKING
 
-from repro.experiments.parallel import resolve_jobs, run_points
+from repro.experiments.parallel import maybe_profiled, resolve_jobs, run_points
 from repro.experiments.registry import OBS_AWARE, experiment_ids, run_experiment
 
 if TYPE_CHECKING:
@@ -50,10 +50,14 @@ def _suite_point(
         kwargs["ml"] = ml
     if observer is not None and exp_id in OBS_AWARE:
         kwargs["observer"] = observer
+    name = exp_id if ml is None else f"{exp_id}:{ml}"
     started = time.perf_counter()
-    _, text = run_experiment(exp_id, **kwargs)
+    # REPRO_PROFILE=1 dumps one <experiment>.prof per entry (and forces the
+    # suite serial, so the profile sees the real work in-process).
+    with maybe_profiled(name.replace(":", "_")):
+        _, text = run_experiment(exp_id, **kwargs)
     return SuiteEntry(
-        exp_id=exp_id if ml is None else f"{exp_id}:{ml}",
+        exp_id=name,
         text=text,
         seconds=time.perf_counter() - started,
     )

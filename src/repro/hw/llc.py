@@ -45,6 +45,9 @@ class LlcModel:
     def __init__(self, spec: LlcSpec) -> None:
         self.spec = spec
         self._clos_masks: dict[int, int] = {0: full_mask(spec)}
+        self._state_key: tuple[tuple[int, int], ...] | None = None
+        #: Monotonic mutation counter (for external memo keys).
+        self.version = 0
 
     # -------------------------------------------------------------- masks
     def set_clos_mask(self, clos: int, mask: int) -> None:
@@ -53,7 +56,10 @@ class LlcModel:
             raise ConfigurationError(
                 f"way mask {mask:#x} invalid for {self.spec.ways}-way cache"
             )
-        self._clos_masks[clos] = mask
+        if self._clos_masks.get(clos) != mask:
+            self._clos_masks[clos] = mask
+            self._state_key = None
+            self.version += 1
 
     def clos_mask(self, clos: int) -> int:
         """The way mask of ``clos`` (unknown classes default to all ways)."""
@@ -67,6 +73,8 @@ class LlcModel:
     def reset(self) -> None:
         """Drop all masks back to the default (everyone sees all ways)."""
         self._clos_masks = {0: full_mask(self.spec)}
+        self._state_key = None
+        self.version += 1
 
     def state_key(self) -> tuple[tuple[int, int], ...]:
         """Canonical, hashable snapshot of the CLOS→mask table.
@@ -76,7 +84,9 @@ class LlcModel:
         so cached :class:`~repro.hw.contention.SolveResult` entries can never
         be served across a CAT reconfiguration.
         """
-        return tuple(sorted(self._clos_masks.items()))
+        if self._state_key is None:
+            self._state_key = tuple(sorted(self._clos_masks.items()))
+        return self._state_key
 
     # -------------------------------------------------------------- solve
     def hit_fractions(self, requests: list[LlcRequest]) -> dict[str, float]:

@@ -8,11 +8,13 @@ all tasks at the old rates, re-solves contention, and pushes new rates.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Protocol
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Protocol, Sequence
 
 from repro.errors import SimulationError, TopologyError
 from repro.hw.contention import (
     ContentionSolver,
+    KnobVariant,
     SolveResult,
     SolverStats,
     TrafficSource,
@@ -64,6 +66,14 @@ class Machine:
         self._state: SolveResult = empty_solve_result(spec)
         self._in_recompute = False
         self._dirty = False
+        #: Depth of :meth:`hold_recompute` nesting; while positive,
+        #: :meth:`notify_change` only marks work as deferred.
+        self._hold = 0
+        self._deferred = False
+        #: Simulated instant every attached task was last synced at. Fluid
+        #: progress only accrues as time advances, so repeat recompute
+        #: rounds at one instant skip the whole sync pass.
+        self._synced_at = -1.0
         #: Solve signature of the state currently in force; ``None`` both
         #: before the first solve and whenever caching is disabled.
         self._last_signature: object | None = None
@@ -124,6 +134,39 @@ class Machine:
             raise TopologyError(f"task {task_id!r} not attached") from None
 
     # ----------------------------------------------------------- recompute
+    @contextmanager
+    def hold_recompute(self) -> Iterator[None]:
+        """Coalesce :meth:`notify_change` calls inside the block into one.
+
+        A control tick writes several knobs back-to-back at the same
+        simulated instant; without the hold every write triggers a full
+        sync/solve/apply round. Under the hold, notifications are deferred
+        and a single recompute runs at block exit (only if any arrived).
+        No simulated time passes inside the block, so the final state —
+        solved from the final knob values — is identical to running the
+        intermediate recomputes.
+        """
+        self._hold += 1
+        try:
+            yield
+        finally:
+            self._hold -= 1
+            if self._hold == 0 and self._deferred:
+                self._deferred = False
+                self.notify_change()
+
+    def what_if(self, variants: Sequence[KnobVariant]) -> list[SolveResult]:
+        """Evaluate knob variants against the current source set, batched.
+
+        Runs the solver's vectorized batch fixed point over the live traffic
+        sources without touching machine state — the what-if primitive sweep
+        experiments use to score many candidate knob settings at once.
+        """
+        sources: list[TrafficSource] = []
+        for task in self._tasks.values():
+            sources.extend(task.traffic_sources())
+        return self.solver.solve_batch(sources, variants)
+
     def notify_change(self) -> None:
         """Re-solve contention after any state change.
 
@@ -137,6 +180,9 @@ class Machine:
         rates, because phase changes may need to reschedule completion events
         even when contention is unchanged.
         """
+        if self._hold:
+            self._deferred = True
+            return
         self._dirty = True
         if self._in_recompute:
             return
@@ -151,10 +197,15 @@ class Machine:
                     )
                 self._dirty = False
                 now = self.sim.now
-                for task in list(self._tasks.values()):
-                    task.sync(now)
+                tasks = list(self._tasks.values())
+                if now != self._synced_at:
+                    # Fluid progress only accrues as simulated time advances;
+                    # repeat rounds at one instant skip the whole sync pass.
+                    for task in tasks:
+                        task.sync(now)
+                    self._synced_at = now
                 sources: list[TrafficSource] = []
-                for task in self._tasks.values():
+                for task in tasks:
                     sources.extend(task.traffic_sources())
                 signature = self.solver.solve_signature(sources)
                 if signature is not None and signature == self._last_signature:
@@ -164,7 +215,7 @@ class Machine:
                     self._state = self.solver.solve(sources, signature=signature)
                     self._last_signature = signature
                     self.telemetry.set_state(self._state, now)
-                for task in list(self._tasks.values()):
+                for task in tasks:
                     task.apply_rates(self._state, now)
         finally:
             self._in_recompute = False

@@ -58,15 +58,28 @@ class PrefetchProfile:
 class PrefetcherBank:
     """Per-core prefetcher enable bits for a whole machine."""
 
+    #: Bound on the per-cpuset fraction memo (cpusets are few and stable).
+    _FRACTION_MEMO_SIZE = 256
+
     def __init__(self, total_cores: int) -> None:
         if total_cores <= 0:
             raise ConfigurationError("total_cores must be positive")
         self._enabled = [True] * total_cores
+        #: Bumped on every state change; versions the fraction memo.
+        self._version = 0
+        #: cpuset -> (version, fraction). The solver asks for the same few
+        #: cpusets on every solve, so this is consulted on the hot path.
+        self._fraction_memo: dict[frozenset[int], tuple[int, float]] = {}
 
     @property
     def total_cores(self) -> int:
         """Number of cores tracked."""
         return len(self._enabled)
+
+    @property
+    def version(self) -> int:
+        """Monotonic state-change counter (for external memo keys)."""
+        return self._version
 
     def is_enabled(self, core: int) -> bool:
         """Whether ``core``'s prefetchers are on."""
@@ -76,19 +89,30 @@ class PrefetcherBank:
     def set_enabled(self, core: int, enabled: bool) -> None:
         """Enable or disable ``core``'s prefetchers."""
         self._check(core)
-        self._enabled[core] = enabled
+        if self._enabled[core] != enabled:
+            self._enabled[core] = enabled
+            self._version += 1
 
     def enabled_fraction(self, cores: frozenset[int]) -> float:
         """Fraction of the given cores with prefetchers enabled."""
         if not cores:
             return 1.0
+        memo = self._fraction_memo.get(cores)
+        if memo is not None and memo[0] == self._version:
+            return memo[1]
         for core in cores:
             self._check(core)
         on = sum(1 for core in cores if self._enabled[core])
-        return on / len(cores)
+        fraction = on / len(cores)
+        if len(self._fraction_memo) >= self._FRACTION_MEMO_SIZE:
+            self._fraction_memo.clear()
+        self._fraction_memo[cores] = (self._version, fraction)
+        return fraction
 
     def enable_all(self) -> None:
         """Re-enable prefetchers on every core."""
+        if not all(self._enabled):
+            self._version += 1
         self._enabled = [True] * len(self._enabled)
 
     def _check(self, core: int) -> None:

@@ -60,6 +60,16 @@ class TelemetryAccumulator:
         self._snapshot = TelemetrySnapshot()
         self._last_time = 0.0
         self._state: SolveResult | None = None
+        #: Flattened per-state signal rows so the hot :meth:`advance` loop
+        #: avoids attribute walks per segment. The solver cache interns
+        #: results, so the same few state objects recur; rows are memoized
+        #: per object (the memo pins the state to keep ids valid). Integration
+        #: stays eager and chronological on purpose: grouping spans per state
+        #: would regroup floating-point sums and break the bit-equivalence
+        #: between cache-on (interned states) and cache-off (fresh objects).
+        self._mc_rows: list[tuple[int, float, float, float]] = []
+        self._socket_rows: list[tuple[int, float]] = []
+        self._rows_memo: dict[int, tuple] = {}
         #: How many distinct solve states have been installed. Together with
         #: ``Machine.solver_stats`` this shows how much work the signature
         #: short-circuit is avoiding: skipped re-solves never land here.
@@ -74,32 +84,56 @@ class TelemetryAccumulator:
         """Switch to a new constant state, integrating the previous one."""
         self.advance(now)
         self._state = state
+        memo = self._rows_memo.get(id(state))
+        if memo is not None and memo[0] is state:
+            self._mc_rows = memo[1]
+            self._socket_rows = memo[2]
+        else:
+            self._mc_rows = [
+                (mc_id, load.delivered_gbps, load.latency_factor, load.saturation)
+                for mc_id, load in state.mc_loads.items()
+            ]
+            self._socket_rows = [
+                (socket_id, pressure.core_throttle)
+                for socket_id, pressure in state.socket_pressures.items()
+            ]
+            if len(self._rows_memo) >= 128:
+                self._rows_memo.clear()
+            self._rows_memo[id(state)] = (state, self._mc_rows, self._socket_rows)
+            # Seed the integral dicts so :meth:`advance` can use plain
+            # ``d[k] += x`` (no per-row ``dict.get`` bound-method call).
+            # ``0.0 + value * dt`` is the exact expression the missing-key
+            # path computed, so the integrals are bit-identical.
+            snap = self._snapshot
+            for mc_id, _, _, _ in self._mc_rows:
+                snap.mc_bytes.setdefault(mc_id, 0.0)
+                snap.mc_latency.setdefault(mc_id, 0.0)
+                snap.mc_saturation.setdefault(mc_id, 0.0)
+            for socket_id, _ in self._socket_rows:
+                snap.socket_throttle.setdefault(socket_id, 0.0)
         self.state_changes += 1
 
     def advance(self, now: float) -> None:
         """Integrate the current state up to ``now``."""
         dt = now - self._last_time
-        if dt < 0:
-            dt = 0.0
-        if self._state is not None and dt > 0:
+        if dt <= 0:
+            # Time did not move (or moved backwards, which integrates as
+            # zero width): the integrals are already up to date.
+            return
+        if self._state is not None:
             snap = self._snapshot
-            for mc_id, load in self._state.mc_loads.items():
-                snap.mc_bytes[mc_id] = (
-                    snap.mc_bytes.get(mc_id, 0.0) + load.delivered_gbps * dt
-                )
-                snap.mc_latency[mc_id] = (
-                    snap.mc_latency.get(mc_id, 0.0) + load.latency_factor * dt
-                )
-                snap.mc_saturation[mc_id] = (
-                    snap.mc_saturation.get(mc_id, 0.0) + load.saturation * dt
-                )
-            for socket_id, pressure in self._state.socket_pressures.items():
-                snap.socket_throttle[socket_id] = (
-                    snap.socket_throttle.get(socket_id, 0.0)
-                    + pressure.core_throttle * dt
-                )
-        self._last_time = max(self._last_time, now)
-        self._snapshot.time = self._last_time
+            mc_bytes = snap.mc_bytes
+            mc_latency = snap.mc_latency
+            mc_saturation = snap.mc_saturation
+            socket_throttle = snap.socket_throttle
+            for mc_id, delivered, latency, saturation in self._mc_rows:
+                mc_bytes[mc_id] += delivered * dt
+                mc_latency[mc_id] += latency * dt
+                mc_saturation[mc_id] += saturation * dt
+            for socket_id, throttle in self._socket_rows:
+                socket_throttle[socket_id] += throttle * dt
+        self._last_time = now
+        self._snapshot.time = now
 
     def window_since(self, previous: TelemetrySnapshot, now: float) -> TelemetryWindow:
         """Averages between a previously-copied snapshot and ``now``.

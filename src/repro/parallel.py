@@ -1,40 +1,78 @@
-"""Deterministic process-pool sweep runner for the experiment suite.
+"""Deterministic persistent-worker sweep engine for the experiment suite.
 
 Every per-figure driver is a sweep: a list of independent *points* (one
 colocation run, one sensitivity placement, one fleet block) mapped through a
 pure evaluation function. This module provides one primitive —
 :func:`run_points` — that evaluates such a sweep either serially or on a
-``ProcessPoolExecutor``, with three guarantees:
+persistent :class:`SweepPool` of worker processes, with four guarantees:
 
 1. **Determinism.** Before each point, the worker's global RNGs (``random``
-   and legacy ``numpy.random``) are re-seeded from ``(base_seed, index)``.
-   The serial path applies *the same* re-seeding, so ``jobs=1`` and
-   ``jobs=8`` produce bit-identical results for the same points.
+   and legacy ``numpy.random``) are re-seeded from ``(base_seed, index)``
+   where ``index`` is the point's *absolute* position in the sweep. The
+   serial path applies *the same* re-seeding, so ``jobs=1`` and ``jobs=8``
+   (and any chunk size) produce bit-identical results for the same points.
 2. **Order.** Results come back in point order, never completion order.
 3. **Purity requirements.** The evaluation function must be a module-level
    callable (picklable) and must not depend on mutable process-global state
    other than the re-seeded RNGs; experiment drivers satisfy this because a
    point builds its own ``Simulator``/``Machine`` from scratch.
+4. **Warm workers.** Workers persist across :func:`run_points` calls (the
+   pool is reused while the worker count and shared context are unchanged),
+   so process-global memo state — most importantly the contention solver's
+   shared solve cache — survives from one point, chunk, and sweep to the
+   next instead of being rebuilt per point.
+
+Points are shipped to workers in contiguous *chunks* (amortizing pickling
+and scheduling overhead), and at most ``2 x workers`` chunks are in flight
+at once so huge sweeps don't materialize their whole argument list in the
+executor's call queue.
 
 ``jobs=None`` falls back to the ``REPRO_JOBS`` environment variable (then
 to 1), so wrapping scripts can parallelize a whole pipeline without
-threading the flag through every call site.
+threading the flag through every call site. Single-core hosts fall back to
+the serial path automatically: a process pool on one CPU only adds
+serialization overhead.
+
+Setting ``REPRO_PROFILE=1`` also forces the serial path so that the
+per-experiment :func:`maybe_profiled` cProfile hook observes the real work
+in-process rather than an idle parent waiting on futures.
 """
 
 from __future__ import annotations
 
+import atexit
+import cProfile
 import os
 import random
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, Sequence
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import ExperimentError
 
 #: Environment variable consulted when ``jobs`` is not given explicitly.
 JOBS_ENV = "REPRO_JOBS"
 
+#: Environment variable overriding the automatic chunk size.
+CHUNK_ENV = "REPRO_SWEEP_CHUNK"
+
+#: Environment variable enabling the opt-in cProfile hook (and forcing the
+#: serial path so the profile captures the actual point evaluations).
+PROFILE_ENV = "REPRO_PROFILE"
+
+#: Environment variable naming the directory ``.prof`` dumps land in
+#: (defaults to the current working directory).
+PROFILE_DIR_ENV = "REPRO_PROFILE_DIR"
+
 #: Default base seed mixed into per-point RNG re-seeding.
 DEFAULT_BASE_SEED = 0
+
+#: Upper bound on the automatic chunk size.
+_MAX_AUTO_CHUNK = 64
+
+#: In-flight chunk budget per worker (backpressure bound).
+_INFLIGHT_PER_WORKER = 2
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -53,6 +91,33 @@ def resolve_jobs(jobs: int | None = None) -> int:
     if jobs < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
     return jobs
+
+
+def profiling_enabled() -> bool:
+    """Whether the opt-in ``REPRO_PROFILE=1`` cProfile hook is active."""
+    return os.environ.get(PROFILE_ENV, "").strip() in {"1", "true", "yes", "on"}
+
+
+@contextmanager
+def maybe_profiled(name: str) -> Iterator[None]:
+    """Profile the enclosed block when ``REPRO_PROFILE=1``.
+
+    Dumps ``<name>.prof`` (pstats format) into ``REPRO_PROFILE_DIR`` or the
+    current working directory. A no-op when profiling is disabled, so hot
+    paths can wrap themselves unconditionally.
+    """
+    if not profiling_enabled():
+        yield
+        return
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield
+    finally:
+        profile.disable()
+        out_dir = os.environ.get(PROFILE_DIR_ENV, "").strip() or os.getcwd()
+        os.makedirs(out_dir, exist_ok=True)
+        profile.dump_stats(os.path.join(out_dir, f"{name}.prof"))
 
 
 def point_seed(base_seed: int, index: int) -> int:
@@ -87,29 +152,252 @@ def _eval_point(
     return fn(point)
 
 
+# --------------------------------------------------------------------------
+# Worker-side shared context
+# --------------------------------------------------------------------------
+
+#: Immutable context shipped once per worker by the pool initializer (and
+#: installed by the serial path for symmetry). ``None`` when no sweep set one.
+_WORKER_CONTEXT: Any = None
+
+
+def _init_worker(context: Any) -> None:
+    """Pool initializer: install the sweep's shared immutable context."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def sweep_context() -> Any:
+    """The shared context of the active sweep (``None`` outside one).
+
+    Evaluation functions use this to reach large shared *read-only* inputs
+    (a spec table, a trace, a config object) that would otherwise be pickled
+    into every chunk; the pool ships it once per worker instead.
+    """
+    return _WORKER_CONTEXT
+
+
+def _eval_chunk(
+    fn: Callable[[Any], Any],
+    start: int,
+    points: Sequence[Any],
+    base_seed: int,
+) -> list[Any]:
+    """Worker body: evaluate one contiguous chunk of points.
+
+    Each point is re-seeded from its *absolute* sweep index, so results are
+    independent of how the sweep was chunked.
+    """
+    return [
+        _eval_point(fn, start + offset, point, base_seed)
+        for offset, point in enumerate(points)
+    ]
+
+
+# --------------------------------------------------------------------------
+# The persistent pool
+# --------------------------------------------------------------------------
+
+
+class SweepPool:
+    """A reusable pool of warm worker processes for chunked sweeps.
+
+    Workers are spawned once and survive across :meth:`map_points` calls, so
+    process-global memo state (the solver's shared solve cache above all)
+    stays warm from sweep to sweep. An optional immutable ``context`` object
+    is shipped to each worker exactly once via the pool initializer and is
+    readable through :func:`sweep_context`.
+    """
+
+    def __init__(self, workers: int, context: Any = None) -> None:
+        if workers < 1:
+            raise ExperimentError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.context = context
+        self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(context,),
+        )
+
+    # ------------------------------------------------------------- mapping
+    def map_points(
+        self,
+        fn: Callable[[Any], Any],
+        points: Sequence[Any] | Iterable[Any],
+        base_seed: int = DEFAULT_BASE_SEED,
+        chunk_size: int | None = None,
+    ) -> list[Any]:
+        """Evaluate ``fn`` over ``points`` on the pool, in point order.
+
+        Points are shipped in contiguous chunks; at most ``2 x workers``
+        chunks are in flight at a time, so arbitrarily long sweeps exert
+        bounded memory pressure on the executor's call queue.
+        """
+        if self._pool is None:
+            raise ExperimentError("SweepPool is closed")
+        points = list(points)
+        n = len(points)
+        if n == 0:
+            return []
+        size = self._resolve_chunk_size(n, chunk_size)
+        results: list[Any] = [None] * n
+        starts = iter(range(0, n, size))
+        inflight: deque[tuple[int, Future]] = deque()
+
+        def submit_next() -> bool:
+            start = next(starts, None)
+            if start is None:
+                return False
+            inflight.append(
+                (
+                    start,
+                    self._pool.submit(
+                        _eval_chunk, fn, start, points[start : start + size],
+                        base_seed,
+                    ),
+                )
+            )
+            return True
+
+        budget = self.workers * _INFLIGHT_PER_WORKER
+        while len(inflight) < budget and submit_next():
+            pass
+        while inflight:
+            start, future = inflight.popleft()
+            chunk_results = future.result()
+            results[start : start + len(chunk_results)] = chunk_results
+            submit_next()
+        return results
+
+    def _resolve_chunk_size(self, n_points: int, chunk_size: int | None) -> int:
+        """Explicit size > ``REPRO_SWEEP_CHUNK`` > automatic sizing."""
+        if chunk_size is None:
+            raw = os.environ.get(CHUNK_ENV, "").strip()
+            if raw:
+                try:
+                    chunk_size = int(raw)
+                except ValueError:
+                    raise ExperimentError(
+                        f"{CHUNK_ENV}={raw!r} is not an integer"
+                    ) from None
+        if chunk_size is not None:
+            if chunk_size < 1:
+                raise ExperimentError(
+                    f"chunk size must be >= 1, got {chunk_size}"
+                )
+            return chunk_size
+        # Aim for ~4 chunks per worker (load-balance slack without
+        # per-point scheduling overhead), capped for cache friendliness.
+        target = -(-n_points // (self.workers * 4))
+        return max(1, min(_MAX_AUTO_CHUNK, target))
+
+    # ----------------------------------------------------------- lifecycle
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._pool is None
+
+    def close(self) -> None:
+        """Shut the worker processes down. Idempotent."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+#: The process-wide reusable pool (single entry: consecutive sweeps almost
+#: always share one worker count and context).
+_ACTIVE_POOL: SweepPool | None = None
+
+
+def get_pool(workers: int, context: Any = None) -> SweepPool:
+    """The shared persistent pool, recreated only when its shape changes.
+
+    Reuses the live pool while ``workers`` and ``context`` (by identity)
+    match; otherwise the old pool is shut down and a fresh one spawned.
+    """
+    global _ACTIVE_POOL
+    pool = _ACTIVE_POOL
+    if (
+        pool is not None
+        and not pool.closed
+        and pool.workers == workers
+        and pool.context is context
+    ):
+        return pool
+    if pool is not None:
+        pool.close()
+    _ACTIVE_POOL = SweepPool(workers, context)
+    return _ACTIVE_POOL
+
+
+def shutdown_pool() -> None:
+    """Shut down the shared persistent pool (tests, interpreter exit)."""
+    global _ACTIVE_POOL
+    if _ACTIVE_POOL is not None:
+        _ACTIVE_POOL.close()
+        _ACTIVE_POOL = None
+
+
+atexit.register(shutdown_pool)
+
+
+# --------------------------------------------------------------------------
+# The sweep primitive
+# --------------------------------------------------------------------------
+
+
 def run_points(
     fn: Callable[[Any], Any],
     points: Sequence[Any] | Iterable[Any],
     jobs: int | None = None,
     base_seed: int = DEFAULT_BASE_SEED,
+    chunk_size: int | None = None,
+    context: Any = None,
+    force_pool: bool = False,
 ) -> list[Any]:
-    """Evaluate ``fn`` over ``points``, serially or on a process pool.
+    """Evaluate ``fn`` over ``points``, serially or on the persistent pool.
 
     ``fn`` must be a module-level (picklable) callable taking one point.
     Results are returned in point order; the per-point RNG re-seeding makes
-    the output independent of ``jobs``.
+    the output bit-identical for every ``jobs`` and ``chunk_size``.
+
+    Falls back to the serial path when any of these hold (a process pool
+    would only add overhead, never throughput):
+
+    - ``jobs`` resolves to 1, or the sweep has at most one point;
+    - the host has a single CPU (unless ``force_pool``, used by tests);
+    - ``REPRO_PROFILE=1`` is set (the profile must see the real work).
+
+    ``context`` is an immutable object shipped once per worker (and
+    installed process-locally on the serial path) — see :func:`sweep_context`.
     """
     points = list(points)
     jobs = resolve_jobs(jobs)
-    if jobs == 1 or len(points) <= 1:
-        return [
-            _eval_point(fn, index, point, base_seed)
-            for index, point in enumerate(points)
-        ]
+    cpus = os.cpu_count() or 1
+    serial = (
+        jobs == 1
+        or len(points) <= 1
+        or (cpus == 1 and not force_pool)
+        or profiling_enabled()
+    )
+    if serial:
+        global _WORKER_CONTEXT
+        previous = _WORKER_CONTEXT
+        _WORKER_CONTEXT = context
+        try:
+            return [
+                _eval_point(fn, index, point, base_seed)
+                for index, point in enumerate(points)
+            ]
+        finally:
+            _WORKER_CONTEXT = previous
     workers = min(jobs, len(points))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(_eval_point, fn, index, point, base_seed)
-            for index, point in enumerate(points)
-        ]
-        return [f.result() for f in futures]
+    pool = get_pool(workers, context)
+    return pool.map_points(fn, points, base_seed=base_seed, chunk_size=chunk_size)

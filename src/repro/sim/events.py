@@ -3,35 +3,23 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 _SEQUENCE = itertools.count()
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback, doubling as its own cancellation handle.
 
     Events order by ``(time, priority, sequence)``. ``priority`` breaks ties
     between events at the same instant — lower runs first — which matters when
     a controller tick and a phase completion land on the same timestamp.
     ``sequence`` keeps ordering deterministic for equal (time, priority).
-    """
 
-    time: float
-    priority: int
-    sequence: int = field(init=False)
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
-
-    def __post_init__(self) -> None:
-        self.sequence = next(_SEQUENCE)
-
-
-class EventHandle:
-    """A cancellable reference to a scheduled :class:`Event`.
+    A hand-rolled class rather than a dataclass, and handle-and-event in one
+    object: the engine creates one per scheduled callback, which makes both
+    construction cost and allocation count part of the simulator's per-event
+    overhead.
 
     The engine never removes cancelled events from the heap eagerly; it skips
     them when they surface. Cancellation is therefore O(1). The engine may,
@@ -40,33 +28,64 @@ class EventHandle:
     exact count without scanning.
     """
 
-    __slots__ = ("_event", "_on_cancel")
+    __slots__ = (
+        "time",
+        "priority",
+        "sequence",
+        "callback",
+        "label",
+        "cancelled",
+        "on_cancel",
+    )
 
     def __init__(
-        self, event: Event, on_cancel: Callable[[Event], None] | None = None
+        self,
+        time: float,
+        priority: int,
+        callback: Callable[[], None],
+        label: str = "",
+        on_cancel: "Callable[[Event], None] | None" = None,
     ) -> None:
-        self._event = event
-        self._on_cancel = on_cancel
-
-    @property
-    def time(self) -> float:
-        """The simulated time the event is scheduled for."""
-        return self._event.time
-
-    @property
-    def label(self) -> str:
-        """The human-readable label given at scheduling time."""
-        return self._event.label
-
-    @property
-    def cancelled(self) -> bool:
-        """Whether :meth:`cancel` has been called."""
-        return self._event.cancelled
+        self.time = time
+        self.priority = priority
+        self.sequence = next(_SEQUENCE)
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self.on_cancel = on_cancel
 
     def cancel(self) -> None:
-        """Prevent the event's callback from running. Idempotent."""
-        if self._event.cancelled:
+        """Prevent the callback from running. Idempotent."""
+        if self.cancelled:
             return
-        self._event.cancelled = True
-        if self._on_cancel is not None:
-            self._on_cancel(self._event)
+        self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel(self)
+
+    def _key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.sequence)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "Event") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "Event") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "Event") -> bool:
+        return self._key() >= other._key()
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time!r}, priority={self.priority!r}, "
+            f"sequence={self.sequence!r}, label={self.label!r}, "
+            f"cancelled={self.cancelled!r})"
+        )
+
+
+#: Historical name for the cancellable reference :meth:`Simulator.at`
+#: returns. Events now carry their own ``cancel``; the alias keeps type
+#: hints and imports working.
+EventHandle = Event

@@ -44,13 +44,17 @@ class FluidWork:
 
     def sync(self, now: float) -> None:
         """Integrate progress at the current rate up to ``now``."""
-        if now < self._last_sync - 1e-9:
-            raise SimulationError(
-                f"sync moving backwards: {now} < {self._last_sync}"
-            )
-        elapsed = max(0.0, now - self._last_sync)
-        if elapsed > 0.0 and self._rate > 0.0:
-            self._remaining = max(0.0, self._remaining - self._rate * elapsed)
+        elapsed = now - self._last_sync
+        if elapsed <= 0.0:
+            if elapsed < -1e-9:
+                raise SimulationError(
+                    f"sync moving backwards: {now} < {self._last_sync}"
+                )
+            self._last_sync = now
+            return
+        if self._rate > 0.0:
+            drained = self._remaining - self._rate * elapsed
+            self._remaining = drained if drained > 0.0 else 0.0
         self._last_sync = now
 
     def set_rate(self, rate: float, *, now: float) -> None:

@@ -105,6 +105,11 @@ class Task:
         #: no progress (the freezer/empty-cpuset state a controller puts a
         #: task in when it throttles it to zero cores).
         self.parked = False
+        #: (profile, suffix, demand_scale) -> TrafficSource. Sources are
+        #: immutable and derive only from the profile and the placement, so
+        #: reusing instances keeps their memoized canonical keys warm across
+        #: solves; cleared whenever the placement (or parked state) changes.
+        self._source_cache: dict[tuple, TrafficSource] = {}
 
     # ----------------------------------------------------------- placement
     @property
@@ -115,6 +120,7 @@ class Task:
     def set_placement(self, placement: Placement) -> None:
         """Adopt a new placement and trigger a contention re-solve."""
         self._placement = placement
+        self._source_cache.clear()
         if self.started:
             self.machine.notify_change()
 
@@ -129,6 +135,7 @@ class Task:
         if parked == self.parked:
             return
         self.parked = parked
+        self._source_cache.clear()
         if self.started:
             self.machine.notify_change()
 
@@ -164,8 +171,18 @@ class Task:
     def _make_source(
         self, profile: HostPhaseProfile, suffix: str = "host", demand_scale: float = 1.0
     ) -> TrafficSource:
-        """Build a traffic source for a host phase under this placement."""
-        return TrafficSource(
+        """Build a traffic source for a host phase under this placement.
+
+        Instances are cached until the placement changes: the solver memoizes
+        per-source canonical keys on the instance, so handing it the same
+        object for the same (profile, placement) makes repeat signature
+        computations nearly free.
+        """
+        key = (profile, suffix, demand_scale)
+        cached = self._source_cache.get(key)
+        if cached is not None:
+            return cached
+        source = TrafficSource(
             source_id=f"{self.task_id}:{suffix}",
             task_id=self.task_id,
             demand_gbps=profile.bw_gbps * demand_scale,
@@ -182,3 +199,5 @@ class Task:
             smt_aggression=profile.smt_aggression,
             smt_sensitivity=profile.smt_sensitivity,
         )
+        self._source_cache[key] = source
+        return source

@@ -71,6 +71,9 @@ class BatchTask(Task):
         self.profile = profile
         self.meter = ThroughputMeter(warmup_until=warmup_until)
         self._speed = 0.0
+        #: id(result) -> (result, speed); solve results are interned by the
+        #: solver cache so the same few identities recur.
+        self._speed_memo: dict[int, tuple] = {}
 
     # ---------------------------------------------------------- protocol
     def traffic_sources(self) -> list[TrafficSource]:
@@ -86,10 +89,22 @@ class BatchTask(Task):
             self._speed = 0.0
             self.meter.set_rate(0.0, now)
             return
-        rates = result.rates_for(f"{self.task_id}:host")
-        self._speed = phase_speed(rates, self.profile.phase)
+        memo = self._speed_memo.get(id(result))
+        if memo is not None and memo[0] is result:
+            speed = memo[1]
+            if speed == self._speed:
+                # The meter already drains at this rate; integration is
+                # linear, so re-installing the same rate is a no-op.
+                return
+        else:
+            rates = result.rates_for(f"{self.task_id}:host")
+            speed = phase_speed(rates, self.profile.phase)
+            if len(self._speed_memo) >= 128:
+                self._speed_memo.clear()
+            self._speed_memo[id(result)] = (result, speed)
+        self._speed = speed
         nominal = self.profile.unit_rate_per_thread * self.profile.phase.threads
-        self.meter.set_rate(nominal * self._speed, now)
+        self.meter.set_rate(nominal * speed, now)
 
     # ----------------------------------------------------------- metrics
     @property

@@ -104,6 +104,10 @@ class TrainingTask(Task):
         self._host_speed = 1.0
         self._accel_pending = False
         self._host_pending = False
+        #: (id(result), id(profile)) -> (result, profile, speed). Solve
+        #: results are interned by the solver cache, so the same handful of
+        #: identities recurs; pinning the refs keeps ids valid.
+        self._speed_memo: dict[tuple[int, int], tuple] = {}
 
     # ----------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -124,17 +128,38 @@ class TrainingTask(Task):
         return [self._make_source(self._host_profile)]
 
     def sync(self, now: float) -> None:
-        if self._host_work is not None:
-            self._host_work.sync(now)
-        self.meter.sync(now)
+        # Deliberately lazy: fluid drain is linear between rate changes, so
+        # deferred integration is lossless. The host work self-syncs inside
+        # every ``set_rate`` and at phase completion, and the step meter
+        # (rate 0, discrete ``add_units`` credits) syncs in ``_finish_step``
+        # and on every ``throughput`` read.
+        pass
 
     def apply_rates(self, result: SolveResult, now: float) -> None:
-        if self._host_work is None or self._host_profile is None:
+        work = self._host_work
+        profile = self._host_profile
+        if work is None or profile is None:
             return
-        rates = result.rates_for(f"{self.task_id}:host")
-        self._host_speed = phase_speed(rates, self._host_profile)
-        self._host_work.set_rate(self._host_speed, now=now)
+        speed = self._phase_speed_for(result, profile)
+        handle = self._host_handle
+        if speed == self._host_speed and handle is not None and not handle.cancelled:
+            # Rate unchanged and a completion event is pending: fluid
+            # progress is linear, so the scheduled instant is still exact.
+            return
+        self._host_speed = speed
+        work.set_rate(speed, now=now)
         self._reschedule_host()
+
+    def _phase_speed_for(self, result: SolveResult, profile: HostPhaseProfile) -> float:
+        key = (id(result), id(profile))
+        memo = self._speed_memo.get(key)
+        if memo is not None and memo[0] is result and memo[1] is profile:
+            return memo[2]
+        speed = phase_speed(result.rates_for(f"{self.task_id}:host"), profile)
+        if len(self._speed_memo) >= 128:
+            self._speed_memo.clear()
+        self._speed_memo[key] = (result, profile, speed)
+        return speed
 
     # ------------------------------------------------------------- metrics
     def performance(self, measurement_end: float) -> float:
@@ -233,17 +258,32 @@ class TrainingTask(Task):
         self.machine.notify_change()  # publishes the new source; sets rates
 
     def _reschedule_host(self) -> None:
-        if self._host_handle is not None:
-            self._host_handle.cancel()
-            self._host_handle = None
         if self._host_work is None:
+            self._cancel_host_handle()
             return
         eta = self._host_work.eta()
         if eta == float("inf"):
+            self._cancel_host_handle()
             return
+        handle = self._host_handle
+        if (
+            handle is not None
+            and not handle.cancelled
+            and handle.time == self.sim.now + eta
+        ):
+            # The pending completion event already fires at exactly the
+            # recomputed instant (typical when a re-solve leaves this task's
+            # rate unchanged) — keep it instead of churning the event heap.
+            return
+        self._cancel_host_handle()
         self._host_handle = self.sim.after(
             eta, self._host_phase_event, label=f"{self.task_id}:host"
         )
+
+    def _cancel_host_handle(self) -> None:
+        if self._host_handle is not None:
+            self._host_handle.cancel()
+            self._host_handle = None
 
     def _host_phase_event(self) -> None:
         if self._host_work is None:
@@ -313,7 +353,7 @@ class InferenceSpec:
         return self.target_load_fraction * self.standalone_capacity(accel_spec, cores)
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class _Lane:
     """One in-flight request."""
 
@@ -321,6 +361,9 @@ class _Lane:
     iteration: int = 0
     work: FluidWork | None = None
     handle: EventHandle | None = None
+    #: Completion callback, built once per lane so rate-change reschedules
+    #: don't allocate a fresh closure each time.
+    finisher: Callable[[], None] | None = None
 
 
 class InferenceServerTask(Task):
@@ -350,6 +393,9 @@ class InferenceServerTask(Task):
         self._lanes: set[_Lane] = set()
         self._host_lanes: set[_Lane] = set()
         self._host_speed = 1.0
+        #: id(result) -> (result, speed); see TrainingTask._speed_memo.
+        self._speed_memo: dict[int, tuple] = {}
+        self._lane_label = f"{task_id}:lane"
         self.submitted = 0
 
     # ----------------------------------------------------------- submission
@@ -379,40 +425,64 @@ class InferenceServerTask(Task):
         if not self.started or not self._host_lanes:
             return []
         n = len(self._host_lanes)
-        profile = self.spec.host
-        source = TrafficSource(
-            source_id=f"{self.task_id}:host",
-            task_id=self.task_id,
-            demand_gbps=profile.bw_gbps * n,
-            mem_weights=self.placement.mem_weights,
-            cores=self.placement.cores,
-            threads=profile.threads * n,
-            clos=self.placement.clos,
-            priority=self.priority,
-            prefetch=profile.prefetch,
-            working_set_mb=profile.working_set_mb * min(n, 4),
-            llc_intensity=profile.llc_intensity,
-            llc_miss_traffic_gain=profile.llc_miss_traffic_gain,
-            llc_speed_sensitivity=profile.llc_speed_sensitivity,
-            smt_aggression=profile.smt_aggression,
-            smt_sensitivity=profile.smt_sensitivity,
-        )
+        key = ("lanes", n)
+        source = self._source_cache.get(key)
+        if source is None:
+            profile = self.spec.host
+            source = TrafficSource(
+                source_id=f"{self.task_id}:host",
+                task_id=self.task_id,
+                demand_gbps=profile.bw_gbps * n,
+                mem_weights=self.placement.mem_weights,
+                cores=self.placement.cores,
+                threads=profile.threads * n,
+                clos=self.placement.clos,
+                priority=self.priority,
+                prefetch=profile.prefetch,
+                working_set_mb=profile.working_set_mb * min(n, 4),
+                llc_intensity=profile.llc_intensity,
+                llc_miss_traffic_gain=profile.llc_miss_traffic_gain,
+                llc_speed_sensitivity=profile.llc_speed_sensitivity,
+                smt_aggression=profile.smt_aggression,
+                smt_sensitivity=profile.smt_sensitivity,
+            )
+            self._source_cache[key] = source
         return [source]
 
     def sync(self, now: float) -> None:
-        for lane in self._host_lanes:
-            if lane.work is not None:
-                lane.work.sync(now)
+        # Deliberately lazy: lane works self-sync inside every ``set_rate``
+        # and at completion, and nothing reads their remaining work between
+        # rate changes, so eager integration here would be pure overhead.
+        pass
 
     def apply_rates(self, result: SolveResult, now: float) -> None:
         if not self._host_lanes:
             return
-        rates = result.rates_for(f"{self.task_id}:host")
-        self._host_speed = phase_speed(rates, self.spec.host)
-        for lane in list(self._host_lanes):
+        memo = self._speed_memo.get(id(result))
+        if memo is not None and memo[0] is result:
+            speed = memo[1]
+        else:
+            rates = result.rates_for(f"{self.task_id}:host")
+            speed = phase_speed(rates, self.spec.host)
+            if len(self._speed_memo) >= 128:
+                self._speed_memo.clear()
+            self._speed_memo[id(result)] = (result, speed)
+        unchanged = speed == self._host_speed
+        self._host_speed = speed
+        # Safe to iterate the live set: nothing below mutates membership
+        # (completion callbacks only run from the event loop, never inline).
+        for lane in self._host_lanes:
             if lane.work is None:
                 continue
-            lane.work.set_rate(self._host_speed, now=now)
+            if (
+                unchanged
+                and lane.handle is not None
+                and not lane.handle.cancelled
+            ):
+                # This lane already runs at ``speed`` with a valid pending
+                # completion event — both its rate and event time are exact.
+                continue
+            lane.work.set_rate(speed, now=now)
             self._reschedule(lane)
 
     # ------------------------------------------------------------- metrics
@@ -427,6 +497,7 @@ class InferenceServerTask(Task):
     # ------------------------------------------------------------ internal
     def _start_lane(self, request_start: float) -> None:
         lane = _Lane(request_start=request_start)
+        lane.finisher = lambda: self._host_complete(lane)
         self._lanes.add(lane)
         self._enter_host(lane)
 
@@ -438,17 +509,27 @@ class InferenceServerTask(Task):
         self.machine.notify_change()
 
     def _reschedule(self, lane: _Lane) -> None:
-        if lane.handle is not None:
-            lane.handle.cancel()
-            lane.handle = None
         if lane.work is None:
+            if lane.handle is not None:
+                lane.handle.cancel()
+                lane.handle = None
             return
         eta = lane.work.eta()
         if eta == float("inf"):
+            if lane.handle is not None:
+                lane.handle.cancel()
+                lane.handle = None
             return
-        lane.handle = self.sim.after(
-            eta, lambda: self._host_complete(lane), label=f"{self.task_id}:lane"
-        )
+        if (
+            lane.handle is not None
+            and not lane.handle.cancelled
+            and lane.handle.time == self.sim.now + eta
+        ):
+            # Unchanged completion instant — keep the pending event.
+            return
+        if lane.handle is not None:
+            lane.handle.cancel()
+        lane.handle = self.sim.after(eta, lane.finisher, label=self._lane_label)
 
     def _host_complete(self, lane: _Lane) -> None:
         if lane.work is None:

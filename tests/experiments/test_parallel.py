@@ -7,7 +7,10 @@ a deterministic ``(base_seed, index)`` re-seed and fixed work partitioning.
 
 from __future__ import annotations
 
+import os
+import pstats
 import random
+from concurrent.futures import Future
 
 import numpy as np
 import pytest
@@ -15,7 +18,20 @@ import pytest
 from repro.cluster.fleet import FLEET_BLOCK_MACHINES, FleetSurvey
 from repro.errors import ExperimentError
 from repro.experiments.suite import run_suite
-from repro.parallel import point_seed, resolve_jobs, run_points
+from repro.parallel import (
+    CHUNK_ENV,
+    PROFILE_DIR_ENV,
+    PROFILE_ENV,
+    SweepPool,
+    get_pool,
+    maybe_profiled,
+    point_seed,
+    profiling_enabled,
+    resolve_jobs,
+    run_points,
+    shutdown_pool,
+    sweep_context,
+)
 
 
 def _square(x: int) -> int:
@@ -25,6 +41,15 @@ def _square(x: int) -> int:
 def _draw(x: int) -> tuple[int, float, float]:
     """Uses both global RNGs: exercises the per-point re-seeding."""
     return (x, random.random(), float(np.random.random()))
+
+
+def _read_context(x: int) -> tuple[int, object]:
+    """Returns the worker-visible shared sweep context."""
+    return (x, sweep_context())
+
+
+def _getpid(_: int) -> int:
+    return os.getpid()
 
 
 class TestResolveJobs:
@@ -83,6 +108,226 @@ class TestRunPoints:
 
     def test_empty_points(self) -> None:
         assert run_points(_square, []) == []
+
+
+class TestChunkedDeterminism:
+    """Results must not depend on worker count or chunk geometry.
+
+    23 points is prime, so none of the tried chunk sizes divides it evenly —
+    every configuration ends on a ragged final chunk. ``force_pool`` makes
+    the pool path run even on single-CPU hosts (where ``run_points`` would
+    otherwise fall back to serial, making the test vacuous).
+    """
+
+    def test_results_invariant_across_jobs_and_chunks(self) -> None:
+        points = list(range(23))
+        serial = run_points(_draw, points, jobs=1, base_seed=17)
+        try:
+            for jobs in (2, 7):
+                for chunk in (1, 3, 5, None):
+                    got = run_points(
+                        _draw,
+                        points,
+                        jobs=jobs,
+                        base_seed=17,
+                        chunk_size=chunk,
+                        force_pool=True,
+                    )
+                    assert got == serial, f"jobs={jobs} chunk={chunk}"
+        finally:
+            shutdown_pool()
+
+
+class TestPointSeedStatistics:
+    def test_no_collisions_over_a_grid(self) -> None:
+        seeds = {point_seed(s, i) for s in range(4) for i in range(4096)}
+        assert len(seeds) == 4 * 4096
+
+    def test_adjacent_indices_are_uncorrelated(self) -> None:
+        xs = np.array([point_seed(123, i) for i in range(512)], dtype=float)
+        r = np.corrcoef(xs[:-1], xs[1:])[0, 1]
+        assert abs(r) < 0.1, f"lag-1 correlation {r}"
+
+    def test_adjacent_base_seeds_are_uncorrelated(self) -> None:
+        a = np.array([point_seed(9, i) for i in range(512)], dtype=float)
+        b = np.array([point_seed(10, i) for i in range(512)], dtype=float)
+        r = np.corrcoef(a, b)[0, 1]
+        assert abs(r) < 0.1, f"cross-seed correlation {r}"
+
+    def test_avalanche_between_neighbours(self) -> None:
+        # A well-mixed hash flips about half of the 32 output bits between
+        # consecutive indices.
+        flips = [
+            bin(point_seed(5, i) ^ point_seed(5, i + 1)).count("1")
+            for i in range(256)
+        ]
+        mean = sum(flips) / len(flips)
+        assert 13.0 <= mean <= 19.0, f"mean bit flips {mean}"
+
+
+class _TrackedFuture(Future):
+    """A completed future that reports consumption back to its executor."""
+
+    def __init__(self, owner: "_RecordingExecutor", value: object) -> None:
+        super().__init__()
+        self._owner = owner
+        self.set_result(value)
+
+    def result(self, timeout: float | None = None) -> object:
+        self._owner.outstanding -= 1
+        return super().result(timeout)
+
+
+class _RecordingExecutor:
+    """Stand-in executor measuring how many futures are pending at once."""
+
+    def __init__(self) -> None:
+        self.outstanding = 0
+        self.max_outstanding = 0
+        self.submissions = 0
+
+    def submit(self, fn, *args) -> Future:
+        self.submissions += 1
+        self.outstanding += 1
+        self.max_outstanding = max(self.max_outstanding, self.outstanding)
+        return _TrackedFuture(self, fn(*args))
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        pass
+
+
+class TestBackpressure:
+    def test_inflight_chunks_are_bounded(self) -> None:
+        """At most ``2 x workers`` chunks may be pending at any moment."""
+        pool = SweepPool.__new__(SweepPool)
+        pool.workers = 3
+        pool.context = None
+        recorder = _RecordingExecutor()
+        pool._pool = recorder
+        points = list(range(40))
+        results = pool.map_points(_square, points, chunk_size=1)
+        assert results == [x * x for x in points]
+        assert recorder.submissions == 40
+        assert recorder.max_outstanding == 3 * 2
+
+    def test_short_sweeps_never_overfill(self) -> None:
+        pool = SweepPool.__new__(SweepPool)
+        pool.workers = 4
+        pool.context = None
+        recorder = _RecordingExecutor()
+        pool._pool = recorder
+        assert pool.map_points(_square, [1, 2, 3], chunk_size=1) == [1, 4, 9]
+        assert recorder.max_outstanding == 3
+
+
+class TestSweepPoolLifecycle:
+    def test_close_is_idempotent_and_observable(self) -> None:
+        pool = SweepPool(workers=1)
+        assert not pool.closed
+        pool.close()
+        pool.close()
+        assert pool.closed
+
+    def test_map_after_close_raises(self) -> None:
+        pool = SweepPool(workers=1)
+        pool.close()
+        with pytest.raises(ExperimentError):
+            pool.map_points(_square, [1])
+
+    def test_context_manager_closes(self) -> None:
+        with SweepPool(workers=1) as pool:
+            assert pool.map_points(_square, [2, 3]) == [4, 9]
+        assert pool.closed
+
+    def test_get_pool_reuses_then_recreates(self) -> None:
+        try:
+            first = get_pool(2)
+            assert get_pool(2) is first  # same shape: same warm pool
+            third = get_pool(3)
+            assert third is not first
+            assert first.closed  # the replaced pool was shut down
+        finally:
+            shutdown_pool()
+
+    def test_invalid_worker_count(self) -> None:
+        with pytest.raises(ExperimentError):
+            SweepPool(workers=0)
+
+
+class TestSweepContext:
+    def test_serial_path_installs_and_restores(self) -> None:
+        context = ("trace", 42)
+        results = run_points(_read_context, [0, 1], jobs=1, context=context)
+        assert results == [(0, context), (1, context)]
+        assert sweep_context() is None  # restored after the sweep
+
+    def test_pool_workers_see_context(self) -> None:
+        context = ("trace", 42)
+        try:
+            results = run_points(
+                _read_context, list(range(6)), jobs=2, context=context,
+                force_pool=True,
+            )
+            assert [value for _, value in results] == [context] * 6
+        finally:
+            shutdown_pool()
+
+
+class TestChunkSizing:
+    def test_env_override(self, monkeypatch: pytest.MonkeyPatch) -> None:
+        pool = SweepPool.__new__(SweepPool)
+        pool.workers = 2
+        monkeypatch.setenv(CHUNK_ENV, "9")
+        assert pool._resolve_chunk_size(100, None) == 9
+        # An explicit argument beats the environment.
+        assert pool._resolve_chunk_size(100, 5) == 5
+
+    def test_bad_env_raises(self, monkeypatch: pytest.MonkeyPatch) -> None:
+        pool = SweepPool.__new__(SweepPool)
+        pool.workers = 2
+        monkeypatch.setenv(CHUNK_ENV, "lots")
+        with pytest.raises(ExperimentError):
+            pool._resolve_chunk_size(100, None)
+
+    def test_non_positive_chunk_raises(self) -> None:
+        pool = SweepPool.__new__(SweepPool)
+        pool.workers = 2
+        with pytest.raises(ExperimentError):
+            pool._resolve_chunk_size(100, 0)
+
+    def test_auto_sizing(self, monkeypatch: pytest.MonkeyPatch) -> None:
+        monkeypatch.delenv(CHUNK_ENV, raising=False)
+        pool = SweepPool.__new__(SweepPool)
+        pool.workers = 2
+        # ~4 chunks per worker, capped at 64, floor of 1.
+        assert pool._resolve_chunk_size(10, None) == 2
+        assert pool._resolve_chunk_size(1000, None) == 64
+        assert pool._resolve_chunk_size(3, None) == 1
+
+
+class TestProfilingHook:
+    def test_disabled_by_default(self, monkeypatch: pytest.MonkeyPatch) -> None:
+        monkeypatch.delenv(PROFILE_ENV, raising=False)
+        assert not profiling_enabled()
+
+    def test_dumps_loadable_profile(
+        self, monkeypatch: pytest.MonkeyPatch, tmp_path
+    ) -> None:
+        monkeypatch.setenv(PROFILE_ENV, "1")
+        monkeypatch.setenv(PROFILE_DIR_ENV, str(tmp_path))
+        with maybe_profiled("unit_probe"):
+            sum(range(1000))
+        out = tmp_path / "unit_probe.prof"
+        assert out.exists()
+        stats = pstats.Stats(str(out))
+        assert stats.total_calls > 0
+
+    def test_profiling_forces_serial(
+        self, monkeypatch: pytest.MonkeyPatch
+    ) -> None:
+        monkeypatch.setenv(PROFILE_ENV, "1")
+        pids = run_points(_getpid, [0, 1, 2], jobs=7, force_pool=True)
+        assert pids == [os.getpid()] * 3
 
 
 class TestFleetParallel:

@@ -1,0 +1,199 @@
+"""The solver's batch and incremental fast paths against the scalar path.
+
+Three pinned contracts:
+
+- ``solve_batch`` (the vectorized what-if fixed point) agrees with
+  ``solve_variant`` (the scalar semantic reference) to tight tolerance on
+  every output field, for arbitrary demand mixes and knob variants.
+- ``_solve_incremental`` (the small-knob-delta path) produces *bit-identical*
+  results to a full solve from scratch, and the ``incremental_solves``
+  counter makes its use observable.
+- Deltas outside the recognized shapes (structural source changes) fall
+  back to the full solve rather than reusing stale factors.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.contention import KnobVariant, Priority, TrafficSource
+from repro.hw.machine import Machine
+from repro.hw.spec import MachineSpec
+from repro.sim import Simulator
+
+#: Relative tolerance for batch-vs-scalar agreement. The two paths compute
+#: the same fixed point with differently-ordered float reductions, so exact
+#: equality is not guaranteed — but they must agree far beyond any
+#: policy-relevant precision.
+TOL = 1e-9
+
+
+def make_solver():
+    return Machine(MachineSpec(), Simulator()).solver
+
+
+def sources_from(demand_list: list[float]) -> list[TrafficSource]:
+    """A two-priority, cache-active mix exercising every static factor."""
+    out = []
+    for index, demand in enumerate(demand_list):
+        lo = (index * 4) % 16
+        out.append(
+            TrafficSource(
+                source_id=f"s{index}",
+                task_id=f"s{index}",
+                demand_gbps=demand,
+                mem_weights={index % 4: 0.75, (index + 1) % 4: 0.25},
+                cores=frozenset(range(lo, lo + 4)),
+                threads=4 + index,
+                clos=index % 2,
+                priority=Priority.HIGH if index % 3 == 0 else Priority.LOW,
+                working_set_mb=4.0 * (index + 1),
+                llc_intensity=0.5 + 0.25 * index,
+                llc_miss_traffic_gain=0.4,
+                llc_speed_sensitivity=0.3,
+                smt_aggression=0.2 * (index % 2),
+                smt_sensitivity=0.3,
+            )
+        )
+    return out
+
+
+def assert_results_close(batch, scalar) -> None:
+    assert set(batch.source_rates) == set(scalar.source_rates)
+    for source_id, got in batch.source_rates.items():
+        want = scalar.source_rates[source_id]
+        for attr in (
+            "bw_grant",
+            "latency_factor",
+            "core_throttle",
+            "prefetch_speed",
+            "llc_hit",
+            "cpu_share",
+        ):
+            g, w = getattr(got, attr), getattr(want, attr)
+            assert abs(g - w) <= TOL * max(1.0, abs(w)), (
+                f"{source_id}.{attr}: batch {g!r} != scalar {w!r}"
+            )
+    assert set(batch.mc_loads) == set(scalar.mc_loads)
+    for mc_id, got in batch.mc_loads.items():
+        want = scalar.mc_loads[mc_id]
+        for attr in ("delivered_gbps", "latency_factor", "saturation"):
+            g, w = getattr(got, attr), getattr(want, attr)
+            assert abs(g - w) <= TOL * max(1.0, abs(w)), (
+                f"mc{mc_id}.{attr}: batch {g!r} != scalar {w!r}"
+            )
+
+
+demands = st.floats(min_value=0.0, max_value=160.0, allow_nan=False)
+caps = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestBatchVsScalar:
+    @given(
+        st.lists(demands, min_size=1, max_size=5),
+        st.lists(caps, min_size=1, max_size=6),
+        fractions,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batch_matches_scalar_reference(
+        self, demand_list: list[float], cap_list: list[float], fraction: float
+    ) -> None:
+        solver = make_solver()
+        sources = sources_from(demand_list)
+        variants = [
+            KnobVariant(
+                mba_caps=((0, cap), (1, min(1.0, cap + 0.1))),
+                prefetch_fractions=((sources[0].source_id, fraction),),
+            )
+            for cap in cap_list
+        ]
+        batch = solver.solve_batch(sources, variants)
+        assert len(batch) == len(variants)
+        for variant, got in zip(variants, batch):
+            assert_results_close(got, solver.solve_variant(sources, variant))
+
+    def test_qos_aware_prefetch_branch_agrees(self) -> None:
+        solver = make_solver()
+        solver.qos_aware_prefetch = True
+        sources = sources_from([120.0, 140.0, 90.0])
+        variants = [KnobVariant(mba_caps=((0, c),)) for c in (0.2, 0.6, 1.0)]
+        batch = solver.solve_batch(sources, variants)
+        for variant, got in zip(variants, batch):
+            assert_results_close(got, solver.solve_variant(sources, variant))
+
+    def test_empty_variants_and_sources(self) -> None:
+        solver = make_solver()
+        assert solver.solve_batch(sources_from([10.0]), []) == []
+        results = solver.solve_batch([], [KnobVariant(), KnobVariant()])
+        assert len(results) == 2
+        assert results[0] is results[1]  # the interned empty result
+
+    def test_batch_points_counter(self) -> None:
+        solver = make_solver()
+        variants = [KnobVariant(mba_caps=((0, c),)) for c in (0.3, 0.5, 0.9)]
+        solver.solve_batch(sources_from([50.0, 30.0]), variants)
+        assert solver.stats.batch_points == 3
+        assert solver.stats.as_dict()["batch_points"] == 3
+
+
+class TestIncrementalResolve:
+    def test_mba_delta_is_incremental_and_bit_identical(self) -> None:
+        solver = make_solver()
+        sources = sources_from([60.0, 45.0, 25.0])
+        solver.solve(sources, signature=solver.solve_signature(sources))
+        assert solver.stats.incremental_solves == 0
+
+        solver.mba_caps[1] = 0.4
+        second = solver.solve(sources, signature=solver.solve_signature(sources))
+        assert solver.stats.incremental_solves == 1
+
+        # The delta path must be indistinguishable from solving cold.
+        fresh = make_solver()
+        fresh.mba_caps[1] = 0.4
+        full = fresh.solve(sources_from([60.0, 45.0, 25.0]))
+        assert second.source_rates == full.source_rates
+        assert second.mc_loads == full.mc_loads
+
+    def test_repeated_knob_ticks_accumulate(self) -> None:
+        solver = make_solver()
+        sources = sources_from([80.0, 55.0])
+        solver.solve(sources, signature=solver.solve_signature(sources))
+        for step, cap in enumerate((0.9, 0.7, 0.5, 0.3), start=1):
+            solver.mba_caps[0] = cap
+            solver.solve(sources, signature=solver.solve_signature(sources))
+            assert solver.stats.incremental_solves == step
+        assert solver.stats.as_dict()["incremental_solves"] == 4
+
+    def test_structural_change_falls_back_to_full_solve(self) -> None:
+        solver = make_solver()
+        sources = sources_from([70.0, 40.0])
+        solver.solve(sources, signature=solver.solve_signature(sources))
+
+        # A demand change is not one of the recognized delta shapes.
+        changed = sources_from([70.0, 40.0])
+        changed[0] = TrafficSource(
+            source_id="s0",
+            task_id="s0",
+            demand_gbps=95.0,
+            mem_weights={0: 0.75, 1: 0.25},
+            cores=frozenset(range(0, 4)),
+            threads=4,
+            priority=Priority.HIGH,
+            working_set_mb=4.0,
+            llc_intensity=0.5,
+            llc_miss_traffic_gain=0.4,
+            llc_speed_sensitivity=0.3,
+            smt_sensitivity=0.3,
+        )
+        solver.solve(changed, signature=solver.solve_signature(changed))
+        assert solver.stats.incremental_solves == 0
+
+    def test_snc_flip_falls_back_to_full_solve(self) -> None:
+        solver = make_solver()
+        sources = sources_from([70.0, 40.0])
+        solver.solve(sources, signature=solver.solve_signature(sources))
+        solver.snc_enabled = True
+        solver.solve(sources, signature=solver.solve_signature(sources))
+        assert solver.stats.incremental_solves == 0

@@ -63,3 +63,22 @@ class TestFleetSimEquivalence:
         assert _roundtrip(capture.fleet_summary(jobs=4)) == _golden(
             "fleet_sim_small.json"
         )
+
+    def test_process_pool_matches_golden_even_on_one_cpu(
+        self, capture, monkeypatch: pytest.MonkeyPatch
+    ) -> None:
+        """Force the pool path so single-CPU CI still exercises workers.
+
+        ``run_points`` falls back to serial on one CPU, which would make the
+        ``jobs=4`` variant above vacuously identical there. Pretending the
+        host has 4 CPUs routes the same run through real worker processes.
+        """
+        import repro.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
+        try:
+            assert _roundtrip(capture.fleet_summary(jobs=4)) == _golden(
+                "fleet_sim_small.json"
+            )
+        finally:
+            parallel_mod.shutdown_pool()
