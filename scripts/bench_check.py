@@ -2,14 +2,16 @@
 """Perf regression gate: fresh bench JSON vs the committed baseline.
 
 Compares the serial cache-on suite timings of a fresh ``bench_smoke.py``
-report against the committed baseline (``BENCH_PR6.json``), per experiment
-and in total, with a generous tolerance — CI runners are noisy, so the gate
-only catches real regressions (default: 40% over baseline fails).
+report against the committed baseline (``BENCH_PR7.json``), per experiment
+and in total, plus the trace-scale replay wall when both reports carry the
+probe at the same request count, with a generous tolerance — CI runners are
+noisy, so the gate only catches real regressions (default: 40% over
+baseline fails).
 
 Usage::
 
     python scripts/bench_smoke.py --out /tmp/bench-ci.json
-    python scripts/bench_check.py --baseline BENCH_PR6.json \
+    python scripts/bench_check.py --baseline BENCH_PR7.json \
         --current /tmp/bench-ci.json
 
 Exit status 0 when every comparison is within tolerance, 1 otherwise.
@@ -22,20 +24,19 @@ import json
 import sys
 
 
-def load_serial(path: str) -> dict:
+def load_report(path: str) -> dict:
     with open(path, encoding="utf-8") as handle:
         report = json.load(handle)
-    try:
-        return report["suite"]["serial_cache_on"]
-    except KeyError:
+    if "suite" not in report or "serial_cache_on" not in report["suite"]:
         raise SystemExit(f"{path}: not a bench_smoke report (no suite section)")
+    return report
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--baseline", default="BENCH_PR6.json",
-        help="committed reference report (default: BENCH_PR6.json)",
+        "--baseline", default="BENCH_PR7.json",
+        help="committed reference report (default: BENCH_PR7.json)",
     )
     parser.add_argument(
         "--current", required=True, help="freshly generated report to check"
@@ -46,8 +47,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = load_serial(args.baseline)
-    current = load_serial(args.current)
+    baseline_report = load_report(args.baseline)
+    current_report = load_report(args.current)
+    baseline = baseline_report["suite"]["serial_cache_on"]
+    current = current_report["suite"]["serial_cache_on"]
     tolerance = args.tolerance
 
     failures: list[str] = []
@@ -72,6 +75,28 @@ def main(argv: list[str] | None = None) -> int:
         check(exp_id, base_s, cur_per[exp_id])
     for exp_id in sorted(set(cur_per) - set(base_per)):
         print(f"note: {exp_id} has no baseline entry; skipped")
+
+    # The trace-scale replay wall is gated only when both reports ran the
+    # probe at the same request count — a CI run with a reduced
+    # --trace-requests is not comparable to the committed full-scale
+    # baseline and is skipped with a note rather than failed.
+    base_trace = baseline_report.get("trace")
+    cur_trace = current_report.get("trace")
+    if base_trace and cur_trace:
+        if base_trace["requests_target"] == cur_trace["requests_target"]:
+            check(
+                "trace replay",
+                base_trace["replay_wall_s"],
+                cur_trace["replay_wall_s"],
+            )
+        else:
+            print(
+                "note: trace probe request counts differ "
+                f"({base_trace['requests_target']} vs "
+                f"{cur_trace['requests_target']}); skipped"
+            )
+    elif base_trace:
+        print("note: current report has no trace probe; skipped")
 
     width = max(len(name) for name, *_ in rows)
     print(f"{'experiment':<{width}}  baseline  current   limit")

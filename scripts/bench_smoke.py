@@ -2,10 +2,11 @@
 """Perf smoke benchmark: fixed experiment subset -> BENCH_PR<n>.json.
 
 Runs a fixed, representative slice of the experiment registry four ways —
-serial/parallel x cache-on/cache-off — plus one instrumented colocation mix
-and one small fleet-sim run, and writes a JSON trajectory (wall-clock per
-experiment, solver cache hit-rate, events dispatched) that later PRs can
-compare against.
+serial/parallel x cache-on/cache-off — plus one instrumented colocation mix,
+one small fleet-sim run, and one trace-scale probe (synthesize a 1M-request
+24h trace, replay it over a 4-node fleet), and writes a JSON trajectory
+(wall-clock per experiment, solver cache hit-rate, events dispatched) that
+later PRs can compare against.
 
 Usage::
 
@@ -135,6 +136,42 @@ def _timed_fleet(cache: bool) -> dict:
     }
 
 
+def _timed_trace(requests_target: int) -> dict:
+    """The trace-scale probe: synthesize a day of traffic, replay it.
+
+    Times the two halves separately — generation is vectorized numpy and
+    should stay sub-second even at 1M requests, while replay is the
+    event-loop-bound half whose wall scales with the request count.
+    """
+    from repro.experiments.fleet_trace import run_fleet_trace
+    from repro.traces import DAY_S, TraceGenConfig, generate_trace
+
+    set_cache_default(True)
+    _fresh_state()
+    gen = TraceGenConfig(
+        seed=0, duration_s=DAY_S, rate_qps=requests_target / DAY_S
+    )
+    started = time.perf_counter()
+    trace = generate_trace(gen)
+    generate_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    result = run_fleet_trace(trace=trace, nodes=4, seed=0)
+    replay_wall = time.perf_counter() - started
+    run = result.results[0]
+    return {
+        "requests_target": requests_target,
+        "requests": len(trace),
+        "generate_wall_s": round(generate_wall, 3),
+        "replay_wall_s": round(replay_wall, 3),
+        "events_dispatched": run.events_dispatched,
+        "events_per_s": round(
+            run.events_dispatched / max(replay_wall, 1e-9)
+        ),
+        "serving_yield": round(result.serving_yield, 6),
+        "efficiency": round(result.efficiency, 6),
+    }
+
+
 def _timed_batch_probe(variants: int = 64) -> dict:
     """Vectorized what-if vs the scalar reference over one live source set.
 
@@ -199,6 +236,11 @@ def main(argv: list[str] | None = None) -> int:
         help="workers for the parallel pass (default: min(4, cpu_count))",
     )
     parser.add_argument("--out", default="BENCH_PR1.json")
+    parser.add_argument(
+        "--trace-requests", type=int, default=1_000_000,
+        help="request count for the trace-scale probe (default: 1M; "
+        "0 skips the probe)",
+    )
     args = parser.parse_args(argv)
     cpu_count = os.cpu_count() or 1
     jobs = args.jobs if args.jobs is not None else min(4, cpu_count)
@@ -217,6 +259,9 @@ def main(argv: list[str] | None = None) -> int:
     mix_off = _timed_mix(cache=False)
     fleet_on = _timed_fleet(cache=True)
     fleet_off = _timed_fleet(cache=False)
+    trace = (
+        _timed_trace(args.trace_requests) if args.trace_requests > 0 else None
+    )
     set_cache_default(None)
 
     report = {
@@ -271,6 +316,7 @@ def main(argv: list[str] | None = None) -> int:
                 fleet_off["wall_s"] / max(fleet_on["wall_s"], 1e-9), 3
             ),
         },
+        "trace": trace,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
@@ -307,6 +353,12 @@ def main(argv: list[str] | None = None) -> int:
         f"efficiency {fleet_on['efficiency']:.3f}, "
         f"events {fleet_on['events_dispatched']}"
     )
+    if trace:
+        print(
+            f"trace: {trace['requests']} requests generate "
+            f"{trace['generate_wall_s']}s, replay {trace['replay_wall_s']}s "
+            f"({trace['events_per_s']} events/s)"
+        )
     return 0
 
 

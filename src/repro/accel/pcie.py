@@ -78,7 +78,9 @@ class PcieLink:
     def _make_finisher(self, entry: _Transfer) -> Callable[[], None]:
         def finish() -> None:
             entry.work.sync(self.sim.now)
-            if not entry.work.done:
+            if not entry.work.done and not entry.work.retire_residue(
+                now=self.sim.now
+            ):
                 return  # stale event; a newer handle owns completion
             if entry in self._active:
                 self._active.remove(entry)

@@ -167,6 +167,97 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_control_plane_arguments(fleet)
     _add_obs_arguments(fleet)
 
+    trace = sub.add_parser(
+        "fleet-trace",
+        help="replay a workload trace over the fleet (time-of-day curves)",
+    )
+    trace.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="trace file to replay (.jsonl or .jsonl.gz; see docs/traces.md)",
+    )
+    trace.add_argument(
+        "--trace-gen", action="store_true",
+        help="synthesize the trace instead (the default when --trace is "
+             "absent; this flag exists to make that choice explicit)",
+    )
+    trace.add_argument(
+        "--save-trace", default=None, metavar="PATH",
+        help="write the replayed trace to PATH (.gz suffix gzips)",
+    )
+    trace.add_argument(
+        "--trace-duration", type=float, default=86400.0, metavar="SECONDS",
+        help="generated trace horizon (default: one day)",
+    )
+    trace.add_argument(
+        "--trace-rate", type=float, default=40.0, metavar="QPS",
+        help="generated long-run mean arrival rate across tenants",
+    )
+    trace.add_argument(
+        "--trace-seed", type=int, default=None,
+        help="generator seed (default: --seed)",
+    )
+    trace.add_argument(
+        "--diurnal-amplitude", type=float, default=0.4,
+        help="peak-to-mean diurnal swing in [0, 1); 0 disables",
+    )
+    trace.add_argument(
+        "--diurnal-peak-hour", type=float, default=14.0,
+        help="hour of day (0-24) at which load peaks",
+    )
+    trace.add_argument(
+        "--burst-multiplier", type=float, default=4.0,
+        help="rate multiplier while a tenant bursts; 1 disables",
+    )
+    trace.add_argument("--burst-on", type=float, default=30.0, metavar="SECONDS")
+    trace.add_argument("--burst-off", type=float, default=570.0, metavar="SECONDS")
+    trace.add_argument(
+        "--churn-active", type=float, default=4 * 3600.0, metavar="SECONDS",
+        help="mean active period before a tenant departs",
+    )
+    trace.add_argument(
+        "--churn-idle", type=float, default=0.0, metavar="SECONDS",
+        help="mean idle period before a departed tenant returns; 0 disables",
+    )
+    trace.add_argument("--nodes", type=int, default=4, help="fleet size")
+    trace.add_argument(
+        "--policy", default="KP", help="per-node policy: BL | CT | KP-SD | KP"
+    )
+    trace.add_argument(
+        "--routing", default="least-loaded",
+        help="random | least-loaded | interference-aware",
+    )
+    trace.add_argument("--ml", default="rnn1", help="served inference workload")
+    trace.add_argument(
+        "--duration", type=float, default=None,
+        help="replay horizon, seconds (default: the trace duration)",
+    )
+    trace.add_argument("--warmup", type=float, default=None)
+    trace.add_argument(
+        "--interval", type=float, default=None,
+        help="fleet control interval (default scales with the horizon)",
+    )
+    trace.add_argument(
+        "--window", type=float, default=None, metavar="SECONDS",
+        help="accounting window for the time-of-day curves "
+             "(default: horizon / 24)",
+    )
+    trace.add_argument(
+        "--trials", type=int, default=1,
+        help="independent replays under different orchestrator seeds",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the trial sweep; results are identical "
+             "to a serial run (default REPRO_JOBS or 1)",
+    )
+    trace.add_argument(
+        "--no-telemetry", action="store_true",
+        help="skip per-interval telemetry collection (large replays)",
+    )
+    _add_control_plane_arguments(trace)
+    _add_obs_arguments(trace)
+
     mix = sub.add_parser("mix", help="run a single colocation mix")
     mix.add_argument("--ml", required=True, help="rnn1 | cnn1 | cnn2 | cnn3")
     mix.add_argument("--policy", default="BL", help="BL | CT | KP-SD | KP | HW-QOS")
@@ -285,6 +376,68 @@ def main(argv: list[str] | None = None) -> int:
             observer.add_span("cli", "experiments", "fleet-sim", 0.0, wall)
             observer.note_seed("fleet.seed", args.seed)
             _finalize_observer(observer, "repro fleet-sim")
+        return 0
+
+    if args.command == "fleet-trace":
+        from repro.errors import ReproError
+        from repro.experiments.fleet_trace import (
+            format_fleet_trace,
+            run_fleet_trace,
+        )
+        from repro.traces import TraceGenConfig, save_trace
+
+        observer = _make_observer(args, "fleet-trace")
+        if args.trace is not None and args.trace_gen:
+            print("pass either --trace or --trace-gen, not both", file=sys.stderr)
+            return 2
+        gen = None
+        if args.trace is None:
+            gen = TraceGenConfig(
+                seed=args.trace_seed if args.trace_seed is not None else args.seed,
+                duration_s=args.trace_duration,
+                rate_qps=args.trace_rate,
+                diurnal_amplitude=args.diurnal_amplitude,
+                diurnal_peak_hour=args.diurnal_peak_hour,
+                burst_multiplier=args.burst_multiplier,
+                burst_on_s=args.burst_on,
+                burst_off_s=args.burst_off,
+                churn_active_s=args.churn_active,
+                churn_idle_s=args.churn_idle,
+            )
+        sensors, faults = _control_plane_configs(args, args.seed)
+        started = time.perf_counter()
+        try:
+            result = run_fleet_trace(
+                trace_path=args.trace,
+                gen=gen,
+                nodes=args.nodes,
+                policy=args.policy,
+                routing=args.routing,
+                ml=args.ml,
+                duration=args.duration,
+                warmup=args.warmup,
+                interval=args.interval,
+                window_s=args.window,
+                trials=args.trials,
+                seed=args.seed,
+                jobs=args.jobs,
+                observer=observer if observer.enabled else None,
+                sensors=sensors,
+                faults=faults,
+                collect_telemetry=not args.no_telemetry,
+            )
+        except ReproError as exc:
+            print(f"fleet-trace: {exc}", file=sys.stderr)
+            return 2
+        print(format_fleet_trace(result))
+        if args.save_trace:
+            save_trace(result.trace, args.save_trace)
+            print(f"wrote {args.save_trace}")
+        if observer.enabled:
+            wall = time.perf_counter() - started
+            observer.add_span("cli", "experiments", "fleet-trace", 0.0, wall)
+            observer.note_seed("fleet.seed", args.seed)
+            _finalize_observer(observer, "repro fleet-trace")
         return 0
 
     if args.command == "mix":

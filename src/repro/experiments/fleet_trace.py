@@ -1,0 +1,293 @@
+"""The ``fleet-trace`` experiment family: trace-driven fleet replay.
+
+Where ``fleet-sim`` offers fixed-rate open-loop load, ``fleet-trace``
+replays a production-style workload trace (:mod:`repro.traces`) over the
+fleet orchestrator: per-request arrival times, tenants and job-family
+demands come from the trace, and the run reports per-tenant SLO attainment
+and fleet efficiency as *time-of-day curves* over the trace horizon.
+
+The trace can come from three places: an in-memory :class:`Trace`, a trace
+file (``trace_path``), or the synthetic generator (``gen``). Trials replay
+the same trace under different orchestrator seeds (router tie-breaks,
+node-local noise), isolating the scheduling variance from the workload.
+Trials are independent points in the :mod:`repro.parallel` sense: the trace
+ships to workers once via the sweep context, and per-trial seeds derive
+from :func:`repro.parallel.point_seed`, so results are bit-identical for
+any ``jobs`` value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.control.actuators import ActuationFaultConfig
+from repro.control.sensors import SensorConfig
+from repro.errors import ExperimentError
+from repro.experiments.fleet_sim import TenantSummary, _aggregate_tenants
+from repro.fleet.config import FleetConfig
+from repro.fleet.orchestrator import (
+    FleetResult,
+    fleet_config_for_trace,
+    run_fleet,
+)
+from repro.parallel import point_seed, run_points, sweep_context
+from repro.traces import Trace, TraceGenConfig, generate_trace, load_trace
+
+if TYPE_CHECKING:
+    from repro.obs.recorder import RunObserver
+
+#: Windowed-curve rows exported to the observer (first trial only).
+_MAX_WINDOW_ROWS = 4096
+
+
+@dataclass(frozen=True)
+class FleetTraceResult:
+    """Aggregated outcome of one fleet-trace invocation."""
+
+    nodes: int
+    policy: str
+    routing: str
+    ml: str
+    trials: int
+    #: Where the trace came from (generator config, file path, or caller).
+    source: str
+    requests: int
+    trace_duration_s: float
+    window_s: float
+    tenant_rows: tuple[TenantSummary, ...]
+    fraction_saturated: float
+    serving_yield: float
+    efficiency: float
+    #: One JSON-clean summary per trial, in trial order — the artifact the
+    #: determinism tests compare across ``jobs`` values.
+    summaries: tuple[dict, ...]
+    #: The full per-trial results.
+    results: tuple[FleetResult, ...]
+    #: Trial 0's per-(window, tenant) SLO curve rows.
+    windows: tuple[dict, ...]
+    #: Trial 0's per-window fleet curve rows (pooled yield + saturation).
+    window_fleet: tuple[dict, ...]
+    #: The replayed trace itself (for ``--save-trace`` and inspection).
+    trace: Trace
+
+
+def _run_trial(config: FleetConfig) -> FleetResult:
+    """Module-level trial evaluator (picklable for the process pool).
+
+    The trace rides in on the sweep context — installed identically on the
+    serial path and in every pool worker, so it never needs to survive a
+    per-point pickle round trip.
+    """
+    trace, collect_telemetry = sweep_context()
+    return run_fleet(config, collect_telemetry=collect_telemetry, trace=trace)
+
+
+def _resolve_trace(
+    trace: Trace | None,
+    trace_path: str | None,
+    gen: TraceGenConfig | None,
+    duration: float | None,
+    seed: int,
+) -> tuple[Trace, str]:
+    """Materialize the trace and describe its provenance."""
+    provided = sum(x is not None for x in (trace, trace_path, gen))
+    if provided > 1:
+        raise ExperimentError(
+            "pass at most one of trace, trace_path or gen"
+        )
+    if trace is not None:
+        return trace, "caller"
+    if trace_path is not None:
+        return load_trace(trace_path), trace_path
+    if gen is None:
+        # Default: a short synthetic day scaled to the requested horizon.
+        gen = TraceGenConfig(seed=seed, duration_s=duration or 120.0)
+    return generate_trace(gen), f"generated(seed={gen.seed})"
+
+
+def run_fleet_trace(
+    trace: Trace | None = None,
+    trace_path: str | None = None,
+    gen: TraceGenConfig | None = None,
+    nodes: int = 4,
+    policy: str = "KP",
+    routing: str = "least-loaded",
+    ml: str = "rnn1",
+    duration: float | None = None,
+    warmup: float | None = None,
+    interval: float | None = None,
+    window_s: float | None = None,
+    trials: int = 1,
+    seed: int = 0,
+    jobs: int | None = None,
+    observer: "RunObserver | None" = None,
+    sensors: SensorConfig | None = None,
+    faults: ActuationFaultConfig | None = None,
+    collect_telemetry: bool = True,
+) -> FleetTraceResult:
+    """Replay a workload trace over the fleet and aggregate over trials.
+
+    ``duration`` defaults to the trace horizon (pass less to replay a
+    prefix); ``window_s`` defaults to 1/24th of the horizon (hour-of-day
+    buckets for a day-long trace). ``jobs`` parallelizes trials with
+    bit-identical results.
+    """
+    if trials < 1:
+        raise ExperimentError("trials must be >= 1")
+    resolved, source = _resolve_trace(trace, trace_path, gen, duration, seed)
+
+    overrides: dict = {
+        "nodes": nodes,
+        "policy": policy,
+        "routing": routing,
+        "ml": ml,
+    }
+    if duration is not None:
+        overrides["duration"] = min(duration, resolved.duration_s)
+    if warmup is not None:
+        overrides["warmup"] = warmup
+    if interval is not None:
+        overrides["interval"] = interval
+    if window_s is not None:
+        overrides["window_s"] = window_s
+    base = fleet_config_for_trace(resolved, seed=seed, **overrides)
+    if sensors is not None or faults is not None:
+        base = replace(base, sensors=sensors, faults=faults)
+
+    configs = [
+        replace(base, seed=point_seed(seed, trial)) for trial in range(trials)
+    ]
+    results: list[FleetResult] = run_points(
+        _run_trial,
+        configs,
+        jobs=jobs,
+        base_seed=seed,
+        context=(resolved, collect_telemetry),
+    )
+
+    mean = lambda values: sum(values) / len(values)  # noqa: E731
+    result = FleetTraceResult(
+        nodes=base.nodes,
+        policy=base.policy,
+        routing=base.routing,
+        ml=base.ml,
+        trials=trials,
+        source=source,
+        requests=len(resolved),
+        trace_duration_s=resolved.duration_s,
+        window_s=float(base.window_s or 0.0),
+        tenant_rows=_aggregate_tenants(results),
+        fraction_saturated=mean([r.fraction_saturated for r in results]),
+        serving_yield=mean([r.serving_yield for r in results]),
+        efficiency=mean([r.efficiency for r in results]),
+        summaries=tuple(r.summary() for r in results),
+        results=tuple(results),
+        windows=results[0].windows,
+        window_fleet=results[0].window_fleet,
+        trace=resolved,
+    )
+    _observe(result, resolved, observer)
+    return result
+
+
+def _observe(
+    result: FleetTraceResult,
+    trace: Trace,
+    observer: "RunObserver | None",
+) -> None:
+    if observer is None or not observer.enabled:
+        return
+    observer.note_config(
+        fleet_nodes=result.nodes,
+        fleet_policy=result.policy,
+        fleet_routing=result.routing,
+        fleet_ml=result.ml,
+        fleet_trials=result.trials,
+        trace_source=result.source,
+        trace_requests=result.requests,
+        trace_duration_s=result.trace_duration_s,
+        trace_tenants=[t.name for t in trace.tenants],
+        trace_families=[f.name for f in trace.families],
+        trace_meta=dict(trace.meta),
+        trace_window_s=result.window_s,
+    )
+    for trial, summary in enumerate(result.summaries):
+        observer.note_seed(f"fleet.trial{trial}.seed", int(summary["seed"]))
+        row = {k: v for k, v in summary.items() if k not in (
+            "windows", "window_fleet",
+        )}
+        observer.record("fleet_run", trial=trial, **row)
+    for row in result.tenant_rows:
+        observer.record(
+            "fleet_tenant",
+            tenant=row.name,
+            slo_p99_ms=row.slo_p99_ms,
+            attainment=row.attainment,
+            goodput_qps=row.goodput_qps,
+            p99_ms=row.p99_ms,
+            slo_met_all_trials=row.slo_met_all_trials,
+        )
+    for row in result.windows[:_MAX_WINDOW_ROWS]:
+        observer.record("fleet_window", trial=0, scope="tenant", **row)
+    for row in result.window_fleet[:_MAX_WINDOW_ROWS]:
+        observer.record("fleet_window", trial=0, scope="fleet", **row)
+    observer.metrics.gauge(
+        "fleet.trace_efficiency", policy=result.policy, routing=result.routing
+    ).set(result.efficiency)
+    observer.metrics.counter("fleet.trace_requests").inc(result.requests)
+    for row in result.tenant_rows:
+        observer.metrics.histogram(
+            "fleet.tenant_attainment", tenant=row.name
+        ).observe(row.attainment)
+
+
+def _format_hours(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:05.2f}h"
+    return f"{seconds:6.1f}s"
+
+
+def format_fleet_trace(result: FleetTraceResult) -> str:
+    """Render the fleet-trace outcome: tenant table + time-of-day curve."""
+    lines = [
+        (
+            f"fleet-trace: {result.requests} requests over "
+            f"{_format_hours(result.trace_duration_s).strip()} -> "
+            f"{result.nodes} nodes x {result.policy} "
+            f"({result.routing} routing), ml={result.ml}, "
+            f"trials={result.trials}"
+        ),
+        f"trace source: {result.source}",
+        "",
+        f"{'tenant':<10} {'slo_p99':>8} {'p99':>9} {'attain':>7} "
+        f"{'goodput':>9}  slo_met",
+    ]
+    for row in result.tenant_rows:
+        p99 = f"{row.p99_ms:.1f}ms" if row.p99_ms is not None else "-"
+        lines.append(
+            f"{row.name:<10} {row.slo_p99_ms:>6.1f}ms {p99:>9} "
+            f"{row.attainment:>6.1%} {row.goodput_qps:>6.1f}qps  "
+            f"{'yes' if row.slo_met_all_trials else 'NO'}"
+        )
+    if result.window_fleet:
+        lines += [
+            "",
+            f"time-of-day curve (window = {_format_hours(result.window_s).strip()}, "
+            "trial 0):",
+            f"{'start':>8} {'offered':>8} {'attain':>7} {'eff':>7} "
+            f"{'saturated':>9}",
+        ]
+        for row in result.window_fleet:
+            lines.append(
+                f"{_format_hours(row['start_s']):>8} {row['offered']:>8} "
+                f"{row['attainment']:>6.1%} {row['efficiency']:>6.1%} "
+                f"{row['fraction_saturated']:>8.1%}"
+            )
+    lines += [
+        "",
+        f"fraction saturated   {result.fraction_saturated:.1%}",
+        f"serving yield        {result.serving_yield:.1%}",
+        f"fleet efficiency     {result.efficiency:.1%}",
+    ]
+    return "\n".join(lines)

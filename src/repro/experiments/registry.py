@@ -96,6 +96,15 @@ def _fleet_sim():
     return run_fleet_sim, format_fleet_sim
 
 
+def _fleet_trace():
+    from repro.experiments.fleet_trace import (
+        format_fleet_trace,
+        run_fleet_trace,
+    )
+
+    return run_fleet_trace, format_fleet_trace
+
+
 def _table1():
     from repro.experiments.table1_workloads import format_table1, run_table1
 
@@ -204,6 +213,7 @@ _REGISTRY: dict[str, Callable[[], tuple[Callable, Callable]]] = {
     "fig16": _fig16,
     "table1": _table1,
     "fleet-sim": _fleet_sim,
+    "fleet-trace": _fleet_trace,
     "ablation-hwqos": _ablation_hwqos,
     "ablation-backfill": _ablation_backfill,
     "ablation-mba": _ablation_mba,
@@ -218,13 +228,16 @@ _REGISTRY: dict[str, Callable[[], tuple[Callable, Callable]]] = {
 
 #: Experiments whose runners accept a ``jobs`` argument (internal sweeps
 #: that can fan out over a process pool; see :mod:`repro.parallel`).
-JOBS_AWARE = {"fig02", "fig05", "fig16", "fleet-sim", "ablation-sensor-noise"}
+JOBS_AWARE = {
+    "fig02", "fig05", "fig16", "fleet-sim", "fleet-trace",
+    "ablation-sensor-noise",
+}
 
 #: Experiments whose runners accept an ``observer`` argument (deep
 #: observability export; see :mod:`repro.obs`). Other experiments still get
 #: run-level spans and a manifest from the CLI wrapper.
 OBS_AWARE = {
-    "fig02", "fig03", "fig11", "fig12", "fig13", "fleet-sim",
+    "fig02", "fig03", "fig11", "fig12", "fig13", "fleet-sim", "fleet-trace",
     "ablation-sensor-noise",
 }
 

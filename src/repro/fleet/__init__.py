@@ -25,6 +25,7 @@ from repro.fleet.orchestrator import (
     FleetOrchestrator,
     FleetResult,
     NodeStats,
+    fleet_config_for_trace,
     run_fleet,
 )
 from repro.fleet.routing import (
@@ -34,7 +35,12 @@ from repro.fleet.routing import (
     Router,
     make_router,
 )
-from repro.fleet.slo import TenantAccount, TenantSlo, fleet_efficiency
+from repro.fleet.slo import (
+    TenantAccount,
+    TenantSlo,
+    WindowAccount,
+    fleet_efficiency,
+)
 from repro.fleet.validate import (
     FleetInterferenceProfile,
     empirical_probability_any_interfered,
@@ -63,9 +69,11 @@ __all__ = [
     "TenantAccount",
     "TenantSlo",
     "TenantSpec",
+    "WindowAccount",
     "default_tenants",
     "empirical_probability_any_interfered",
     "empirical_slowdown",
+    "fleet_config_for_trace",
     "fleet_efficiency",
     "interference_profile",
     "make_router",

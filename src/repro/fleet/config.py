@@ -95,6 +95,10 @@ class FleetConfig:
     #: batch-queue management), simulated seconds.
     interval: float = 0.5
     seed: int = 0
+    #: Accounting window for time-of-day SLO/efficiency curves, simulated
+    #: seconds (``None`` disables windowed accounting — the default for the
+    #: fixed-rate fleet-sim experiments, whose summaries stay unchanged).
+    window_s: float | None = None
     #: Telemetry degradation applied to every node policy's sensor suite
     #: (``None`` = perfect sensing).
     sensors: SensorConfig | None = None
@@ -116,6 +120,8 @@ class FleetConfig:
             raise ConfigurationError("duration must exceed warmup")
         if self.interval <= 0:
             raise ConfigurationError("interval must be positive")
+        if self.window_s is not None and self.window_s <= 0:
+            raise ConfigurationError("window_s must be positive when set")
         if self.max_jobs_per_node < 1:
             raise ConfigurationError("max_jobs_per_node must be >= 1")
         if self.eviction_patience < 1:

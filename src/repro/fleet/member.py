@@ -89,7 +89,9 @@ class FleetMember:
         warmup: float,
         seed: int,
         accel_socket: int = 0,
-        on_complete: Callable[["FleetMember", int, float, float], None] | None = None,
+        on_complete: (
+            Callable[["FleetMember", int, bool, float, float], None] | None
+        ) = None,
         sensors: SensorConfig | None = None,
         faults: ActuationFaultConfig | None = None,
     ) -> None:
@@ -127,8 +129,11 @@ class FleetMember:
         self._interval = interval
         self._on_complete = on_complete
         self._cancel_policy_loop: Callable[[], None] | None = None
-        #: FIFO of owning tenant indices per request-start timestamp.
-        self._owners: dict[float, deque[int]] = {}
+        #: FIFO of ``(tenant, counted)`` ownership records per request-start
+        #: timestamp. ``counted`` is the request's admission epoch: whether
+        #: it was admitted inside the measurement window, decided once at
+        #: admission so completion-side accounting can never disagree.
+        self._owners: dict[float, deque[tuple[int, bool]]] = {}
         #: Latest telemetry snapshot (None before the first control tick).
         self.last_signals: NodeSignals | None = None
         #: Consecutive samples with the hot predicate true (eviction patience).
@@ -178,20 +183,27 @@ class FleetMember:
         """Requests in flight plus queued (the least-loaded routing key)."""
         return self.server.inflight + self.server.queued
 
-    def submit(self, tenant: int) -> None:
-        """Accept one request on behalf of ``tenant``."""
-        self._owners.setdefault(self.sim.now, deque()).append(tenant)
-        self.server.submit()
+    def submit(
+        self, tenant: int, demand: float = 1.0, counted: bool = True
+    ) -> None:
+        """Accept one request on behalf of ``tenant``.
+
+        ``counted`` records the admission epoch (admitted inside the
+        measurement window or not); ``demand`` scales the request's service
+        requirement (trace job families).
+        """
+        self._owners.setdefault(self.sim.now, deque()).append((tenant, counted))
+        self.server.submit(demand)
 
     def _complete(self, start: float, end: float) -> None:
         owners = self._owners.get(start)
         if not owners:  # pragma: no cover - foreign traffic, defensive
             return
-        tenant = owners.popleft()
+        tenant, counted = owners.popleft()
         if not owners:
             del self._owners[start]
         if self._on_complete is not None:
-            self._on_complete(self, tenant, start, end)
+            self._on_complete(self, tenant, counted, start, end)
 
     # ----------------------------------------------------------- telemetry
     def sample(self) -> NodeSignals:

@@ -15,27 +15,33 @@ summary bit-for-bit regardless of process parallelism around it.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from functools import partial
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import ExperimentError
+from repro.errors import ConfigurationError, ExperimentError
 from repro.fleet.batch import BatchQueue
-from repro.fleet.config import FleetConfig
+from repro.fleet.config import FleetConfig, TenantSpec
 from repro.fleet.member import FleetMember
 from repro.fleet.routing import Router, make_router
 from repro.fleet.slo import (
     TenantAccount,
     TenantSlo,
+    WindowAccount,
     finalize_tenant,
     fleet_efficiency,
 )
 from repro.metrics.percentile import StreamingPercentiles
 from repro.sim import Simulator
 from repro.sim.engine import PRIORITY_OBSERVE
-from repro.workloads.loadgen import OpenLoopGenerator
+from repro.workloads.loadgen import OpenLoopGenerator, TraceReplayGenerator
 from repro.workloads.ml.catalog import ml_workload
+
+if TYPE_CHECKING:
+    from repro.traces.schema import Trace
 
 #: Stream tags keeping the fleet's RNG consumers independent.
 _STREAM_ROUTER = 0xF1EE
@@ -94,10 +100,14 @@ class FleetResult:
     controller: tuple[dict, ...] = ()
     #: Per-node actuation journal rows (``{"node": i, **record.as_dict()}``).
     actuation: tuple[dict, ...] = ()
+    #: Per-(window, tenant) SLO rows, empty unless ``config.window_s`` is set.
+    windows: tuple[dict, ...] = ()
+    #: Per-window fleet rows (pooled yield + saturation), ditto.
+    window_fleet: tuple[dict, ...] = ()
 
     def summary(self) -> dict:
         """A JSON-clean summary — the artifact determinism tests compare."""
-        return {
+        data = {
             "nodes": self.config.nodes,
             "policy": self.config.policy,
             "routing": self.config.routing,
@@ -116,14 +126,36 @@ class FleetResult:
             "batch_evictions": self.batch_evictions,
             "batch_pending_at_end": self.batch_pending_at_end,
         }
+        # Windowed rows appear only for trace/windowed runs, so summaries of
+        # the pre-existing fleet-sim experiments stay bit-identical.
+        if self.windows:
+            data["windows"] = list(self.windows)
+        if self.window_fleet:
+            data["window_fleet"] = list(self.window_fleet)
+        return data
 
 
 class FleetOrchestrator:
     """Builds and runs one fleet simulation from a :class:`FleetConfig`."""
 
-    def __init__(self, config: FleetConfig, collect_telemetry: bool = True) -> None:
+    def __init__(
+        self,
+        config: FleetConfig,
+        collect_telemetry: bool = True,
+        trace: "Trace | None" = None,
+    ) -> None:
         self.config = config
         self._collect_telemetry = collect_telemetry
+        self._trace = trace
+        self._trace_demands: np.ndarray | None = None
+        if trace is not None:
+            if len(config.tenants) != len(trace.tenants):
+                raise ConfigurationError(
+                    f"config declares {len(config.tenants)} tenants but the "
+                    f"trace has {len(trace.tenants)}; build the config with "
+                    "fleet_config_for_trace()"
+                )
+            self._trace_demands = trace.demands
         #: Raises WorkloadError for non-inference workloads up front.
         self._factory = ml_workload(config.ml)
         self._capacity = self._factory.standalone_capacity()
@@ -136,6 +168,10 @@ class FleetOrchestrator:
         self._saturation_samples: list[float] = []
         self._post_warmup_samples = 0
         self._telemetry: list[dict] = []
+        #: (window index, tenant index) -> admission-bucketed SLO counters.
+        self._windows: dict[tuple[int, int], WindowAccount] = {}
+        #: window index -> [saturated samples, total samples] from ticks.
+        self._window_saturation: dict[int, list[int]] = {}
 
     # ------------------------------------------------------------------ run
     def run(self) -> FleetResult:
@@ -167,18 +203,29 @@ class FleetOrchestrator:
                 np.random.SeedSequence((config.seed, _STREAM_ROUTER))
             ),
         )
-        generators = [
-            OpenLoopGenerator(
-                sim=sim,
-                rate_qps=tenant.load_fraction * self._capacity * config.nodes,
-                submit=partial(self._admit, index),
-                rng=np.random.default_rng(
-                    np.random.SeedSequence((config.seed, _STREAM_TENANT, index))
-                ),
-                deterministic=tenant.deterministic,
-            )
-            for index, tenant in enumerate(config.tenants)
-        ]
+        if self._trace is not None:
+            # Trace-driven: one replay generator replaces the per-tenant
+            # open-loop processes; tenant/demand come from the trace columns.
+            generators: list = [
+                TraceReplayGenerator(
+                    sim=sim,
+                    arrivals_s=self._trace.arrivals_s,
+                    submit=self._admit_trace,
+                )
+            ]
+        else:
+            generators = [
+                OpenLoopGenerator(
+                    sim=sim,
+                    rate_qps=tenant.load_fraction * self._capacity * config.nodes,
+                    submit=partial(self._admit, index),
+                    rng=np.random.default_rng(
+                        np.random.SeedSequence((config.seed, _STREAM_TENANT, index))
+                    ),
+                    deterministic=tenant.deterministic,
+                )
+                for index, tenant in enumerate(config.tenants)
+            ]
         queue = BatchQueue(
             config.batch_jobs,
             max_jobs_per_node=config.max_jobs_per_node,
@@ -214,21 +261,58 @@ class FleetOrchestrator:
 
     # ------------------------------------------------------------ admission
     def _admit(self, tenant: int) -> None:
+        self._route_and_submit(tenant, demand=1.0)
+
+    def _admit_trace(self, index: int) -> None:
+        assert self._trace is not None and self._trace_demands is not None
+        self._route_and_submit(
+            int(self._trace.tenant_ids[index]),
+            demand=float(self._trace_demands[index]),
+        )
+
+    def _route_and_submit(self, tenant: int, demand: float) -> None:
+        """Route one request and decide its admission epoch — once.
+
+        ``counted`` (admitted inside the measurement window) is decided here
+        and travels with the request, so completion-side accounting can
+        never disagree with admission-side accounting and attainment stays
+        ≤ 1.0 by construction.
+        """
         assert self.router is not None
         member = self.router.choose(self.members)
-        if member.sim.now >= self.config.warmup:
+        now = member.sim.now
+        counted = now >= self.config.warmup
+        if counted:
             self._accounts[tenant].offered += 1
-        member.submit(tenant)
+            if self.config.window_s is not None:
+                key = (int(now // self.config.window_s), tenant)
+                account = self._windows.get(key)
+                if account is None:
+                    account = self._windows[key] = WindowAccount()
+                account.offered += 1
+        member.submit(tenant, demand=demand, counted=counted)
 
     def _on_complete(
-        self, member: FleetMember, tenant: int, start: float, end: float
+        self,
+        member: FleetMember,
+        tenant: int,
+        counted: bool,
+        start: float,
+        end: float,
     ) -> None:
-        if start < self.config.warmup:
+        if not counted:
             return
         latency = end - start
         self._accounts[tenant].record(latency)
         self._node_completed[member.index] += 1
         self._node_latency[member.index].add(latency)
+        if self.config.window_s is not None:
+            # ``start`` is the admission timestamp, so this lands in the
+            # bucket _route_and_submit offered it to.
+            key = (int(start // self.config.window_s), tenant)
+            account = self._windows.get(key)
+            if account is not None:
+                account.record(latency, self._accounts[tenant].spec.slo_p99_s)
 
     # --------------------------------------------------------- control loop
     def _control_tick(self, queue: BatchQueue) -> None:
@@ -262,6 +346,19 @@ class FleetOrchestrator:
         if post_warmup and now is not None:
             self._saturation_samples.append(saturated / len(self.members))
             self._post_warmup_samples += 1
+            if self.config.window_s is not None:
+                # The tick at exactly t=duration belongs to the last window:
+                # windows are [k*w, (k+1)*w) with duration as the closing
+                # boundary, not the start of an empty extra window.
+                last = max(
+                    0,
+                    math.ceil(self.config.duration / self.config.window_s) - 1,
+                )
+                bucket = self._window_saturation.setdefault(
+                    min(int(now // self.config.window_s), last), [0, 0]
+                )
+                bucket[0] += saturated
+                bucket[1] += len(self.members)
         queue.tick(self.members)
 
     # ------------------------------------------------------------- finalize
@@ -311,6 +408,7 @@ class FleetOrchestrator:
             )
             for i in range(config.nodes)
         )
+        window_rows, window_fleet_rows = self._window_rows()
         return FleetResult(
             config=config,
             tenants=tenants,
@@ -329,7 +427,69 @@ class FleetOrchestrator:
             telemetry=tuple(self._telemetry),
             controller=self._controller_rows(),
             actuation=self._actuation_rows(),
+            windows=window_rows,
+            window_fleet=window_fleet_rows,
         )
+
+    def _window_rows(self) -> tuple[tuple[dict, ...], tuple[dict, ...]]:
+        """Freeze windowed accounting into JSON-clean time-of-day rows.
+
+        Per-tenant rows carry each window's SLO attainment; fleet rows pool
+        every tenant and add the window's saturated-node fraction. The
+        per-window ``efficiency`` is the serving-tier yield — batch units
+        have no per-window attribution (the meter integrates continuously),
+        so for runs with a batch tier it understates the full figure;
+        trace-driven runs default to no batch jobs, where it is exact.
+        """
+        window_s = self.config.window_s
+        if window_s is None or not self._windows:
+            return (), ()
+        tenant_rows: list[dict] = []
+        pooled: dict[int, WindowAccount] = {}
+        for window, tenant in sorted(self._windows):
+            account = self._windows[(window, tenant)]
+            fleet = pooled.setdefault(window, WindowAccount())
+            fleet.offered += account.offered
+            fleet.completed += account.completed
+            fleet.good += account.good
+            fleet.latency_sum_s += account.latency_sum_s
+            tenant_rows.append(
+                {
+                    "window": window,
+                    "start_s": round(window * window_s, 6),
+                    "tenant": self.config.tenants[tenant].name,
+                    "offered": account.offered,
+                    "completed": account.completed,
+                    "good": account.good,
+                    "attainment": round(account.attainment(), 6),
+                    "mean_ms": (
+                        round(
+                            account.latency_sum_s / account.completed * 1e3, 3
+                        )
+                        if account.completed
+                        else None
+                    ),
+                }
+            )
+        fleet_rows: list[dict] = []
+        for window in sorted(set(pooled) | set(self._window_saturation)):
+            account = pooled.get(window, WindowAccount())
+            saturated, samples = self._window_saturation.get(window, (0, 0))
+            fleet_rows.append(
+                {
+                    "window": window,
+                    "start_s": round(window * window_s, 6),
+                    "offered": account.offered,
+                    "completed": account.completed,
+                    "good": account.good,
+                    "attainment": round(account.attainment(), 6),
+                    "efficiency": round(account.attainment(), 6),
+                    "fraction_saturated": (
+                        round(saturated / samples, 6) if samples else 0.0
+                    ),
+                }
+            )
+        return tuple(tenant_rows), tuple(fleet_rows)
 
     def _controller_rows(self) -> tuple[dict, ...]:
         """Every member's unified control tick records, node-tagged."""
@@ -352,6 +512,48 @@ class FleetOrchestrator:
         )
 
 
-def run_fleet(config: FleetConfig, collect_telemetry: bool = True) -> FleetResult:
+def run_fleet(
+    config: FleetConfig,
+    collect_telemetry: bool = True,
+    trace: "Trace | None" = None,
+) -> FleetResult:
     """Convenience wrapper: build and run one fleet simulation."""
-    return FleetOrchestrator(config, collect_telemetry=collect_telemetry).run()
+    return FleetOrchestrator(
+        config, collect_telemetry=collect_telemetry, trace=trace
+    ).run()
+
+
+def fleet_config_for_trace(trace: "Trace", **overrides) -> FleetConfig:
+    """A :class:`FleetConfig` whose tenant table mirrors a trace's header.
+
+    Tenant names and SLOs come from the trace (``slo_p99_ms`` → seconds);
+    ``load_fraction`` is set to the tenant's normalized traffic weight for
+    reporting only — in trace mode the arrival process is the trace itself.
+    Defaults suited to day-long replays: duration covers the trace, the
+    control interval scales with the horizon (10 s for a 24 h day), the
+    accounting window splits the trace into 24 time-of-day buckets, and no
+    batch tier. Any field can be overridden by keyword.
+    """
+    total_weight = sum(t.weight for t in trace.tenants)
+    tenants = tuple(
+        TenantSpec(
+            name=t.name,
+            load_fraction=t.weight / total_weight,
+            slo_p99_s=t.slo_p99_ms / 1e3,
+        )
+        for t in trace.tenants
+    )
+    defaults: dict = {
+        "nodes": 4,
+        "policy": "KP",
+        "routing": "least-loaded",
+        "ml": "rnn1",
+        "tenants": tenants,
+        "batch_jobs": (),
+        "duration": trace.duration_s,
+        "warmup": min(2.0, trace.duration_s / 10.0),
+        "interval": max(0.5, trace.duration_s / 8640.0),
+        "window_s": trace.duration_s / 24.0,
+    }
+    defaults.update(overrides)
+    return FleetConfig(**defaults)

@@ -39,6 +39,32 @@ class TenantAccount:
             self.good += 1
 
 
+@dataclass
+class WindowAccount:
+    """Mutable counters for one (time window, tenant) accounting bucket.
+
+    Requests are bucketed by *admission* time, so a window's attainment is a
+    property of the traffic that arrived in it — a request admitted at 13:59
+    and completed at 14:01 counts against the 13:00 window.
+    """
+
+    offered: int = 0
+    completed: int = 0
+    good: int = 0
+    latency_sum_s: float = 0.0
+
+    def record(self, latency_s: float, slo_p99_s: float) -> None:
+        """Account one completion against this bucket."""
+        self.completed += 1
+        self.latency_sum_s += latency_s
+        if latency_s <= slo_p99_s:
+            self.good += 1
+
+    def attainment(self) -> float:
+        """SLO-good completions / offered (0.0 for an empty bucket)."""
+        return self.good / self.offered if self.offered else 0.0
+
+
 @dataclass(frozen=True)
 class TenantSlo:
     """Frozen per-tenant outcome of one fleet run."""

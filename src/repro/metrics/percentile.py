@@ -21,6 +21,7 @@ class StreamingPercentiles:
         self._max = max_samples
         self._samples: list[float] = []
         self._seen = 0
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
 
     @property
@@ -53,6 +54,12 @@ class StreamingPercentiles:
         return float(np.mean(self._samples))
 
     def clear(self) -> None:
-        """Drop all samples."""
+        """Drop all samples and reset to the freshly-constructed state.
+
+        Re-seeds the reservoir RNG: a cleared estimator must be
+        bit-identical to a fresh one even past the sampling cap, or replays
+        that reuse an estimator would break run-to-run determinism.
+        """
         self._samples.clear()
         self._seen = 0
+        self._rng = np.random.default_rng(self._seed)

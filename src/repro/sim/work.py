@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 from repro.errors import SimulationError
 
 #: Work remainders below this are treated as complete (floating-point slack).
@@ -63,6 +65,29 @@ class FluidWork:
             raise SimulationError(f"negative rate {rate}")
         self.sync(now)
         self._rate = rate
+
+    def retire_residue(self, *, now: float) -> bool:
+        """Zero out sub-resolution float residue at a completion event.
+
+        Completion events fire at ``now + remaining / rate`` rounded to an
+        absolute float timestamp, so up to about ``rate * ulp(now)`` of
+        work can survive the final sync — a residue that scales with the
+        *clock*, not the work amount, and outgrows ``_EPSILON`` once the
+        simulation runs long (e.g. a day-long trace replay). Rescheduling
+        such a remainder can round to a zero-width step that never
+        advances the clock, so owners call this when their own completion
+        event fires and retire the residue instead. Returns ``False``
+        (changing nothing) when the remainder is too large to be rounding
+        noise — a stale event or genuinely unfinished work.
+        """
+        self.sync(now)
+        tolerance = 1e-9 * self.total + 1024.0 * self._rate * math.ulp(
+            max(abs(now), 1.0)
+        )
+        if self._remaining > tolerance:
+            return False
+        self._remaining = 0.0
+        return True
 
     def eta(self) -> float:
         """Seconds until completion at the current rate (inf if stalled)."""

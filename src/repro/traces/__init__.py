@@ -1,0 +1,52 @@
+"""Production workload traces: schema, synthesis and replay support.
+
+The fleet orchestrator can be driven from a *trace* — a recorded (or
+synthesized) day of production traffic — instead of fixed-rate open-loop
+generators. This package owns the trace data model:
+
+* :mod:`repro.traces.schema` — the versioned on-disk format (JSONL, plain
+  or gzipped) and the in-memory :class:`Trace` (columnar numpy arrays:
+  arrival time, tenant, job family, accelerator demand).
+* :mod:`repro.traces.generate` — a seeded synthetic-trace generator
+  scalable to millions of requests: diurnal rate curves, Markov-modulated
+  bursts, tenant arrival/departure churn and heterogeneous job families,
+  in the style of public GPU-cluster traces (Alibaba cluster-trace-gpu,
+  AcmeTrace) and the multi-tenant scenarios of MoCA/Strait.
+
+Replay itself lives where the consumers are:
+:class:`repro.workloads.loadgen.TraceReplayGenerator` turns the arrival
+column into simulator events, and ``repro.fleet`` routes each request to a
+node with its tenant's SLO accounting and its family's service demand.
+"""
+
+from repro.traces.generate import (
+    DAY_S,
+    TraceGenConfig,
+    default_trace_families,
+    default_trace_tenants,
+    expected_requests,
+    generate_trace,
+)
+from repro.traces.schema import (
+    TRACE_SCHEMA,
+    Trace,
+    TraceFamily,
+    TraceTenant,
+    load_trace,
+    save_trace,
+)
+
+__all__ = [
+    "DAY_S",
+    "TRACE_SCHEMA",
+    "Trace",
+    "TraceFamily",
+    "TraceGenConfig",
+    "TraceTenant",
+    "default_trace_families",
+    "default_trace_tenants",
+    "expected_requests",
+    "generate_trace",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,272 @@
+"""Versioned on-disk trace schema and the in-memory columnar trace.
+
+A trace file is JSONL (gzipped when the path ends in ``.gz``):
+
+* Line 1 — a header object::
+
+      {"schema": "repro.trace/1", "duration_s": 86400.0, "requests": 1000000,
+       "tenants": [{"name": "search", "slo_p99_ms": 60.0, "weight": 2.0}, ...],
+       "families": [{"name": "short", "demand": 0.5, "weight": 0.6}, ...],
+       "meta": {...}}
+
+* Lines 2..N+1 — one compact array per request::
+
+      [arrival_s, tenant_id, family_id]
+
+  ``arrival_s`` is the absolute arrival timestamp (seconds, non-decreasing);
+  ``tenant_id``/``family_id`` index the header's ``tenants``/``families``
+  lists. Per-request accelerator demand is the family's ``demand`` — rows
+  carry indices, not floats, so a million-request day stays compact.
+
+The in-memory :class:`Trace` holds the columns as numpy arrays, ready for
+vectorized statistics and zero-copy handoff to the replay generator.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Version tag written to (and required of) every trace file header.
+TRACE_SCHEMA = "repro.trace/1"
+
+
+@dataclass(frozen=True)
+class TraceTenant:
+    """One tenant appearing in a trace.
+
+    ``weight`` is the tenant's share of overall traffic (relative, not
+    normalized); ``slo_p99_ms`` is its p99 latency target, carried in the
+    trace so replay builds the fleet's SLO accounting from the data alone.
+    """
+
+    name: str
+    slo_p99_ms: float = 60.0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("trace tenant needs a name")
+        if self.slo_p99_ms <= 0:
+            raise ConfigurationError(f"tenant {self.name!r}: slo_p99_ms must be positive")
+        if self.weight <= 0:
+            raise ConfigurationError(f"tenant {self.name!r}: weight must be positive")
+
+
+@dataclass(frozen=True)
+class TraceFamily:
+    """One job family: a class of requests with a shared service demand.
+
+    ``demand`` multiplies the model's nominal per-request work (host compute,
+    PCIe transfer and accelerator op alike); ``weight`` is the family's
+    relative share of requests.
+    """
+
+    name: str
+    demand: float = 1.0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("trace family needs a name")
+        if self.demand <= 0:
+            raise ConfigurationError(f"family {self.name!r}: demand must be positive")
+        if self.weight <= 0:
+            raise ConfigurationError(f"family {self.name!r}: weight must be positive")
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A workload trace as parallel columns over requests.
+
+    Columns are index-aligned: request ``i`` arrives at ``arrivals_s[i]``,
+    belongs to ``tenants[tenant_ids[i]]`` and runs job family
+    ``families[family_ids[i]]``.
+    """
+
+    arrivals_s: np.ndarray
+    tenant_ids: np.ndarray
+    family_ids: np.ndarray
+    tenants: tuple[TraceTenant, ...]
+    families: tuple[TraceFamily, ...]
+    duration_s: float
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        arrivals = np.asarray(self.arrivals_s, dtype=np.float64)
+        tenant_ids = np.ascontiguousarray(self.tenant_ids, dtype=np.int32)
+        family_ids = np.ascontiguousarray(self.family_ids, dtype=np.int32)
+        object.__setattr__(self, "arrivals_s", arrivals)
+        object.__setattr__(self, "tenant_ids", tenant_ids)
+        object.__setattr__(self, "family_ids", family_ids)
+        if arrivals.ndim != 1 or tenant_ids.ndim != 1 or family_ids.ndim != 1:
+            raise ConfigurationError("trace columns must be one-dimensional")
+        if not (arrivals.size == tenant_ids.size == family_ids.size):
+            raise ConfigurationError("trace columns must be index-aligned")
+        if not self.tenants:
+            raise ConfigurationError("trace needs at least one tenant")
+        if not self.families:
+            raise ConfigurationError("trace needs at least one family")
+        if self.duration_s <= 0:
+            raise ConfigurationError("trace duration_s must be positive")
+        if arrivals.size:
+            if np.any(np.diff(arrivals) < 0):
+                raise ConfigurationError("trace arrivals must be non-decreasing")
+            if arrivals[0] < 0 or arrivals[-1] > self.duration_s:
+                raise ConfigurationError(
+                    "trace arrivals must lie within [0, duration_s]"
+                )
+            if tenant_ids.min() < 0 or tenant_ids.max() >= len(self.tenants):
+                raise ConfigurationError("tenant_ids out of range")
+            if family_ids.min() < 0 or family_ids.max() >= len(self.families):
+                raise ConfigurationError("family_ids out of range")
+
+    def __len__(self) -> int:
+        return int(self.arrivals_s.size)
+
+    @property
+    def demands(self) -> np.ndarray:
+        """Per-request accelerator demand (the family demand, gathered)."""
+        table = np.array([f.demand for f in self.families], dtype=np.float64)
+        return table[self.family_ids]
+
+    def tenant_request_counts(self) -> np.ndarray:
+        """Requests per tenant (index-aligned with :attr:`tenants`)."""
+        return np.bincount(self.tenant_ids, minlength=len(self.tenants))
+
+    def mean_rate_qps(self) -> float:
+        """Long-run mean arrival rate over the trace's full duration."""
+        return len(self) / self.duration_s
+
+    def header(self) -> dict[str, Any]:
+        """The JSON header object for this trace."""
+        return {
+            "schema": TRACE_SCHEMA,
+            "duration_s": self.duration_s,
+            "requests": len(self),
+            "tenants": [
+                {"name": t.name, "slo_p99_ms": t.slo_p99_ms, "weight": t.weight}
+                for t in self.tenants
+            ],
+            "families": [
+                {"name": f.name, "demand": f.demand, "weight": f.weight}
+                for f in self.families
+            ],
+            "meta": dict(self.meta),
+        }
+
+
+def _open(path: Path, mode: str) -> IO[str]:
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")  # type: ignore[return-value]
+    return open(path, mode, encoding="utf-8")
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` (gzipped when the name ends in ``.gz``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # Python lists of native scalars: repr() of a Python float is the
+    # shortest round-tripping decimal, so save→load is bit-exact.
+    arrivals = trace.arrivals_s.tolist()
+    tenant_ids = trace.tenant_ids.tolist()
+    family_ids = trace.family_ids.tolist()
+    with _open(path, "w") as fh:
+        fh.write(json.dumps(trace.header(), separators=(",", ":")) + "\n")
+        write = fh.write
+        for arrival, tenant, family in zip(arrivals, tenant_ids, family_ids):
+            write(f"[{arrival!r},{tenant},{family}]\n")
+
+
+def _parse_header(line: str, path: Path) -> dict[str, Any]:
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path}: malformed trace header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ConfigurationError(f"{path}: trace header must be an object")
+    schema = header.get("schema")
+    if schema != TRACE_SCHEMA:
+        raise ConfigurationError(
+            f"{path}: unsupported trace schema {schema!r} "
+            f"(expected {TRACE_SCHEMA!r})"
+        )
+    return header
+
+
+def _iter_rows(fh: IO[str], path: Path) -> Iterator[Sequence[Any]]:
+    for lineno, line in enumerate(fh, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{path}:{lineno}: malformed trace row: {exc}"
+            ) from exc
+        if not isinstance(row, list) or len(row) != 3:
+            raise ConfigurationError(
+                f"{path}:{lineno}: trace row must be [arrival_s, tenant_id, "
+                "family_id]"
+            )
+        yield row
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Load a trace file written by :func:`save_trace`."""
+    path = Path(path)
+    try:
+        fh = _open(path, "r")
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read trace {path}: {exc}") from exc
+    with fh:
+        first = fh.readline()
+        if not first:
+            raise ConfigurationError(f"{path}: empty trace file")
+        header = _parse_header(first, path)
+        tenants = tuple(
+            TraceTenant(
+                name=t["name"],
+                slo_p99_ms=float(t.get("slo_p99_ms", 60.0)),
+                weight=float(t.get("weight", 1.0)),
+            )
+            for t in header.get("tenants", [])
+        )
+        families = tuple(
+            TraceFamily(
+                name=f["name"],
+                demand=float(f.get("demand", 1.0)),
+                weight=float(f.get("weight", 1.0)),
+            )
+            for f in header.get("families", [])
+        )
+        arrivals: list[float] = []
+        tenant_ids: list[int] = []
+        family_ids: list[int] = []
+        for row in _iter_rows(fh, path):
+            arrivals.append(float(row[0]))
+            tenant_ids.append(int(row[1]))
+            family_ids.append(int(row[2]))
+    declared = header.get("requests")
+    if declared is not None and int(declared) != len(arrivals):
+        raise ConfigurationError(
+            f"{path}: header declares {declared} requests, file has "
+            f"{len(arrivals)}"
+        )
+    return Trace(
+        arrivals_s=np.asarray(arrivals, dtype=np.float64),
+        tenant_ids=np.asarray(tenant_ids, dtype=np.int32),
+        family_ids=np.asarray(family_ids, dtype=np.int32),
+        tenants=tenants,
+        families=families,
+        duration_s=float(header["duration_s"]),
+        meta=header.get("meta", {}),
+    )

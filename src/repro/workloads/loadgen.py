@@ -7,7 +7,7 @@ serially for the illustrative Fig 3 trace. Both modes are provided.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -15,6 +15,7 @@ from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:
     from repro.sim import Simulator
+    from repro.sim.events import EventHandle
     from repro.workloads.ml.base import InferenceServerTask
 
 
@@ -37,6 +38,7 @@ class OpenLoopGenerator:
         self._rng = rng
         self._deterministic = deterministic
         self._stopped = True
+        self._pending: "EventHandle | None" = None
         self.generated = 0
 
     def start(self) -> None:
@@ -56,8 +58,16 @@ class OpenLoopGenerator:
         self._schedule_next()
 
     def stop(self) -> None:
-        """Stop generating further arrivals."""
+        """Stop generating further arrivals.
+
+        Cancels the pending arrival event: a chain merely flagged as stopped
+        would resume if the generator were restarted before the stale event
+        fired, doubling the offered rate from then on.
+        """
         self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
 
     def _schedule_next(self) -> None:
         if self._stopped:
@@ -66,13 +76,90 @@ class OpenLoopGenerator:
             gap = 1.0 / self.rate_qps
         else:
             gap = float(self._rng.exponential(1.0 / self.rate_qps))
-        self.sim.after(gap, self._fire, label="loadgen:arrival")
+        self._pending = self.sim.after(gap, self._fire, label="loadgen:arrival")
 
     def _fire(self) -> None:
         if self._stopped:
             return
+        self._pending = None
         self.generated += 1
         self.submit()
+        self._schedule_next()
+
+
+class TraceReplayGenerator:
+    """Replays a fixed arrival schedule — trace-driven open-loop load.
+
+    ``arrivals_s`` is a non-decreasing sequence of absolute simulated
+    timestamps (typically a :class:`repro.traces.Trace` arrival column);
+    ``submit`` receives the *index* of each firing arrival so the caller can
+    look up per-request attributes (tenant, job family, demand) in the
+    trace's parallel columns.
+
+    Arrivals are chained one event at a time — a million-request trace never
+    holds more than one pending arrival event in the simulator heap.
+    Arrivals earlier than the simulated clock at :meth:`start` are skipped
+    (they are in the past); arrivals beyond the run horizon simply never
+    fire.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        arrivals_s: Sequence[float] | np.ndarray,
+        submit: Callable[[int], None],
+    ) -> None:
+        self.sim = sim
+        self.arrivals = np.asarray(arrivals_s, dtype=np.float64)
+        if self.arrivals.ndim != 1:
+            raise ConfigurationError("arrivals_s must be one-dimensional")
+        if self.arrivals.size and np.any(np.diff(self.arrivals) < 0):
+            raise ConfigurationError("trace arrivals must be non-decreasing")
+        self.submit = submit
+        self._stopped = True
+        self._pending: "EventHandle | None" = None
+        self._next = 0
+        self.generated = 0
+
+    @property
+    def remaining(self) -> int:
+        """Arrivals not yet fired (including any the run may never reach)."""
+        return int(self.arrivals.size - self._next)
+
+    def start(self) -> None:
+        """Begin replaying from the first arrival at or after ``sim.now``."""
+        if not self._stopped:
+            raise ConfigurationError(
+                "trace replay generator already running; stop() before "
+                "restarting"
+            )
+        self._stopped = False
+        self._next = int(np.searchsorted(self.arrivals, self.sim.now, "left"))
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop replaying (cancelling the pending arrival event)."""
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _schedule_next(self) -> None:
+        if self._stopped or self._next >= self.arrivals.size:
+            return
+        delay = float(self.arrivals[self._next]) - self.sim.now
+        self._pending = self.sim.after(
+            max(0.0, delay), self._fire, label="loadgen:trace"
+        )
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._pending = None
+        index = self._next
+        self._next = index + 1
+        self.generated += 1
+        self.submit(index)
         self._schedule_next()
 
 

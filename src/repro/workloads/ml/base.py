@@ -289,7 +289,9 @@ class TrainingTask(Task):
         if self._host_work is None:
             return
         self._host_work.sync(self.sim.now)
-        if not self._host_work.done:
+        if not self._host_work.done and not self._host_work.retire_residue(
+            now=self.sim.now
+        ):
             self._reschedule_host()
             return
         self._host_work = None
@@ -358,6 +360,8 @@ class _Lane:
     """One in-flight request."""
 
     request_start: float
+    #: Service-demand multiplier (1.0 = the spec's nominal request).
+    demand: float = 1.0
     iteration: int = 0
     work: FluidWork | None = None
     handle: EventHandle | None = None
@@ -389,26 +393,37 @@ class InferenceServerTask(Task):
         self.recorder = LatencyRecorder(warmup_until=warmup_until)
         self.tracer = tracer
         self.completion_listeners: list[Callable[[float, float], None]] = []
-        self._pending: deque[float] = deque()
+        self._pending: deque[tuple[float, float]] = deque()
         self._lanes: set[_Lane] = set()
         self._host_lanes: set[_Lane] = set()
         self._host_speed = 1.0
         #: id(result) -> (result, speed); see TrainingTask._speed_memo.
         self._speed_memo: dict[int, tuple] = {}
+        #: demand multiplier -> scaled OpCost. Demands come from a small set
+        #: of trace job families, so this stays a handful of entries.
+        self._op_memo: dict[float, OpCost] = {}
         self._lane_label = f"{task_id}:lane"
         self.submitted = 0
 
     # ----------------------------------------------------------- submission
-    def submit(self) -> None:
-        """Accept one request at the current simulated time."""
+    def submit(self, demand: float = 1.0) -> None:
+        """Accept one request at the current simulated time.
+
+        ``demand`` scales the request's service requirement — host compute,
+        PCIe transfer volume and accelerator op — relative to the spec's
+        nominal request (trace job families with heterogeneous accelerator
+        demand). The default of 1.0 is exactly the pre-trace behaviour.
+        """
         if not self.started:
             raise WorkloadError("server not started")
+        if demand <= 0:
+            raise WorkloadError(f"request demand must be positive, got {demand}")
         self.submitted += 1
         now = self.sim.now
         if len(self._lanes) < self.spec.max_inflight:
-            self._start_lane(now)
+            self._start_lane(now, demand)
         else:
-            self._pending.append(now)
+            self._pending.append((now, demand))
 
     @property
     def inflight(self) -> int:
@@ -495,14 +510,28 @@ class InferenceServerTask(Task):
         return self.recorder.tail(q)
 
     # ------------------------------------------------------------ internal
-    def _start_lane(self, request_start: float) -> None:
-        lane = _Lane(request_start=request_start)
+    def _start_lane(self, request_start: float, demand: float = 1.0) -> None:
+        lane = _Lane(request_start=request_start, demand=demand)
         lane.finisher = lambda: self._host_complete(lane)
         self._lanes.add(lane)
         self._enter_host(lane)
 
+    def _op_for(self, demand: float) -> OpCost:
+        """The accelerator op scaled by ``demand`` (memoized per family)."""
+        if demand == 1.0:
+            return self.spec.accel_op
+        op = self._op_memo.get(demand)
+        if op is None:
+            base = self.spec.accel_op
+            op = OpCost(
+                gflops=base.gflops * demand,
+                local_bytes_gb=base.local_bytes_gb * demand,
+            )
+            self._op_memo[demand] = op
+        return op
+
     def _enter_host(self, lane: _Lane) -> None:
-        lane.work = FluidWork(self.spec.host_time, now=self.sim.now)
+        lane.work = FluidWork(self.spec.host_time * lane.demand, now=self.sim.now)
         self._host_lanes.add(lane)
         if self.tracer is not None and len(self._host_lanes) == 1:
             self.tracer.begin(self.task_id, "cpu", self.sim.now)
@@ -535,7 +564,9 @@ class InferenceServerTask(Task):
         if lane.work is None:
             return
         lane.work.sync(self.sim.now)
-        if not lane.work.done:
+        if not lane.work.done and not lane.work.retire_residue(
+            now=self.sim.now
+        ):
             self._reschedule(lane)
             return
         lane.work = None
@@ -551,20 +582,25 @@ class InferenceServerTask(Task):
     def _enter_pcie_in(self, lane: _Lane) -> None:
         if self.tracer is not None:
             self.tracer.begin(self.task_id, "communication", self.sim.now)
-        self.pcie_in.transfer(self.spec.pcie_in_gb, lambda: self._enter_accel(lane))
+        self.pcie_in.transfer(
+            self.spec.pcie_in_gb * lane.demand, lambda: self._enter_accel(lane)
+        )
 
     def _enter_accel(self, lane: _Lane) -> None:
         if self.tracer is not None:
             self.tracer.end(self.task_id, "communication", self.sim.now)
             self.tracer.begin(self.task_id, "tpu", self.sim.now)
-        self.device.submit(self.spec.accel_op, lambda: self._enter_pcie_out(lane))
+        self.device.submit(
+            self._op_for(lane.demand), lambda: self._enter_pcie_out(lane)
+        )
 
     def _enter_pcie_out(self, lane: _Lane) -> None:
         if self.tracer is not None:
             self.tracer.end(self.task_id, "tpu", self.sim.now)
             self.tracer.begin(self.task_id, "communication", self.sim.now)
         self.pcie_out.transfer(
-            self.spec.pcie_out_gb, lambda: self._iteration_complete(lane)
+            self.spec.pcie_out_gb * lane.demand,
+            lambda: self._iteration_complete(lane),
         )
 
     def _iteration_complete(self, lane: _Lane) -> None:
@@ -580,4 +616,4 @@ class InferenceServerTask(Task):
         for listener in list(self.completion_listeners):
             listener(lane.request_start, now)
         if self._pending and len(self._lanes) < self.spec.max_inflight:
-            self._start_lane(self._pending.popleft())
+            self._start_lane(*self._pending.popleft())

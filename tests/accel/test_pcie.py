@@ -57,3 +57,28 @@ class TestPcieLink:
         sim.run_until(5.0)
         assert link.bytes_moved_gb == pytest.approx(5.0)
         assert link.active_transfers == 0
+
+    def test_late_clock_transfer_never_strands(self, sim: Simulator) -> None:
+        """Regression: float residue at the completion event must retire.
+
+        With a large simulated clock, the event time ``now + remaining/rate``
+        rounds by up to ulp(now)/2, so the finisher can fire with more work
+        left than FluidWork's epsilon. The old stale-event guard returned
+        without rescheduling, stranding the transfer (and the inference
+        request riding it) until an unrelated transfer rebalanced the link —
+        forever, on a near-idle node. Sweep many start offsets late in a
+        day-long clock so some land on the unfavourable rounding.
+        """
+        link = PcieLink(PcieSpec(peak_bw_gbps=12.0), sim, name="late")
+        completed = [0]
+        starts = [86_000.0 + i * 0.618 for i in range(200)]
+        for start in starts:
+            sim.at(
+                start,
+                lambda: link.transfer(
+                    0.0024, lambda: completed.__setitem__(0, completed[0] + 1)
+                ),
+            )
+        sim.run_until(87_000.0)
+        assert completed[0] == len(starts)
+        assert link.active_transfers == 0

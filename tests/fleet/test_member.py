@@ -64,18 +64,21 @@ class TestAssembly:
 class TestAttribution:
     def test_completion_attributed_to_submitting_tenant(self, factory):
         sim = Simulator()
-        seen: list[tuple[int, float, float]] = []
+        seen: list[tuple[int, bool, float, float]] = []
 
-        def on_complete(member, tenant, start, end):
-            seen.append((tenant, start, end))
+        def on_complete(member, tenant, counted, start, end):
+            seen.append((tenant, counted, start, end))
 
         member = _member(sim, factory, on_complete=on_complete)
         member.start()
         sim.at(0.10, lambda: member.submit(3))
-        sim.at(0.20, lambda: member.submit(7))
+        sim.at(0.20, lambda: member.submit(7, counted=False))
         sim.run_until(2.0)
-        assert [tenant for tenant, _, _ in seen] == [3, 7]
-        for tenant, start, end in seen:
+        assert [(tenant, counted) for tenant, counted, _, _ in seen] == [
+            (3, True),
+            (7, False),
+        ]
+        for _, _, start, end in seen:
             assert end > start
         # The owner map drains as requests complete.
         assert not member._owners

@@ -87,6 +87,53 @@ class TestDeterminism:
         assert result.offered_total == pytest.approx(50.0 * window, abs=2)
 
 
+class TestWarmupAccounting:
+    """The admission-epoch fix: attainment can never exceed 1.0."""
+
+    def test_attainment_bounded_by_one(self):
+        """Regression: completions whose admission preceded warmup must not
+        be recorded — a completed count above offered breaks attainment."""
+        # A warmup long enough that many pre-warmup admissions complete
+        # after the boundary — the case that used to inflate completions.
+        result = run_fleet(_config(nodes=1, duration=4.0, warmup=2.0))
+        assert result.completed_total <= result.offered_total
+        for tenant in result.tenants:
+            assert tenant.completed <= tenant.offered
+            assert tenant.attainment <= 1.0
+
+    def test_pre_warmup_admissions_not_counted(self):
+        """A run whose horizon barely clears warmup still balances: every
+        recorded completion maps to a post-warmup admission."""
+        result = run_fleet(_config(nodes=2, duration=2.5, warmup=2.0))
+        assert result.completed_total <= result.offered_total
+        assert result.good_total <= result.completed_total
+
+    def test_windowed_accounting_rows(self):
+        result = run_fleet(_config(window_s=0.5))
+        assert result.windows
+        assert result.window_fleet
+        offered = 0
+        for row in result.windows:
+            assert 0.0 <= row["attainment"] <= 1.0
+            assert row["completed"] <= row["offered"]
+            # Windows bucket by admission time, which is post-warmup only.
+            assert row["start_s"] + 0.5 > result.config.warmup
+            offered += row["offered"]
+        assert offered == result.offered_total
+        fleet_offered = sum(row["offered"] for row in result.window_fleet)
+        assert fleet_offered == result.offered_total
+        for row in result.window_fleet:
+            assert 0.0 <= row["fraction_saturated"] <= 1.0
+        summary = result.summary()
+        assert summary["windows"] == list(result.windows)
+        assert summary["window_fleet"] == list(result.window_fleet)
+
+    def test_no_window_config_emits_no_rows(self, small_run):
+        assert small_run.windows == ()
+        assert small_run.window_fleet == ()
+        assert "windows" not in small_run.summary()
+
+
 class TestOptions:
     def test_collect_telemetry_off(self):
         result = FleetOrchestrator(_config(), collect_telemetry=False).run()

@@ -60,6 +60,23 @@ class TestStreamingPercentiles:
         p.clear()
         assert p.count == 0
 
+    def test_clear_restores_fresh_reservoir_determinism(self) -> None:
+        """Regression: clear() must re-seed the reservoir RNG.
+
+        A cleared estimator left with an advanced RNG would reservoir-sample
+        differently from a fresh one past the cap, breaking replay
+        determinism for any component that reuses an estimator.
+        """
+        fresh = StreamingPercentiles(max_samples=8, seed=5)
+        reused = StreamingPercentiles(max_samples=8, seed=5)
+        for v in range(100):
+            reused.add(float(v))  # advances the reservoir RNG past the cap
+        reused.clear()
+        for v in range(500):
+            fresh.add(float(v))
+            reused.add(float(v))
+        assert reused._samples == fresh._samples
+
     def test_invalid_cap(self) -> None:
         with pytest.raises(MeasurementError):
             StreamingPercentiles(max_samples=0)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.errors import SimulationError
@@ -73,3 +75,41 @@ class TestFluidWork:
         work.sync(2.0)
         work.sync(2.0)
         assert work.remaining == pytest.approx(8.0)
+
+
+class TestRetireResidue:
+    """Regression: event-time rounding can leave residue above _EPSILON.
+
+    A completion event scheduled ``remaining / rate`` ahead fires at an
+    absolute float timestamp rounded by up to ``ulp(now) / 2``, leaving up
+    to ~``rate * ulp(now)`` of work undrained — which exceeds the 1e-12
+    epsilon once the clock is large. Before the fix, the PCIe finisher
+    treated that state as a stale event and returned, stranding the
+    transfer (and its inference request) forever; day-long trace replays
+    showed multi-minute latencies on near-idle nodes.
+    """
+
+    def test_retires_clock_scale_residue(self) -> None:
+        # rate * ulp(86400) ~ 1.7e-10 at rate 12: representative of the
+        # observed strand (1.8e-12 left on a 0.0024 GB PCIe transfer).
+        work = FluidWork(0.0024, now=86400.0)
+        work.set_rate(12.0, now=86400.0)
+        fire_at = 86400.0 + work.eta()
+        fire_at = math.nextafter(fire_at, 0.0)  # event rounded down one ulp
+        work.sync(fire_at)
+        assert not work.done  # the residue survives the final sync...
+        assert work.retire_residue(now=fire_at)  # ...and is retired
+        assert work.done
+
+    def test_refuses_substantial_remainder(self) -> None:
+        work = FluidWork(10.0)
+        work.set_rate(1.0, now=0.0)
+        work.sync(4.0)  # 6.0 genuinely left: a stale event, not residue
+        assert not work.retire_residue(now=4.0)
+        assert work.remaining == pytest.approx(6.0)
+
+    def test_done_work_is_trivially_retired(self) -> None:
+        work = FluidWork(1.0)
+        work.set_rate(1.0, now=0.0)
+        work.sync(2.0)
+        assert work.retire_residue(now=2.0)

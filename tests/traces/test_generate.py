@@ -1,0 +1,195 @@
+"""Synthetic trace generator: determinism, rate calibration, knob effects."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces import (
+    TraceFamily,
+    TraceGenConfig,
+    TraceTenant,
+    expected_requests,
+    generate_trace,
+)
+
+
+def _config(**overrides) -> TraceGenConfig:
+    defaults = dict(seed=7, duration_s=600.0, rate_qps=50.0)
+    defaults.update(overrides)
+    return TraceGenConfig(**defaults)
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self):
+        a = generate_trace(_config())
+        b = generate_trace(_config())
+        assert np.array_equal(a.arrivals_s, b.arrivals_s)
+        assert np.array_equal(a.tenant_ids, b.tenant_ids)
+        assert np.array_equal(a.family_ids, b.family_ids)
+
+    def test_different_seed_differs(self):
+        a = generate_trace(_config(seed=7))
+        b = generate_trace(_config(seed=8))
+        assert not np.array_equal(a.arrivals_s, b.arrivals_s)
+
+    def test_adding_a_tenant_preserves_existing_streams(self):
+        """Per-tenant RNG streams: tenant 0's arrivals depend only on its
+        own seed and base rate, not on how many tenants share the trace."""
+        a = generate_trace(_config(rate_qps=30.0, tenants=(TraceTenant("a"),)))
+        b = generate_trace(
+            _config(
+                rate_qps=60.0,  # equal weights: tenant 0 keeps 30 qps
+                tenants=(TraceTenant("a"), TraceTenant("x")),
+            )
+        )
+        assert np.array_equal(a.arrivals_s, b.arrivals_s[b.tenant_ids == 0])
+
+
+class TestRateCalibration:
+    def test_diurnal_rate_integral_matches_request_count(self):
+        """Pure-diurnal traces are Poisson with mean = the rate integral."""
+        config = _config(
+            seed=2,
+            duration_s=3600.0,
+            rate_qps=30.0,
+            diurnal_amplitude=0.5,
+            burst_multiplier=1.0,
+            churn_idle_s=0.0,
+        )
+        trace = generate_trace(config)
+        expected = expected_requests(config)
+        assert len(trace) == pytest.approx(expected, abs=5 * math.sqrt(expected))
+
+    def test_flat_expected_count_is_rate_times_duration(self):
+        config = _config(diurnal_amplitude=0.0)
+        assert expected_requests(config) == pytest.approx(
+            config.rate_qps * config.duration_s
+        )
+
+    def test_full_day_diurnal_integral_is_mean_one(self):
+        config = _config(duration_s=86400.0, diurnal_amplitude=0.4)
+        assert expected_requests(config) == pytest.approx(
+            config.rate_qps * config.duration_s, rel=1e-9
+        )
+
+    def test_burst_normalization_keeps_long_run_mean(self):
+        """Bursty traces keep rate_qps as the long-run mean (within noise)."""
+        config = _config(
+            seed=5,
+            duration_s=7200.0,
+            rate_qps=20.0,
+            diurnal_amplitude=0.0,
+            burst_multiplier=6.0,
+            burst_on_s=20.0,
+            burst_off_s=80.0,
+        )
+        trace = generate_trace(config)
+        assert len(trace) == pytest.approx(
+            config.rate_qps * config.duration_s, rel=0.10
+        )
+
+    def test_tenant_weights_split_traffic(self):
+        config = _config(
+            duration_s=2000.0,
+            rate_qps=50.0,
+            tenants=(
+                TraceTenant("heavy", weight=3.0),
+                TraceTenant("light", weight=1.0),
+            ),
+            burst_multiplier=1.0,
+        )
+        counts = generate_trace(config).tenant_request_counts()
+        assert counts[0] / counts.sum() == pytest.approx(0.75, abs=0.03)
+
+
+class TestKnobs:
+    def test_bursts_increase_variance(self):
+        """ON/OFF modulation makes per-second counts over-dispersed."""
+        flat = generate_trace(
+            _config(seed=3, duration_s=3600.0, diurnal_amplitude=0.0,
+                    burst_multiplier=1.0)
+        )
+        bursty = generate_trace(
+            _config(seed=3, duration_s=3600.0, diurnal_amplitude=0.0,
+                    burst_multiplier=8.0, burst_on_s=20.0, burst_off_s=180.0)
+        )
+        bins = np.arange(0.0, 3600.0 + 1.0, 10.0)
+        flat_counts = np.histogram(flat.arrivals_s, bins=bins)[0]
+        bursty_counts = np.histogram(bursty.arrivals_s, bins=bins)[0]
+        flat_index = flat_counts.var() / flat_counts.mean()
+        bursty_index = bursty_counts.var() / bursty_counts.mean()
+        assert bursty_index > 2.0 * flat_index
+
+    def test_churn_creates_idle_gaps(self):
+        """A churning tenant has long spans with no arrivals at all."""
+        config = _config(
+            seed=9,
+            duration_s=3600.0,
+            rate_qps=30.0,
+            tenants=(TraceTenant("solo"),),
+            diurnal_amplitude=0.0,
+            burst_multiplier=1.0,
+            churn_active_s=300.0,
+            churn_idle_s=300.0,
+        )
+        trace = generate_trace(config)
+        gaps = np.diff(trace.arrivals_s)
+        # The largest inter-arrival gap spans an idle period — orders of
+        # magnitude above the ~1/60 s mean gap while active.
+        assert gaps.max() > 60.0
+
+    def test_diurnal_peak_hour_shifts_load(self):
+        config = _config(
+            seed=4,
+            duration_s=86400.0,
+            rate_qps=2.0,
+            diurnal_amplitude=0.8,
+            diurnal_peak_hour=6.0,
+            burst_multiplier=1.0,
+        )
+        trace = generate_trace(config)
+        hours = (trace.arrivals_s // 3600).astype(int)
+        by_hour = np.bincount(hours, minlength=24)
+        peak_window = by_hour[5:8].sum() / 3
+        trough_window = (by_hour[17:20]).sum() / 3
+        assert peak_window > 2.0 * trough_window
+
+    def test_family_mix_follows_weights(self):
+        config = _config(
+            duration_s=2000.0,
+            families=(
+                TraceFamily("small", demand=0.5, weight=0.8),
+                TraceFamily("big", demand=4.0, weight=0.2),
+            ),
+        )
+        trace = generate_trace(config)
+        share = (trace.family_ids == 0).mean()
+        assert share == pytest.approx(0.8, abs=0.03)
+        assert set(np.unique(trace.demands)) <= {0.5, 4.0}
+
+    def test_scales_to_a_million_requests(self):
+        """The headline scale point: 1M requests generate vectorized."""
+        config = _config(
+            seed=1, duration_s=86400.0, rate_qps=1_000_000 / 86400.0
+        )
+        trace = generate_trace(config)
+        assert len(trace) == pytest.approx(1_000_000, rel=0.05)
+        assert np.all(np.diff(trace.arrivals_s) >= 0)
+
+
+class TestValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ConfigurationError):
+            _config(rate_qps=0.0)
+        with pytest.raises(ConfigurationError):
+            _config(diurnal_amplitude=1.0)
+        with pytest.raises(ConfigurationError):
+            _config(burst_multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            _config(churn_idle_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            _config(tenants=())

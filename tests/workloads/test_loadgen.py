@@ -11,6 +11,7 @@ from repro.workloads.loadgen import (
     ClosedLoopGenerator,
     OpenLoopGenerator,
     SerialGenerator,
+    TraceReplayGenerator,
 )
 
 
@@ -104,6 +105,99 @@ class TestOpenLoop:
         gen.start()
         sim.run_until(3.0)
         assert count[0] == pytest.approx(after_stop + 10, abs=1)
+
+    def test_immediate_restart_does_not_double_rate(self, sim: Simulator) -> None:
+        """Regression: stop() must cancel the pending arrival event.
+
+        Before the fix, stop() only set a flag: a restart before the stale
+        event fired resumed the *old* chain alongside the new one, doubling
+        the offered rate for the rest of the run.
+        """
+        count = [0]
+        gen = OpenLoopGenerator(
+            sim, rate_qps=10.0, submit=lambda: count.__setitem__(0, count[0] + 1),
+            rng=np.random.default_rng(0), deterministic=True,
+        )
+        gen.start()
+        sim.run_until(0.55)  # arrivals at .1..{.5}; one pending at .6
+        gen.stop()
+        gen.start()  # restart while the cancelled event is still in the heap
+        sim.run_until(1.55)
+        # 5 before the restart, then a fresh chain at 0.65, 0.75, ... 1.45:
+        # 14 total. The leaked old chain would have added ~10 more.
+        assert count[0] == 14
+
+
+class TestTraceReplay:
+    def test_replays_exact_schedule(self, sim: Simulator) -> None:
+        fired: list[tuple[int, float]] = []
+        arrivals = [0.25, 0.5, 0.5, 1.75]
+        gen = TraceReplayGenerator(
+            sim, arrivals, submit=lambda i: fired.append((i, sim.now))
+        )
+        gen.start()
+        sim.run_until(2.0)
+        assert fired == [(0, 0.25), (1, 0.5), (2, 0.5), (3, 1.75)]
+        assert gen.generated == 4
+        assert gen.remaining == 0
+
+    def test_indices_allow_column_lookup(self, sim: Simulator) -> None:
+        tenants = np.array([3, 1, 4])
+        seen: list[int] = []
+        gen = TraceReplayGenerator(
+            sim, [0.1, 0.2, 0.3], submit=lambda i: seen.append(int(tenants[i]))
+        )
+        gen.start()
+        sim.run_until(1.0)
+        assert seen == [3, 1, 4]
+
+    def test_horizon_cuts_replay(self, sim: Simulator) -> None:
+        fired: list[int] = []
+        gen = TraceReplayGenerator(
+            sim, [0.1, 0.2, 5.0, 6.0], submit=fired.append
+        )
+        gen.start()
+        sim.run_until(1.0)
+        assert fired == [0, 1]
+        assert gen.remaining == 2
+
+    def test_start_skips_past_arrivals(self, sim: Simulator) -> None:
+        fired: list[int] = []
+        gen = TraceReplayGenerator(
+            sim, [0.1, 0.2, 0.6, 0.9], submit=fired.append
+        )
+        sim.run_until(0.5)  # the clock moves before replay begins
+        gen.start()
+        sim.run_until(1.0)
+        assert fired == [2, 3]
+
+    def test_stop_cancels_pending_and_restart_resumes(self, sim: Simulator) -> None:
+        fired: list[int] = []
+        gen = TraceReplayGenerator(
+            sim, [0.1, 0.2, 0.6, 0.9], submit=fired.append
+        )
+        gen.start()
+        sim.run_until(0.3)
+        gen.stop()
+        gen.start()  # stale pending event must not fire twice
+        sim.run_until(2.0)
+        assert fired == [0, 1, 2, 3]
+
+    def test_start_while_running_raises(self, sim: Simulator) -> None:
+        gen = TraceReplayGenerator(sim, [0.1], submit=lambda i: None)
+        gen.start()
+        with pytest.raises(ConfigurationError):
+            gen.start()
+
+    def test_rejects_decreasing_arrivals(self, sim: Simulator) -> None:
+        with pytest.raises(ConfigurationError):
+            TraceReplayGenerator(sim, [1.0, 0.5], submit=lambda i: None)
+
+    def test_empty_trace_is_a_no_op(self, sim: Simulator) -> None:
+        gen = TraceReplayGenerator(sim, [], submit=lambda i: None)
+        gen.start()
+        sim.run_until(1.0)
+        assert gen.generated == 0
 
 
 class TestClosedLoopListeners:
