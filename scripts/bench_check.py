@@ -2,16 +2,16 @@
 """Perf regression gate: fresh bench JSON vs the committed baseline.
 
 Compares the serial cache-on suite timings of a fresh ``bench_smoke.py``
-report against the committed baseline (``BENCH_PR7.json``), per experiment
+report against the committed baseline (``BENCH_PR8.json``), per experiment
 and in total, plus the trace-scale replay wall when both reports carry the
-probe at the same request count, with a generous tolerance — CI runners are
-noisy, so the gate only catches real regressions (default: 40% over
-baseline fails).
+probe at the same request count and the incident-loop probe wall, with a
+generous tolerance — CI runners are noisy, so the gate only catches real
+regressions (default: 40% over baseline fails).
 
 Usage::
 
     python scripts/bench_smoke.py --out /tmp/bench-ci.json
-    python scripts/bench_check.py --baseline BENCH_PR7.json \
+    python scripts/bench_check.py --baseline BENCH_PR8.json \
         --current /tmp/bench-ci.json
 
 Exit status 0 when every comparison is within tolerance, 1 otherwise.
@@ -35,8 +35,8 @@ def load_report(path: str) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--baseline", default="BENCH_PR7.json",
-        help="committed reference report (default: BENCH_PR7.json)",
+        "--baseline", default="BENCH_PR8.json",
+        help="committed reference report (default: BENCH_PR8.json)",
     )
     parser.add_argument(
         "--current", required=True, help="freshly generated report to check"
@@ -97,6 +97,17 @@ def main(argv: list[str] | None = None) -> int:
             )
     elif base_trace:
         print("note: current report has no trace probe; skipped")
+
+    base_incidents = baseline_report.get("incidents")
+    cur_incidents = current_report.get("incidents")
+    if base_incidents and cur_incidents:
+        check(
+            "incident loop",
+            base_incidents["wall_s"],
+            cur_incidents["wall_s"],
+        )
+    elif base_incidents:
+        print("note: current report has no incidents probe; skipped")
 
     width = max(len(name) for name, *_ in rows)
     print(f"{'experiment':<{width}}  baseline  current   limit")

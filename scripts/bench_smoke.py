@@ -3,8 +3,10 @@
 
 Runs a fixed, representative slice of the experiment registry four ways —
 serial/parallel x cache-on/cache-off — plus one instrumented colocation mix,
-one small fleet-sim run, and one trace-scale probe (synthesize a 1M-request
-24h trace, replay it over a 4-node fleet), and writes a JSON trajectory
+one small fleet-sim run, one trace-scale probe (synthesize a 1M-request
+24h trace, replay it over a 4-node fleet), and one incident-loop probe
+(inject / detect / remediate / score over an hour of traffic), and writes
+a JSON trajectory
 (wall-clock per experiment, solver cache hit-rate, events dispatched) that
 later PRs can compare against.
 
@@ -172,6 +174,50 @@ def _timed_trace(requests_target: int) -> dict:
     }
 
 
+def _timed_incidents() -> dict:
+    """The incident-loop probe: inject, detect, remediate, score.
+
+    One hour of generated traffic, all five incident classes, three runs
+    of the same trace (clean / no-remediation / remediation) — the
+    fleet-incidents family's full counterfactual pipeline. The wall
+    covers all three runs plus detection, localization, playbook
+    execution and scoring; the scorecard numbers double as a sanity
+    check that the committed probe still detects and remediates.
+    """
+    from repro.experiments.fleet_incidents import run_fleet_incidents
+    from repro.traces import TraceGenConfig
+
+    set_cache_default(True)
+    _fresh_state()
+    gen = TraceGenConfig(
+        seed=3, duration_s=3600.0, rate_qps=1.0, burst_multiplier=1.0
+    )
+    started = time.perf_counter()
+    result = run_fleet_incidents(
+        gen=gen,
+        nodes=3,
+        routing="random",
+        interval=10.0,
+        warmup=20.0,
+        seed=7,
+        incident_seed=5,
+    )
+    wall = time.perf_counter() - started
+    card = result.scorecards[0]
+    return {
+        "wall_s": round(wall, 3),
+        "requests": result.requests,
+        "incidents": len(result.schedule),
+        "detected": sum(
+            1 for s in card.incidents if s.detection_latency_s is not None
+        ),
+        "localized": sum(1 for s in card.incidents if s.localization_correct),
+        "damage_norem": card.total_damage_norem,
+        "damage_rem": card.total_damage_rem,
+        "damage_avoided": card.total_damage_norem - card.total_damage_rem,
+    }
+
+
 def _timed_batch_probe(variants: int = 64) -> dict:
     """Vectorized what-if vs the scalar reference over one live source set.
 
@@ -262,6 +308,7 @@ def main(argv: list[str] | None = None) -> int:
     trace = (
         _timed_trace(args.trace_requests) if args.trace_requests > 0 else None
     )
+    incidents = _timed_incidents()
     set_cache_default(None)
 
     report = {
@@ -317,6 +364,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
         },
         "trace": trace,
+        "incidents": incidents,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
@@ -359,6 +407,12 @@ def main(argv: list[str] | None = None) -> int:
             f"{trace['generate_wall_s']}s, replay {trace['replay_wall_s']}s "
             f"({trace['events_per_s']} events/s)"
         )
+    print(
+        f"incidents: {incidents['wall_s']}s for 3 runs, "
+        f"{incidents['detected']}/{incidents['incidents']} detected, "
+        f"{incidents['localized']}/{incidents['incidents']} localized, "
+        f"damage {incidents['damage_norem']} -> {incidents['damage_rem']}"
+    )
     return 0
 
 

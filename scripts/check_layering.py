@@ -13,7 +13,10 @@ package imports a layer it must not know about:
   ``repro.experiments`` or ``repro.fleet`` (the control plane serves the
   harnesses, never the reverse);
 * ``repro.hostif`` — the simulated host interfaces — must not import
-  ``repro.core`` (a kernel interface does not know which policy drives it).
+  ``repro.core`` (a kernel interface does not know which policy drives it);
+* ``repro.fleet`` / ``repro.control`` / ``repro.obs`` — must not import
+  ``repro.incidents`` (the incident layer watches and manipulates the
+  fleet through its public hooks; nothing below it may know it exists).
 
 Exit status: 0 when clean, 1 with one ``file:line`` diagnostic per
 violation.
@@ -34,8 +37,10 @@ from pathlib import Path
 #: module file below the layer's directory).
 FORBIDDEN: dict[str, frozenset[str]] = {
     "hw": frozenset({"core", "control"}),
-    "control": frozenset({"experiments", "fleet"}),
+    "control": frozenset({"experiments", "fleet", "incidents"}),
     "hostif": frozenset({"core"}),
+    "fleet": frozenset({"incidents"}),
+    "obs": frozenset({"incidents"}),
 }
 
 _PACKAGE = "repro"

@@ -258,6 +258,93 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_control_plane_arguments(trace)
     _add_obs_arguments(trace)
 
+    incidents = sub.add_parser(
+        "fleet-incidents",
+        help="inject a fault scenario into a trace replay, detect, "
+             "localize, remediate, and score the SLO damage avoided",
+    )
+    incidents.add_argument(
+        "--scenario", default=None, metavar="PATH",
+        help="incident scenario file (JSON; see docs/incidents.md); "
+             "default: a generated schedule over --classes",
+    )
+    incidents.add_argument(
+        "--save-scenario", default=None, metavar="PATH",
+        help="write the (possibly generated) scenario to PATH",
+    )
+    incidents.add_argument(
+        "--classes", default=None, metavar="KIND[,KIND...]",
+        help="incident classes for the generated schedule (default: all "
+             "five; conflicts with --scenario)",
+    )
+    incidents.add_argument(
+        "--incident-seed", type=int, default=None,
+        help="schedule jitter / intruder-stream seed (default: --seed)",
+    )
+    incidents.add_argument(
+        "--intruder-rate", type=float, default=None, metavar="QPS",
+        help="noisy-neighbor arrival rate (default scales with fleet size)",
+    )
+    incidents.add_argument(
+        "--intruder-demand", type=float, default=300.0,
+        help="noisy-neighbor per-request demand multiplier",
+    )
+    incidents.add_argument(
+        "--drop-fraction", type=float, default=0.5,
+        help="fraction of arrivals null-routed during routing-misconfig",
+    )
+    incidents.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="trace file to replay (.jsonl or .jsonl.gz)",
+    )
+    incidents.add_argument(
+        "--trace-duration", type=float, default=86400.0, metavar="SECONDS",
+        help="generated trace horizon (default: one day)",
+    )
+    incidents.add_argument(
+        "--trace-rate", type=float, default=40.0, metavar="QPS",
+        help="generated long-run mean arrival rate across tenants",
+    )
+    incidents.add_argument(
+        "--trace-seed", type=int, default=None,
+        help="generator seed (default: --seed)",
+    )
+    incidents.add_argument("--nodes", type=int, default=4, help="fleet size")
+    incidents.add_argument(
+        "--policy", default="KP", help="per-node policy: BL | CT | KP-SD | KP"
+    )
+    incidents.add_argument(
+        "--routing", default="least-loaded",
+        help="random | least-loaded | interference-aware",
+    )
+    incidents.add_argument(
+        "--ml", default="rnn1", help="served inference workload"
+    )
+    incidents.add_argument(
+        "--duration", type=float, default=None,
+        help="replay horizon, seconds (default: the trace duration)",
+    )
+    incidents.add_argument("--warmup", type=float, default=None)
+    incidents.add_argument(
+        "--interval", type=float, default=None,
+        help="fleet control interval (default scales with the horizon)",
+    )
+    incidents.add_argument(
+        "--trials", type=int, default=1,
+        help="independent scenario replays (three fleet runs each)",
+    )
+    incidents.add_argument("--seed", type=int, default=0)
+    incidents.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the run sweep; results are identical "
+             "to a serial run (default REPRO_JOBS or 1)",
+    )
+    incidents.add_argument(
+        "--telemetry", action="store_true",
+        help="also collect per-interval fleet telemetry rows",
+    )
+    _add_obs_arguments(incidents)
+
     mix = sub.add_parser("mix", help="run a single colocation mix")
     mix.add_argument("--ml", required=True, help="rnn1 | cnn1 | cnn2 | cnn3")
     mix.add_argument("--policy", default="BL", help="BL | CT | KP-SD | KP | HW-QOS")
@@ -438,6 +525,77 @@ def main(argv: list[str] | None = None) -> int:
             observer.add_span("cli", "experiments", "fleet-trace", 0.0, wall)
             observer.note_seed("fleet.seed", args.seed)
             _finalize_observer(observer, "repro fleet-trace")
+        return 0
+
+    if args.command == "fleet-incidents":
+        from repro.errors import ReproError
+        from repro.experiments.fleet_incidents import (
+            format_fleet_incidents,
+            run_fleet_incidents,
+        )
+        from repro.incidents.faults import INCIDENT_KINDS, save_scenario
+        from repro.traces import TraceGenConfig
+
+        if args.scenario is not None and (
+            args.classes is not None or args.incident_seed is not None
+        ):
+            print(
+                "fleet-incidents: --scenario replays a saved schedule; "
+                "it cannot be combined with --classes or --incident-seed",
+                file=sys.stderr,
+            )
+            return 2
+        observer = _make_observer(args, "fleet-incidents")
+        gen = None
+        if args.trace is None:
+            gen = TraceGenConfig(
+                seed=args.trace_seed if args.trace_seed is not None else args.seed,
+                duration_s=args.trace_duration,
+                rate_qps=args.trace_rate,
+            )
+        classes = INCIDENT_KINDS
+        if args.classes is not None:
+            classes = tuple(
+                k.strip() for k in args.classes.split(",") if k.strip()
+            )
+        started = time.perf_counter()
+        try:
+            result = run_fleet_incidents(
+                trace_path=args.trace,
+                gen=gen,
+                scenario_path=args.scenario,
+                classes=classes,
+                incident_seed=args.incident_seed,
+                intruder_rate_qps=args.intruder_rate,
+                intruder_demand=args.intruder_demand,
+                drop_fraction=args.drop_fraction,
+                nodes=args.nodes,
+                policy=args.policy,
+                routing=args.routing,
+                ml=args.ml,
+                duration=args.duration,
+                warmup=args.warmup,
+                interval=args.interval,
+                trials=args.trials,
+                seed=args.seed,
+                jobs=args.jobs,
+                observer=observer if observer.enabled else None,
+                collect_telemetry=args.telemetry,
+            )
+        except ReproError as exc:
+            print(f"fleet-incidents: {exc}", file=sys.stderr)
+            return 2
+        print(format_fleet_incidents(result))
+        if args.save_scenario:
+            save_scenario(result.schedule, args.save_scenario)
+            print(f"wrote {args.save_scenario}")
+        if observer.enabled:
+            wall = time.perf_counter() - started
+            observer.add_span(
+                "cli", "experiments", "fleet-incidents", 0.0, wall
+            )
+            observer.note_seed("fleet.seed", args.seed)
+            _finalize_observer(observer, "repro fleet-incidents")
         return 0
 
     if args.command == "mix":

@@ -15,6 +15,13 @@ bypasses — and adds the two things the bare surfaces lack:
   writes fail (with bounded retry) or defer to the next tick, modelling
   lost MSR/cpuset writes on a busy host. Setup-time writes (CAT
   partitioning, group creation) are journaled but never faulted.
+* **Fault windows**: timed ``(start, stop)`` intervals during which every
+  runtime write fails deterministically — a *stuck actuator*. Windows are
+  checked before the stochastic fault path and consume no RNG draws, so
+  the flat-rate fault stream (and any run without windows) is bit-identical
+  whether or not windows exist in the config. The live
+  :attr:`HostControlPlane.fault_windows` list is mutable so a fleet-level
+  incident schedule can arm and disarm a stuck actuator mid-run.
 
 All randomness comes from a seeded :class:`numpy.random.Generator`, so
 fault runs stay deterministic across process pools.
@@ -53,6 +60,10 @@ class ActuationFaultConfig:
     max_retries: int = 2
     #: Base seed for the fault random stream.
     seed: int = 0
+    #: ``(start, stop)`` sim-time intervals during which every runtime
+    #: write fails deterministically (a stuck actuator). Checked before
+    #: the stochastic path; never consumes RNG draws.
+    windows: tuple[tuple[float, float], ...] = ()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.fail_prob < 1.0:
@@ -61,10 +72,21 @@ class ActuationFaultConfig:
             raise ConfigurationError("defer_prob must be in [0, 1)")
         if self.max_retries < 0:
             raise ConfigurationError("max_retries must be >= 0")
+        for window in self.windows:
+            start, stop = window
+            if not start < stop:
+                raise ConfigurationError(
+                    f"fault window {window!r} must have start < stop"
+                )
 
     @property
     def active(self) -> bool:
         """True when any fault injection is enabled."""
+        return self.fail_prob > 0 or self.defer_prob > 0 or bool(self.windows)
+
+    @property
+    def stochastic(self) -> bool:
+        """True when the per-write probabilistic faults are enabled."""
         return self.fail_prob > 0 or self.defer_prob > 0
 
 
@@ -75,13 +97,23 @@ class HostControlPlane:
         self, node: "Node", faults: ActuationFaultConfig | None = None
     ) -> None:
         self._node = node
-        self.faults = faults if faults is not None and faults.active else None
+        # Only the *stochastic* faults need the RNG path; a windows-only
+        # config must not create (or ever draw from) a fault stream, so a
+        # run that adds windows leaves the flat-rate stream untouched.
+        self.faults = (
+            faults if faults is not None and faults.stochastic else None
+        )
         self._rng = (
             np.random.default_rng(
                 np.random.SeedSequence((faults.seed, _STREAM_FAULTS))
             )
             if self.faults is not None
             else None
+        )
+        #: Live stuck-actuator windows. Seeded from the config; mutable so
+        #: incident schedules can arm/disarm windows mid-run.
+        self.fault_windows: list[tuple[float, float]] = (
+            list(faults.windows) if faults is not None else []
         )
         #: Every physical write (or failed/deferred attempt), in order.
         self.journal: list[ActuationRecord] = []
@@ -214,6 +246,12 @@ class HostControlPlane:
         Returns the number of journal entries added (always 1: applied,
         deferred or failed).
         """
+        if faultable and self.fault_windows and self._in_fault_window():
+            # Stuck actuator: deterministic failure, no RNG draw — the
+            # stochastic stream advances exactly as it would without the
+            # window, keeping flat-rate runs bit-identical.
+            self._journal(kind, target, value, "failed")
+            return 1
         faults = self.faults
         if faults is None or not faultable:
             op()
@@ -238,6 +276,10 @@ class HostControlPlane:
             return 1
         self._journal(kind, target, value, "failed", attempts)
         return 1
+
+    def _in_fault_window(self) -> bool:
+        now = self._node.sim.now
+        return any(start <= now < stop for start, stop in self.fault_windows)
 
     def _journal(
         self, kind: str, target: str, value: str, status: str, attempts: int = 1

@@ -47,6 +47,20 @@ class ControlLoop:
         #: (every knob already held the decided value): the machine was
         #: never notified, so no contention re-solve ran at all.
         self.noop_ticks = 0
+        #: Telemetry-blackout support: while ``now < _hold_until`` the loop
+        #: reuses the last pre-hold sample instead of reading the sensors —
+        #: the governor keeps deciding on a frozen, stale view of the node.
+        self._held_sample = None
+        self._hold_until = 0.0
+
+    def hold_sensors(self, until: float) -> None:
+        """Freeze the sensor view until ``until`` (telemetry blackout).
+
+        Ticks before ``until`` reuse the most recent real sample; the perf
+        window is not read, so after the hold the first fresh sample spans
+        the whole blackout. No-op until at least one real sample exists.
+        """
+        self._hold_until = max(self._hold_until, until)
 
     def tick(self) -> ControlTickRecord | None:
         """Run one control interval; ``None`` when the governor is dormant."""
@@ -55,7 +69,11 @@ class ControlLoop:
         machine = node.machine
         with machine.hold_recompute():
             plane.begin_tick()
-        m = self.sensors.sample()
+        if node.sim.now < self._hold_until and self._held_sample is not None:
+            m = self._held_sample
+        else:
+            m = self.sensors.sample()
+            self._held_sample = m
         decision = self.governor.decide(m)
         if decision is None:
             return None

@@ -105,6 +105,15 @@ def _fleet_trace():
     return run_fleet_trace, format_fleet_trace
 
 
+def _fleet_incidents():
+    from repro.experiments.fleet_incidents import (
+        format_fleet_incidents,
+        run_fleet_incidents,
+    )
+
+    return run_fleet_incidents, format_fleet_incidents
+
+
 def _table1():
     from repro.experiments.table1_workloads import format_table1, run_table1
 
@@ -214,6 +223,7 @@ _REGISTRY: dict[str, Callable[[], tuple[Callable, Callable]]] = {
     "table1": _table1,
     "fleet-sim": _fleet_sim,
     "fleet-trace": _fleet_trace,
+    "fleet-incidents": _fleet_incidents,
     "ablation-hwqos": _ablation_hwqos,
     "ablation-backfill": _ablation_backfill,
     "ablation-mba": _ablation_mba,
@@ -230,7 +240,7 @@ _REGISTRY: dict[str, Callable[[], tuple[Callable, Callable]]] = {
 #: that can fan out over a process pool; see :mod:`repro.parallel`).
 JOBS_AWARE = {
     "fig02", "fig05", "fig16", "fleet-sim", "fleet-trace",
-    "ablation-sensor-noise",
+    "fleet-incidents", "ablation-sensor-noise",
 }
 
 #: Experiments whose runners accept an ``observer`` argument (deep
@@ -238,7 +248,7 @@ JOBS_AWARE = {
 #: run-level spans and a manifest from the CLI wrapper.
 OBS_AWARE = {
     "fig02", "fig03", "fig11", "fig12", "fig13", "fleet-sim", "fleet-trace",
-    "ablation-sensor-noise",
+    "fleet-incidents", "ablation-sensor-noise",
 }
 
 

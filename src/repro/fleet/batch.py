@@ -54,6 +54,9 @@ class BatchQueueStats:
     placements: int = 0
     evictions: int = 0
     pending_at_end: int = 0
+    #: Jobs pulled back to the queue by a node death / quarantine (distinct
+    #: from watermark evictions: the node was lost, not hot).
+    requeues: int = 0
 
 
 class BatchQueue:
@@ -151,6 +154,49 @@ class BatchQueue:
                 m.index,
             ),
         )
+
+    # ------------------------------------------------------------ lifecycle
+    def requeue_node(self, member: FleetMember) -> int:
+        """Pull every job off ``member`` and return it to the queue.
+
+        The drain/quarantine path for a dead or misbehaving node: each
+        job's tasks are stopped (idempotent if the node already crashed),
+        its slot is released, and the job goes back to pending so the next
+        tick re-places it on a healthy node. Returns the jobs requeued.
+        """
+        jobs = self._by_node.pop(member.index, [])
+        for job in jobs:
+            member.remove_job(job.job_id)
+            job.state = PENDING
+            job.node_index = None
+            self.stats.requeues += 1
+            self._pending.append(job)
+        return len(jobs)
+
+    def add_job(
+        self, spec: BatchJobSpec, member: FleetMember | None = None
+    ) -> BatchJob:
+        """Admit one new job mid-run (a batch tenant arrival).
+
+        With ``member`` the job is placed there immediately (the arrival
+        was pinned); otherwise it joins the pending queue and the next
+        tick bin-packs it normally.
+        """
+        job = BatchJob(
+            job_id=f"job{len(self.jobs)}",
+            spec=spec,
+            profile=cpu_workload(spec.workload, spec.intensity),
+        )
+        self.jobs.append(job)
+        if member is None:
+            self._pending.append(job)
+        else:
+            member.place_job(job.job_id, job.profile, warmup=self._warmup)
+            self._by_node.setdefault(member.index, []).append(job)
+            job.state = RUNNING
+            job.node_index = member.index
+            self.stats.placements += 1
+        return job
 
     # -------------------------------------------------------------- metrics
     @property

@@ -97,6 +97,9 @@ class FleetMember:
     ) -> None:
         self.index = index
         self.sim = sim
+        self._factory = factory
+        self._warmup = warmup
+        self._seed = seed
         self.node: Node = Node.create(factory.host_spec(), sim, accel_socket=accel_socket)
         # Derive node-scoped degradation seeds so every member draws an
         # independent noise/fault stream even under one shared config.
@@ -143,6 +146,22 @@ class FleetMember:
         #: Every batch task this node ever ran (live + evicted), for accounting.
         self.batch_task_history: list[BatchTask] = []
         self._peak_bw = self.node.machine.spec.sockets[accel_socket].peak_bw_gbps
+        #: Liveness: a dead member silently drops submissions and exports a
+        #: frozen telemetry snapshot (nothing fleet-visible announces the
+        #: death — detection is the incident layer's job).
+        self.alive = True
+        #: Whether the admission router may send this member traffic. Stays
+        #: True through a *silent* death (the black hole); remediation or
+        #: an explicit orchestrator kill pulls the member from rotation.
+        self.in_rotation = True
+        #: Whether the batch queue may place new jobs here.
+        self.accepts_batch = True
+        #: Times this member has died (salts the restart seed).
+        self.deaths = 0
+        #: Fleet telemetry blackout: ``sample()`` re-exports the last
+        #: snapshot while ``sim.now`` is before this instant.
+        self.blackout_until = 0.0
+        self._frozen_load = 0
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> None:
@@ -166,9 +185,92 @@ class FleetMember:
             self.remove_job(job_id)
         try:
             self.server.completion_listeners.remove(self._complete)
+        except ValueError:
+            pass  # already detached (a dead member)
+        self.instance.stop()
+
+    def fail(self) -> int:
+        """Die silently mid-run: crash the server, drop every request.
+
+        Queued and in-flight requests are lost without completing — their
+        admission-epoch ``counted`` flags were decided at submit time, so
+        each counted loss is automatically an SLO miss at finalize. Resident
+        batch tasks freeze where they stand (their meters stop integrating)
+        but stay in :attr:`job_ids` — the cluster queue still believes they
+        are running until someone requeues them. Nothing is announced to
+        the fleet: :attr:`in_rotation` stays True and :meth:`sample` keeps
+        exporting the last pre-death snapshot.
+
+        Returns the number of *counted* requests dropped.
+        """
+        if not self.alive:
+            return 0
+        self.alive = False
+        self.deaths += 1
+        self._frozen_load = self.load
+        if self._cancel_policy_loop is not None:
+            self._cancel_policy_loop()
+            self._cancel_policy_loop = None
+        try:
+            self.server.completion_listeners.remove(self._complete)
         except ValueError:  # pragma: no cover - defensive
             pass
+        dropped = sum(
+            1
+            for owners in self._owners.values()
+            for _, counted in owners
+            if counted
+        )
+        self._owners.clear()
+        self.server.abort()
         self.instance.stop()
+        for tasks in self._jobs.values():
+            for task in tasks:
+                task.meter.set_rate(0.0, self.sim.now)
+                task.stop()
+        if self.last_signals is None:
+            self.last_signals = self._offline_signals()
+        return dropped
+
+    def restart(self) -> None:
+        """Boot a fresh server after a death (the node rejoined).
+
+        The machine, policy and control plane survive the reboot (host
+        state is persistent); the inference server is rebuilt from the
+        factory with a restart-salted seed. Batch tasks killed by the
+        death stay dead — re-placing their jobs is the queue's decision.
+        Telemetry resumes fresh on the next :meth:`sample`.
+        """
+        if self.alive:
+            return
+        self.instance = self._factory.build(
+            self.node.machine,
+            self.policy.ml_placement(),
+            warmup_until=self._warmup,
+            seed=_mix_seed(self._seed, 0xDEAD, self.deaths),
+            load_fraction=0.0,
+        )
+        self.alive = True
+        self.instance.start()
+        self.server.completion_listeners.append(self._complete)
+        if self.policy.has_control_loop:
+            self._cancel_policy_loop = self.sim.every(
+                self._interval,
+                self.policy.tick,
+                label=f"fleet:policy:{self.index}",
+                priority=PRIORITY_CONTROL,
+            )
+
+    def begin_blackout(self, until: float) -> None:
+        """Black out telemetry until ``until``: the fleet sees a frozen
+        snapshot, and the node policy's own control loop keeps deciding on
+        its last pre-blackout sensor sample (it is blind too)."""
+        self.blackout_until = max(self.blackout_until, until)
+        loop = self.policy.loop
+        if loop is not None:
+            loop.hold_sensors(until)
+        if self.last_signals is None:
+            self.last_signals = self._offline_signals()
 
     # ------------------------------------------------------------- serving
     @property
@@ -180,7 +282,15 @@ class FleetMember:
 
     @property
     def load(self) -> int:
-        """Requests in flight plus queued (the least-loaded routing key)."""
+        """Requests in flight plus queued (the least-loaded routing key).
+
+        A dead member reports its load frozen at the instant of death —
+        the load balancer's view stops updating, which is exactly what
+        makes a silently dead node a traffic magnet for least-loaded
+        routing (its apparent load never grows).
+        """
+        if not self.alive:
+            return self._frozen_load
         return self.server.inflight + self.server.queued
 
     def submit(
@@ -190,8 +300,12 @@ class FleetMember:
 
         ``counted`` records the admission epoch (admitted inside the
         measurement window or not); ``demand`` scales the request's service
-        requirement (trace job families).
+        requirement (trace job families). A dead member black-holes the
+        request: it was already counted as offered at admission and will
+        never complete, i.e. it is an SLO miss.
         """
+        if not self.alive:
+            return
         self._owners.setdefault(self.sim.now, deque()).append((tenant, counted))
         self.server.submit(demand)
 
@@ -212,7 +326,16 @@ class FleetMember:
         The hot predicate mirrors the THROTTLE side of Algorithm 1's
         low-priority decision: the queue should not keep (or add) batch work
         on a node whose socket-level watermarks are tripping.
+
+        A dead or blacked-out member re-exports its last snapshot instead
+        of reading the perf window: its ``time`` field stops advancing,
+        which is the only fleet-visible trace of the failure (the
+        telemetry-silence detector keys on exactly this).
         """
+        if not self.alive or self.sim.now < self.blackout_until:
+            if self.last_signals is None:  # pragma: no cover - defensive
+                self.last_signals = self._offline_signals()
+            return self.last_signals
         reading = self.node.perf.read("fleet")
         node = self.node
         profile = self.policy.profile
@@ -242,6 +365,22 @@ class FleetMember:
         self.last_signals = signals
         self.hot_streak = self.hot_streak + 1 if hot else 0
         return signals
+
+    def _offline_signals(self) -> NodeSignals:
+        """An all-quiet snapshot for members that die before any sample."""
+        return NodeSignals(
+            node_index=self.index,
+            time=0.0,
+            socket_bw_gbps=0.0,
+            latency_factor=1.0,
+            saturation=0.0,
+            hipri_bw_gbps=0.0,
+            inflight=0,
+            queued=0,
+            batch_jobs=len(self._jobs),
+            saturated=False,
+            hot=False,
+        )
 
     # ---------------------------------------------------------- batch jobs
     @property

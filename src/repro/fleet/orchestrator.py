@@ -93,6 +93,12 @@ class FleetResult:
     batch_pending_at_end: int
     node_stats: tuple[NodeStats, ...]
     events_dispatched: int
+    #: Requests dropped at admission or by a node death (each one is an
+    #: offered request that never completed, i.e. an SLO miss). Zero for
+    #: any run without member failures.
+    requests_dropped: int = 0
+    #: Batch jobs pulled back to the queue by death/quarantine drains.
+    batch_requeues: int = 0
     #: Control-interval telemetry rows (one per node per interval).
     telemetry: tuple[dict, ...] = ()
     #: Per-node controller tick rows (``{"node": i, **record.as_dict()}``),
@@ -126,12 +132,17 @@ class FleetResult:
             "batch_evictions": self.batch_evictions,
             "batch_pending_at_end": self.batch_pending_at_end,
         }
-        # Windowed rows appear only for trace/windowed runs, so summaries of
-        # the pre-existing fleet-sim experiments stay bit-identical.
+        # Windowed rows appear only for trace/windowed runs, and the
+        # failure counters only for runs that actually saw failures, so
+        # summaries of the pre-existing fleet experiments stay bit-identical.
         if self.windows:
             data["windows"] = list(self.windows)
         if self.window_fleet:
             data["window_fleet"] = list(self.window_fleet)
+        if self.requests_dropped:
+            data["requests_dropped"] = self.requests_dropped
+        if self.batch_requeues:
+            data["batch_requeues"] = self.batch_requeues
         return data
 
 
@@ -143,10 +154,12 @@ class FleetOrchestrator:
         config: FleetConfig,
         collect_telemetry: bool = True,
         trace: "Trace | None" = None,
+        hooks: "FleetHooks | None" = None,
     ) -> None:
         self.config = config
         self._collect_telemetry = collect_telemetry
         self._trace = trace
+        self.hooks = hooks
         self._trace_demands: np.ndarray | None = None
         if trace is not None:
             if len(config.tenants) != len(trace.tenants):
@@ -172,12 +185,17 @@ class FleetOrchestrator:
         self._windows: dict[tuple[int, int], WindowAccount] = {}
         #: window index -> [saturated samples, total samples] from ticks.
         self._window_saturation: dict[int, list[int]] = {}
+        self._sim: Simulator | None = None
+        self._queue: BatchQueue | None = None
+        #: Offered-but-lost requests (dead members, empty rotation).
+        self.requests_dropped = 0
 
     # ------------------------------------------------------------------ run
     def run(self) -> FleetResult:
         """Execute the configured fleet run and return its measurements."""
         config = self.config
         sim = Simulator()
+        self._sim = sim
         self.members = [
             FleetMember(
                 index=i,
@@ -233,6 +251,7 @@ class FleetOrchestrator:
             patience=config.eviction_patience,
             warmup=config.warmup,
         )
+        self._queue = queue
 
         for member in self.members:
             member.start()
@@ -241,6 +260,8 @@ class FleetOrchestrator:
         queue.tick(self.members)
         for generator in generators:
             generator.start()
+        if self.hooks is not None:
+            self.hooks.on_start(self, sim)
         sim.every(
             config.interval,
             partial(self._control_tick, queue),
@@ -277,10 +298,16 @@ class FleetOrchestrator:
         and travels with the request, so completion-side accounting can
         never disagree with admission-side accounting and attainment stays
         ≤ 1.0 by construction.
+
+        Routing only considers members still in rotation; a request that
+        finds no eligible member (or that the router null-routes) is
+        dropped *after* its admission accounting — an offered request that
+        never completes, i.e. an SLO miss.
         """
-        assert self.router is not None
-        member = self.router.choose(self.members)
-        now = member.sim.now
+        assert self.router is not None and self._sim is not None
+        eligible = [m for m in self.members if m.in_rotation]
+        member = self.router.choose(eligible) if eligible else None
+        now = self._sim.now
         counted = now >= self.config.warmup
         if counted:
             self._accounts[tenant].offered += 1
@@ -290,6 +317,11 @@ class FleetOrchestrator:
                 if account is None:
                     account = self._windows[key] = WindowAccount()
                 account.offered += 1
+        if member is None or not member.alive:
+            # Null-routed, no eligible member, or a silently dead member:
+            # the request is black-holed.
+            self.requests_dropped += 1
+            return
         member.submit(tenant, demand=demand, counted=counted)
 
     def _on_complete(
@@ -316,13 +348,14 @@ class FleetOrchestrator:
 
     # --------------------------------------------------------- control loop
     def _control_tick(self, queue: BatchQueue) -> None:
-        now = None
-        post_warmup = False
+        assert self._sim is not None
+        # The wall clock, not a member's sample time: a dead or blacked-out
+        # member exports a frozen (stale) snapshot.
+        now = self._sim.now
+        post_warmup = now > self.config.warmup
         saturated = 0
         for member in self.members:
             signals = member.sample()
-            now = signals.time
-            post_warmup = signals.time > self.config.warmup
             if post_warmup:
                 if signals.saturated:
                     saturated += 1
@@ -343,7 +376,7 @@ class FleetOrchestrator:
                         "hot": signals.hot,
                     }
                 )
-        if post_warmup and now is not None:
+        if post_warmup:
             self._saturation_samples.append(saturated / len(self.members))
             self._post_warmup_samples += 1
             if self.config.window_s is not None:
@@ -359,7 +392,65 @@ class FleetOrchestrator:
                 )
                 bucket[0] += saturated
                 bucket[1] += len(self.members)
-        queue.tick(self.members)
+        if self.hooks is not None:
+            # Detection/remediation runs on this tick's fresh samples,
+            # *before* the batch queue acts — a drain this tick re-places
+            # its jobs this same tick.
+            self.hooks.on_tick(self, now)
+        # Dead members are excluded too: placement is a synchronous RPC
+        # that fails fast against a crashed node (unlike the datapath,
+        # which black-holes silently).
+        queue.tick([m for m in self.members if m.alive and m.accepts_batch])
+
+    # ----------------------------------------------------------- lifecycle
+    def kill_member(self, index: int, requeue: bool = True) -> int:
+        """Take a member down *cleanly*: fail it, pull it from rotation,
+        and (by default) requeue its batch work on healthy nodes.
+
+        This is the orchestrator-aware death path — the routing table is
+        updated immediately, so only the requests already on the node are
+        lost (each counted one is an SLO miss). Contrast with calling
+        ``member.fail()`` directly, which models a *silent* crash the
+        routing layer keeps black-holing traffic into until someone
+        notices. Returns the number of counted in-flight requests dropped.
+        """
+        member = self.members[index]
+        dropped = member.fail()
+        self.requests_dropped += dropped
+        member.in_rotation = False
+        member.accepts_batch = False
+        if requeue and self._queue is not None:
+            self._queue.requeue_node(member)
+        return dropped
+
+    def quarantine_member(self, index: int, requeue: bool = True) -> int:
+        """Stop routing traffic and batch work to a member (it may still
+        be running — quarantine is reversible). Returns jobs requeued."""
+        member = self.members[index]
+        member.in_rotation = False
+        member.accepts_batch = False
+        if requeue and self._queue is not None:
+            return self._queue.requeue_node(member)
+        return 0
+
+    def restore_member(self, index: int) -> None:
+        """Return a (restarted or recovered) member to full rotation."""
+        member = self.members[index]
+        member.in_rotation = True
+        member.accepts_batch = True
+
+    def counters(self) -> tuple[int, int, int, tuple[int, ...]]:
+        """Live ``(offered, completed, good, per-node completed)`` counted
+        totals — the attainment stream the incident detectors watch."""
+        offered = sum(a.offered for a in self._accounts)
+        completed = sum(a.completed for a in self._accounts)
+        good = sum(a.good for a in self._accounts)
+        return offered, completed, good, tuple(self._node_completed)
+
+    @property
+    def queue(self) -> BatchQueue | None:
+        """The live batch queue (None outside :meth:`run`)."""
+        return self._queue
 
     # ------------------------------------------------------------- finalize
     def _batch_units(self, queue: BatchQueue) -> tuple[float, float]:
@@ -424,6 +515,8 @@ class FleetOrchestrator:
             batch_pending_at_end=queue.stats.pending_at_end,
             node_stats=node_stats,
             events_dispatched=events,
+            requests_dropped=self.requests_dropped,
+            batch_requeues=queue.stats.requeues,
             telemetry=tuple(self._telemetry),
             controller=self._controller_rows(),
             actuation=self._actuation_rows(),
@@ -512,14 +605,31 @@ class FleetOrchestrator:
         )
 
 
+class FleetHooks:
+    """Lifecycle hook points a fleet run offers to an observing layer.
+
+    The incident engine subclasses this; the default implementations do
+    nothing, so attaching a hooks object with no overrides leaves a run
+    bit-identical to an unhooked one.
+    """
+
+    def on_start(self, orchestrator: FleetOrchestrator, sim: Simulator) -> None:
+        """Called once, after members/generators start, before the clock runs."""
+
+    def on_tick(self, orchestrator: FleetOrchestrator, now: float) -> None:
+        """Called every control interval, after telemetry sampling and
+        before the batch queue acts."""
+
+
 def run_fleet(
     config: FleetConfig,
     collect_telemetry: bool = True,
     trace: "Trace | None" = None,
+    hooks: FleetHooks | None = None,
 ) -> FleetResult:
     """Convenience wrapper: build and run one fleet simulation."""
     return FleetOrchestrator(
-        config, collect_telemetry=collect_telemetry, trace=trace
+        config, collect_telemetry=collect_telemetry, trace=trace, hooks=hooks
     ).run()
 
 

@@ -1,0 +1,182 @@
+"""Root-cause localization: rank node / tenant / layer candidates per alarm.
+
+Localization is pure evidence arithmetic over the same
+:class:`~repro.incidents.detect.FleetView` history the detectors consumed —
+it never touches orchestrator internals, so an alarm's candidate ranking is
+exactly reproducible from the recorded view stream. The rules, in priority
+order (each producing scored :class:`Candidate` rows):
+
+1. **Stale telemetry** — a node whose export timestamp stopped advancing is
+   implicated directly (death or blackout; the remediation layer's health
+   probe disambiguates).
+2. **Failed actuation** — a node journaling failed knob writes is stuck.
+3. **Load spike** — fleet-wide in-flight + queued well above the recent
+   baseline while the *counted* offered rate is unchanged means traffic the
+   admission accounting never saw: an unaccounted (noisy-neighbor) tenant.
+4. **Silent shortfall** — completions falling short of offered with fresh
+   telemetry, healthy actuation and no load growth means requests vanish
+   between admission and submit: the routing layer.
+5. **Saturation outlier** — fallback: the node furthest above the fleet's
+   median saturation.
+
+Scores are heuristic confidence values in (0, 1]; ties are impossible by
+construction (rule priority contributes a fixed offset per rule class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.incidents.detect import Alarm, FleetView
+
+#: Ticks of view history the load / journal baselines look back over.
+_BASELINE_LAG = 6
+
+#: Ticks for the completion-shortfall comparison — matched to the
+#: attainment detector's window, so the evidence that trips the detector is
+#: the evidence localization judges (a longer baseline would dilute a fresh
+#: shortfall below threshold with pre-incident ticks).
+_SHORTFALL_LAG = 3
+
+#: Fleet load must exceed baseline by this factor (and margin) to count as
+#: an unaccounted-traffic spike.
+_LOAD_SPIKE_FACTOR = 2.0
+_LOAD_SPIKE_MARGIN = 4
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One ranked root-cause hypothesis."""
+
+    #: ``node:<i>``, ``tenant:<name>`` or ``layer:routing``.
+    label: str
+    #: Heuristic confidence in (0, 1].
+    score: float
+    evidence: str
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "score": round(self.score, 6),
+            "evidence": self.evidence,
+        }
+
+
+def localize(
+    alarm: Alarm,
+    views: list[FleetView],
+    intruder_name: str = "intruder",
+) -> tuple[Candidate, ...]:
+    """Rank root-cause candidates for one alarm, most likely first.
+
+    ``views`` is the detector bank's history *including* the tick the alarm
+    fired on (the engine appends before localizing).
+    """
+    if not views:
+        return ()
+    view = views[-1]
+    candidates: list[Candidate] = []
+
+    # Rule 1: stale telemetry exports.
+    for node in view.nodes:
+        lag = view.time - node.signals_time
+        if lag > 0.5 * view.interval:
+            staleness = min(lag / max(view.interval, 1e-9), 16.0)
+            candidates.append(
+                Candidate(
+                    label=f"node:{node.index}",
+                    score=0.9 + 0.1 * min(staleness / 16.0, 1.0),
+                    evidence=(
+                        f"telemetry export frozen for {lag:.1f}s "
+                        f"({staleness:.1f} intervals)"
+                    ),
+                )
+            )
+
+    # Rule 2: failed actuation writes (recent, not all-time).
+    base_view = views[max(0, len(views) - 1 - _BASELINE_LAG)]
+    base_failed = {n.index: n.journal_failed for n in base_view.nodes}
+    for node in view.nodes:
+        delta = node.journal_failed - base_failed.get(node.index, 0)
+        if delta > 0:
+            candidates.append(
+                Candidate(
+                    label=f"node:{node.index}",
+                    score=0.8 + 0.1 * min(delta / 20.0, 1.0),
+                    evidence=f"{delta} failed knob writes in recent journal",
+                )
+            )
+
+    # Rules 3/4 need a baseline a few ticks back.
+    load_now = view.total_load
+    load_base = base_view.total_load
+    short_view = views[max(0, len(views) - 1 - _SHORTFALL_LAG)]
+    d_offered = view.offered - short_view.offered
+    d_completed = view.completed - short_view.completed
+    spike = load_now > _LOAD_SPIKE_FACTOR * load_base + _LOAD_SPIKE_MARGIN
+    if spike:
+        candidates.append(
+            Candidate(
+                label=f"tenant:{intruder_name}",
+                score=0.7
+                + 0.1 * min(load_now / max(4.0 * (load_base + 1), 1.0), 1.0),
+                evidence=(
+                    f"fleet load {load_now} vs baseline {load_base} with "
+                    f"offered rate unchanged ({d_offered} counted arrivals)"
+                ),
+            )
+        )
+    elif d_offered > 0 and d_completed < 0.8 * d_offered:
+        shortfall = 1.0 - d_completed / d_offered
+        candidates.append(
+            Candidate(
+                label="layer:routing",
+                score=0.6 + 0.1 * min(shortfall, 1.0),
+                evidence=(
+                    f"{d_offered - d_completed} of {d_offered} admitted "
+                    "requests vanished before completing, telemetry and "
+                    "actuation healthy"
+                ),
+            )
+        )
+
+    # Rule 5: saturation outlier fallback.
+    saturations = sorted(n.saturation for n in view.nodes)
+    median = saturations[len(saturations) // 2]
+    worst = max(view.nodes, key=lambda n: (n.saturation, -n.index))
+    if worst.saturation > median + 0.1:
+        candidates.append(
+            Candidate(
+                label=f"node:{worst.index}",
+                score=0.3 + 0.1 * min(worst.saturation - median, 1.0),
+                evidence=(
+                    f"saturation {worst.saturation:.2f} vs fleet median "
+                    f"{median:.2f}"
+                ),
+            )
+        )
+
+    # An alarm that names a node boosts that node's existing candidacy.
+    if alarm.node is not None:
+        boosted: list[Candidate] = []
+        label = f"node:{alarm.node}"
+        for cand in candidates:
+            if cand.label == label:
+                cand = Candidate(
+                    label=cand.label,
+                    score=min(cand.score + 0.05, 1.0),
+                    evidence=cand.evidence + f"; named by {alarm.detector}",
+                )
+            boosted.append(cand)
+        candidates = boosted
+
+    # Deduplicate by label, keeping the best score per label; rank by
+    # (score desc, label) so equal scores cannot reorder run-to-run.
+    best: dict[str, Candidate] = {}
+    for cand in candidates:
+        kept = best.get(cand.label)
+        if kept is None or cand.score > kept.score:
+            best[cand.label] = cand
+    return tuple(
+        sorted(best.values(), key=lambda c: (-c.score, c.label))
+    )

@@ -1,0 +1,312 @@
+"""Remediation playbooks: act on a localized alarm, then verify recovery.
+
+The :class:`Remediator` is the actuator half of the incident loop. Given an
+alarm's ranked candidates it dispatches exactly one playbook per distinct
+``(playbook, target)`` pair:
+
+* ``quarantine-reroute`` — a node whose health probe says *dead*: pull it
+  from routing rotation and requeue its batch work on healthy nodes. The
+  probe is the one place remediation touches live member state (a
+  management-network health RPC, distinguishing a crashed server from a
+  merely blind one).
+* ``conservative-governor`` — a node that is alive but telemetry-blind:
+  swap its control loop onto :class:`ConservativeGovernor`, the static
+  worst-case throttle (one low-priority core, prefetchers off — the CT
+  safe mode). A governor that cannot see must assume interference.
+* ``drain-batch`` — a node journaling failed knob writes: its governor
+  cannot enforce anything, so remove the interference instead — requeue
+  the node's batch jobs elsewhere (the job kill travels over the
+  management network, not through the stuck local knobs) and stop placing
+  new ones.
+* ``restore-routing`` — the routing layer is implicated: reinstall the
+  expected router object, undoing any misconfiguration wholesale.
+* ``throttle-tenant`` — an unaccounted noisy tenant: rate-limit it at
+  admission (the engine stops the intruder's arrival stream).
+
+Each applied playbook is tracked until its *recovery probe* passes — fresh
+telemetry for quarantine/conservative targets, a failure-free actuation
+journal for drains — at which point the remediator restores rotation, the
+original governor, or batch placement, and records the restore as its own
+action. Everything is deterministic: no RNG, no wall clock, plain reads of
+the same views the detectors saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.control.governors import Governor, GovernorDecision
+from repro.core.actions import Action
+from repro.core.measurements import KelpMeasurements
+from repro.incidents.detect import Alarm, FleetView
+from repro.incidents.localize import Candidate
+
+if TYPE_CHECKING:
+    from repro.fleet.orchestrator import FleetOrchestrator
+    from repro.fleet.routing import Router
+
+
+class ConservativeGovernor:
+    """The static safe-mode decision kernel: throttle everything, always.
+
+    Used as a fallback when a node's telemetry cannot be trusted: grant the
+    low-priority subdomain its minimum (one core, prefetchers off) and keep
+    backfill at one core, regardless of what the (possibly frozen) sensor
+    sample claims. Decisions are constant, so the control plane's dedup
+    layer reduces steady state to zero writes per tick.
+    """
+
+    def __init__(self, node) -> None:
+        lo_cores = node.lo_subdomain_cores()
+        hi_cores = node.hi_subdomain_cores()
+        self._lo_mask = frozenset(lo_cores[:1])
+        self._backfill_mask = frozenset(hi_cores[-1:])
+
+    def decide(self, m: KelpMeasurements) -> GovernorDecision | None:
+        return GovernorDecision(
+            action_hi=Action.THROTTLE,
+            action_lo=Action.THROTTLE,
+            lo_cores=len(self._lo_mask),
+            lo_prefetchers=0,
+            backfill_cores=len(self._backfill_mask),
+            lo_task_mask=self._lo_mask,
+            backfill_mask=self._backfill_mask,
+            prefetcher_count=0,
+            extra=(("conservative", 1.0),),
+        )
+
+
+@dataclass(frozen=True)
+class RemediationAction:
+    """One playbook application (or recovery restore)."""
+
+    time: float
+    playbook: str
+    target: str
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "time": round(self.time, 6),
+            "playbook": self.playbook,
+            "target": self.target,
+            "detail": self.detail,
+        }
+
+
+#: Ticks of failure-free journal before a drained node takes batch again.
+_DRAIN_CLEAR_TICKS = 3
+
+
+class Remediator:
+    """Dispatches playbooks for localized alarms and probes recovery."""
+
+    def __init__(
+        self,
+        orchestrator: "FleetOrchestrator",
+        expected_router: "Router",
+        throttle_tenant: Callable[[str], bool],
+    ) -> None:
+        self._orch = orchestrator
+        self._expected_router = expected_router
+        self._throttle_tenant = throttle_tenant
+        #: Every action taken, in time order (the obs `remediation` stream).
+        self.actions: list[RemediationAction] = []
+        #: node -> original governor, for conservative fallbacks in force.
+        self._saved_governors: dict[int, Governor] = {}
+        #: Quarantined node indexes awaiting a healthy probe.
+        self._quarantined: set[int] = set()
+        #: Drained node index -> (journal_failed watermark, clean ticks).
+        self._drained: dict[int, tuple[int, int]] = {}
+        #: Tenants already throttled (throttling is idempotent and final).
+        self._throttled: set[str] = set()
+        #: node -> recent cumulative journal_failed values (oldest first);
+        #: the drain playbook requires failures *recent* enough to appear
+        #: in this window, so interference on a node whose actuators still
+        #: work is left to that node's own governor.
+        self._journal_history: dict[int, list[int]] = {}
+
+    #: Ticks of journal history the drain predicate looks back over.
+    _JOURNAL_WINDOW = 7
+
+    def _note_journal(self, view: FleetView) -> None:
+        for node in view.nodes:
+            series = self._journal_history.setdefault(node.index, [])
+            series.append(node.journal_failed)
+            if len(series) > self._JOURNAL_WINDOW:
+                del series[: len(series) - self._JOURNAL_WINDOW]
+
+    def _recent_failures(self, index: int, failed_now: int) -> int:
+        series = self._journal_history.get(index)
+        if not series:
+            return 0
+        return failed_now - series[0]
+
+    # ------------------------------------------------------------ dispatch
+    def handle(
+        self, alarm: Alarm, candidates: tuple[Candidate, ...], view: FleetView
+    ) -> None:
+        """Apply the playbook for the alarm's top candidate (if any)."""
+        if not candidates:
+            return
+        top = candidates[0]
+        kind, _, rest = top.label.partition(":")
+        if kind == "node":
+            self._handle_node(int(rest), alarm, view)
+        elif kind == "layer" and rest == "routing":
+            self._restore_routing(view)
+        elif kind == "tenant":
+            self._handle_tenant(rest, view)
+
+    def _handle_node(self, index: int, alarm: Alarm, view: FleetView) -> None:
+        member = self._orch.members[index]
+        target = f"node:{index}"
+        node_view = view.nodes[index]
+        stale = view.time - node_view.signals_time > 0.5 * view.interval
+        if not member.alive:
+            # Health probe failed: the node is gone, not just blind.
+            if index in self._quarantined:
+                return
+            requeued = self._orch.quarantine_member(index)
+            self._quarantined.add(index)
+            self._saved_governors.pop(index, None)
+            self.actions.append(
+                RemediationAction(
+                    time=view.time,
+                    playbook="quarantine-reroute",
+                    target=target,
+                    detail=(
+                        f"health probe dead; {requeued} batch jobs requeued"
+                    ),
+                )
+            )
+            return
+        if stale:
+            # Alive but blind: static safe-mode throttle until sight returns.
+            if index in self._saved_governors:
+                return
+            loop = member.policy.loop
+            if loop is None:
+                return
+            self._saved_governors[index] = loop.governor
+            loop.governor = ConservativeGovernor(member.node)
+            self.actions.append(
+                RemediationAction(
+                    time=view.time,
+                    playbook="conservative-governor",
+                    target=target,
+                    detail="health probe alive, telemetry frozen",
+                )
+            )
+            return
+        # Alive and sighted: only act when the node's knob writes are
+        # demonstrably failing — then its governor cannot contain the
+        # interference, so remove it instead. A healthy sighted node keeps
+        # its own governor in charge (no playbook).
+        if index in self._drained:
+            return
+        if self._recent_failures(index, node_view.journal_failed) <= 0:
+            return
+        queue = self._orch.queue
+        requeued = queue.requeue_node(member) if queue is not None else 0
+        member.accepts_batch = False
+        self._drained[index] = (node_view.journal_failed, 0)
+        self.actions.append(
+            RemediationAction(
+                time=view.time,
+                playbook="drain-batch",
+                target=target,
+                detail=(
+                    f"{requeued} batch jobs requeued off node with "
+                    f"{node_view.journal_failed} failed writes journaled"
+                ),
+            )
+        )
+
+    def _restore_routing(self, view: FleetView) -> None:
+        if self._orch.router is self._expected_router:
+            return
+        self._orch.router = self._expected_router
+        self.actions.append(
+            RemediationAction(
+                time=view.time,
+                playbook="restore-routing",
+                target="layer:routing",
+                detail="reinstalled expected router configuration",
+            )
+        )
+
+    def _handle_tenant(self, name: str, view: FleetView) -> None:
+        if name in self._throttled:
+            return
+        if self._throttle_tenant(name):
+            self._throttled.add(name)
+            self.actions.append(
+                RemediationAction(
+                    time=view.time,
+                    playbook="throttle-tenant",
+                    target=f"tenant:{name}",
+                    detail="admission rate limit applied to intruder stream",
+                )
+            )
+
+    # ------------------------------------------------------------ recovery
+    def tick(self, view: FleetView) -> None:
+        """Probe every in-force playbook; restore what has recovered."""
+        self._note_journal(view)
+        for index in sorted(self._quarantined):
+            member = self._orch.members[index]
+            node_view = view.nodes[index]
+            fresh = view.time - node_view.signals_time <= 0.5 * view.interval
+            if member.alive and fresh:
+                self._quarantined.discard(index)
+                self._orch.restore_member(index)
+                self.actions.append(
+                    RemediationAction(
+                        time=view.time,
+                        playbook="restore-node",
+                        target=f"node:{index}",
+                        detail="health probe and telemetry recovered",
+                    )
+                )
+        for index in sorted(self._saved_governors):
+            node_view = view.nodes[index]
+            fresh = view.time - node_view.signals_time <= 0.5 * view.interval
+            if fresh:
+                loop = self._orch.members[index].policy.loop
+                if loop is not None:
+                    loop.governor = self._saved_governors.pop(index)
+                else:  # pragma: no cover - defensive
+                    del self._saved_governors[index]
+                self.actions.append(
+                    RemediationAction(
+                        time=view.time,
+                        playbook="restore-governor",
+                        target=f"node:{index}",
+                        detail="telemetry recovered; original governor back",
+                    )
+                )
+        for index in sorted(self._drained):
+            watermark, clean = self._drained[index]
+            failed_now = view.nodes[index].journal_failed
+            if failed_now > watermark:
+                self._drained[index] = (failed_now, 0)
+                continue
+            clean += 1
+            if clean < _DRAIN_CLEAR_TICKS:
+                self._drained[index] = (watermark, clean)
+                continue
+            del self._drained[index]
+            self._orch.members[index].accepts_batch = True
+            self.actions.append(
+                RemediationAction(
+                    time=view.time,
+                    playbook="restore-batch",
+                    target=f"node:{index}",
+                    detail=(
+                        f"{_DRAIN_CLEAR_TICKS} failure-free intervals; "
+                        "node takes batch work again"
+                    ),
+                )
+            )

@@ -1,0 +1,203 @@
+"""Incident scoring: detection latency, localization accuracy, SLO damage.
+
+The scorecard compares three runs of the *same* fleet configuration (same
+seed, same trace): a clean run (no faults), a faulted run without
+remediation, and a faulted run with remediation. Because requests are
+counted as *offered* at admission — before any fault can drop them — all
+three runs offer an identical request stream, so per-incident SLO damage is
+a plain difference of SLO-good completions over the incident's attribution
+window:
+
+    damage(mode) = good_clean(window) - good_mode(window)
+
+computed from the engines' per-tick counter series. Each incident's
+attribution window runs from its injection to its fault clearing plus a
+settle margin, clipped to the next incident's start, so consecutive
+incidents never share damage.
+
+Detection latency is the first alarm inside the window (relative to
+injection); localization is correct when that alarm's top-ranked candidate
+matches the spec's ground-truth ``target``. ``damage_avoided`` is the
+no-remediation damage minus the remediated damage — the headline number
+the experiment exists to measure.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.incidents.faults import IncidentSchedule, IncidentSpec
+
+#: Settle margin appended to each incident's fault window, in control
+#: intervals: completions of requests admitted during the fault land a
+#: little after it clears.
+_SETTLE_TICKS = 6.0
+
+
+def _good_between(ticks: list[list], t0: float, t1: float) -> int:
+    """SLO-good completions accrued in ``(t0, t1]`` per a tick series."""
+    times = [row[0] for row in ticks]
+    i0 = bisect_right(times, t0) - 1
+    i1 = bisect_right(times, t1) - 1
+    g0 = ticks[i0][3] if i0 >= 0 else 0
+    g1 = ticks[i1][3] if i1 >= 0 else 0
+    return g1 - g0
+
+
+@dataclass(frozen=True)
+class IncidentScore:
+    """One incident's scored outcome across the three runs."""
+
+    kind: str
+    target: str
+    start_s: float
+    end_s: float
+    window_end_s: float
+    #: First in-window alarm time minus injection time (None = undetected).
+    detection_latency_s: float | None
+    #: Detector that fired first (None = undetected).
+    detected_by: str | None
+    #: Top-ranked candidate of the first alarm (None = undetected).
+    localized_as: str | None
+    #: Whether that candidate matches the ground-truth target.
+    localization_correct: bool
+    #: SLO-good completions lost vs clean, without remediation.
+    damage_norem: int
+    #: Ditto with remediation enabled.
+    damage_rem: int
+    #: Playbooks applied inside the window (remediated run).
+    playbooks: tuple[str, ...]
+
+    @property
+    def damage_avoided(self) -> int:
+        return self.damage_norem - self.damage_rem
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "start_s": round(self.start_s, 6),
+            "end_s": round(self.end_s, 6),
+            "window_end_s": round(self.window_end_s, 6),
+            "detection_latency_s": (
+                round(self.detection_latency_s, 6)
+                if self.detection_latency_s is not None
+                else None
+            ),
+            "detected_by": self.detected_by,
+            "localized_as": self.localized_as,
+            "localization_correct": self.localization_correct,
+            "damage_norem": self.damage_norem,
+            "damage_rem": self.damage_rem,
+            "damage_avoided": self.damage_avoided,
+            "playbooks": list(self.playbooks),
+        }
+
+
+@dataclass(frozen=True)
+class Scorecard:
+    """The per-incident scores of one trial, plus run-level aggregates."""
+
+    incidents: tuple[IncidentScore, ...]
+    good_clean: int
+    good_norem: int
+    good_rem: int
+    offered: int
+
+    @property
+    def total_damage_norem(self) -> int:
+        return self.good_clean - self.good_norem
+
+    @property
+    def total_damage_rem(self) -> int:
+        return self.good_clean - self.good_rem
+
+    def as_dict(self) -> dict:
+        return {
+            "incidents": [s.as_dict() for s in self.incidents],
+            "offered": self.offered,
+            "good_clean": self.good_clean,
+            "good_norem": self.good_norem,
+            "good_rem": self.good_rem,
+            "total_damage_norem": self.total_damage_norem,
+            "total_damage_rem": self.total_damage_rem,
+            "total_damage_avoided": (
+                self.total_damage_norem - self.total_damage_rem
+            ),
+        }
+
+
+def _attribution_window(
+    spec: IncidentSpec,
+    schedule: IncidentSchedule,
+    index: int,
+    interval: float,
+    duration: float,
+) -> tuple[float, float]:
+    end = spec.end_s + _SETTLE_TICKS * interval
+    if index + 1 < len(schedule.incidents):
+        end = min(end, schedule.incidents[index + 1].start_s)
+    return spec.start_s, min(end, duration)
+
+
+def score_trial(
+    schedule: IncidentSchedule,
+    clean_export: dict,
+    norem_export: dict,
+    rem_export: dict,
+    interval: float,
+    duration: float,
+) -> Scorecard:
+    """Score one trial's three engine exports into a :class:`Scorecard`."""
+    scores: list[IncidentScore] = []
+    for index, spec in enumerate(schedule.incidents):
+        t0, t1 = _attribution_window(
+            spec, schedule, index, interval, duration
+        )
+        alarms = [
+            a for a in rem_export["alarms"] if t0 <= a["time"] <= t1
+        ]
+        first = alarms[0] if alarms else None
+        localized = None
+        if first is not None and first["candidates"]:
+            localized = first["candidates"][0]["label"]
+        playbooks = tuple(
+            r["playbook"]
+            for r in rem_export["remediations"]
+            if t0 <= r["time"] <= t1
+        )
+        scores.append(
+            IncidentScore(
+                kind=spec.kind,
+                target=spec.target,
+                start_s=spec.start_s,
+                end_s=spec.end_s,
+                window_end_s=t1,
+                detection_latency_s=(
+                    first["time"] - spec.start_s if first else None
+                ),
+                detected_by=first["detector"] if first else None,
+                localized_as=localized,
+                localization_correct=localized == spec.target,
+                damage_norem=(
+                    _good_between(clean_export["ticks"], t0, t1)
+                    - _good_between(norem_export["ticks"], t0, t1)
+                ),
+                damage_rem=(
+                    _good_between(clean_export["ticks"], t0, t1)
+                    - _good_between(rem_export["ticks"], t0, t1)
+                ),
+                playbooks=playbooks,
+            )
+        )
+    clean_ticks = clean_export["ticks"]
+    norem_ticks = norem_export["ticks"]
+    rem_ticks = rem_export["ticks"]
+    return Scorecard(
+        incidents=tuple(scores),
+        good_clean=clean_ticks[-1][3] if clean_ticks else 0,
+        good_norem=norem_ticks[-1][3] if norem_ticks else 0,
+        good_rem=rem_ticks[-1][3] if rem_ticks else 0,
+        offered=clean_ticks[-1][1] if clean_ticks else 0,
+    )

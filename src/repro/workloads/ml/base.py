@@ -435,6 +435,28 @@ class InferenceServerTask(Task):
         """Requests waiting for a free pipeline lane."""
         return len(self._pending)
 
+    def abort(self) -> None:
+        """Kill the server mid-flight: every queued and in-flight request
+        is dropped without completing (a node crash, not a drain).
+
+        Host-phase completion events are cancelled here; continuations an
+        in-flight lane already registered with the PCIe links or the
+        accelerator queue still fire, but the stopped-server guards in the
+        pipeline stages turn them into no-ops, so no completion is ever
+        reported for an aborted request.
+        """
+        for lane in list(self._lanes):
+            if lane.handle is not None:
+                lane.handle.cancel()
+                lane.handle = None
+            lane.work = None
+        self._lanes.clear()
+        had_host = bool(self._host_lanes)
+        self._host_lanes.clear()
+        self._pending.clear()
+        if self.started and had_host:
+            self.machine.notify_change()  # the host sources vanished
+
     # ------------------------------------------------------------ protocol
     def traffic_sources(self) -> list[TrafficSource]:
         if not self.started or not self._host_lanes:
@@ -531,6 +553,8 @@ class InferenceServerTask(Task):
         return op
 
     def _enter_host(self, lane: _Lane) -> None:
+        if not self.started:  # aborted server: drop the zombie lane
+            return
         lane.work = FluidWork(self.spec.host_time * lane.demand, now=self.sim.now)
         self._host_lanes.add(lane)
         if self.tracer is not None and len(self._host_lanes) == 1:
@@ -595,6 +619,8 @@ class InferenceServerTask(Task):
         )
 
     def _enter_pcie_out(self, lane: _Lane) -> None:
+        if not self.started:  # aborted server: drop the zombie lane
+            return
         if self.tracer is not None:
             self.tracer.end(self.task_id, "tpu", self.sim.now)
             self.tracer.begin(self.task_id, "communication", self.sim.now)
@@ -604,6 +630,8 @@ class InferenceServerTask(Task):
         )
 
     def _iteration_complete(self, lane: _Lane) -> None:
+        if not self.started:  # aborted server: drop the zombie lane
+            return
         if self.tracer is not None:
             self.tracer.end(self.task_id, "communication", self.sim.now)
         lane.iteration += 1

@@ -113,6 +113,77 @@ class TestFaultInjection:
         plane.setup_mb_percent(1, 100)
         assert [r.status for r in plane.journal] == ["applied"] * 3
 
+    def test_window_validation(self) -> None:
+        with pytest.raises(ConfigurationError):
+            ActuationFaultConfig(windows=((5.0, 5.0),))
+        with pytest.raises(ConfigurationError):
+            ActuationFaultConfig(windows=((10.0, 5.0),))
+        windows_only = ActuationFaultConfig(windows=((1.0, 2.0),))
+        assert windows_only.active
+        assert not windows_only.stochastic
+
+    def test_writes_fail_only_inside_window(
+        self, node: Node, task: BatchTask
+    ) -> None:
+        faults = ActuationFaultConfig(windows=((5.0, 10.0),))
+        plane = HostControlPlane(node, faults)
+        plane.set_task_cpus(task, {4, 5})
+        assert plane.journal[-1].status == "applied"
+        node.sim.run_until(5.0)  # window start is inclusive
+        plane.set_task_cpus(task, {4, 6})
+        assert plane.journal[-1].status == "failed"
+        assert task.placement.cores == frozenset({4, 5})  # knob unchanged
+        node.sim.run_until(10.0)  # window stop is exclusive
+        plane.set_task_cpus(task, {4, 6})
+        assert plane.journal[-1].status == "applied"
+        assert task.placement.cores == frozenset({4, 6})
+
+    def test_live_windows_are_mutable(self, node: Node, task: BatchTask) -> None:
+        plane = HostControlPlane(node)
+        assert plane.fault_windows == []
+        plane.fault_windows.append((0.0, 1.0))
+        plane.set_task_cpus(task, {4, 5})
+        assert plane.journal[-1].status == "failed"
+        plane.fault_windows.clear()
+        plane.set_task_cpus(task, {4, 5})
+        assert plane.journal[-1].status == "applied"
+
+    def test_windows_never_touch_the_stochastic_stream(
+        self, node: Node
+    ) -> None:
+        def stochastic_statuses(with_window: bool) -> list[str]:
+            placement = Placement(
+                cores=frozenset(range(4, 8)), mem_weights={0: 1.0}
+            )
+            task = BatchTask("w", node.machine, placement, stream_profile(4))
+            task.start()
+            start = node.sim.now
+            windows = ((start, start + 0.5),) if with_window else ()
+            plane = HostControlPlane(
+                node,
+                ActuationFaultConfig(
+                    fail_prob=0.4, max_retries=0, seed=11, windows=windows
+                ),
+            )
+            if with_window:
+                # In-window writes fail deterministically and must not
+                # advance the RNG the flat-rate stream draws from.
+                for _ in range(5):
+                    plane.set_task_cpus(task, frozenset({4}))
+                    assert plane.journal[-1].status == "failed"
+                node.sim.run_until(start + 0.5)  # window expires
+            out = []
+            for width in (2, 3, 2, 3, 2, 3, 2, 3):
+                plane.set_task_cpus(task, frozenset(range(4, 4 + width)))
+                out.append(plane.journal[-1].status)
+            task.stop()
+            return out
+
+        with_window = stochastic_statuses(True)
+        without = stochastic_statuses(False)
+        assert with_window == without
+        assert "failed" in without  # the flat rate actually bites
+
     def test_fault_stream_is_deterministic(self, node: Node) -> None:
         def statuses() -> list[str]:
             placement = Placement(

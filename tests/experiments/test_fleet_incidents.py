@@ -1,0 +1,128 @@
+"""fleet-incidents experiment family: determinism, scenarios, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.fleet_incidents import (
+    format_fleet_incidents,
+    run_fleet_incidents,
+)
+from repro.incidents.faults import default_schedule, save_scenario
+from repro.traces import TraceGenConfig
+
+_GEN = TraceGenConfig(
+    seed=3, duration_s=1200.0, rate_qps=2.0, burst_multiplier=1.0
+)
+_KW = dict(
+    gen=_GEN,
+    nodes=3,
+    routing="random",
+    interval=10.0,
+    warmup=20.0,
+    seed=7,
+    incident_seed=5,
+    classes=("node-death", "noisy-neighbor"),
+)
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return run_fleet_incidents(**_KW)
+
+
+class TestDeterminism:
+    def test_jobs_sweep_is_bit_identical(self, serial_result) -> None:
+        parallel = run_fleet_incidents(jobs=4, **_KW)
+        assert json.dumps(
+            serial_result.artifact(), sort_keys=True
+        ) == json.dumps(parallel.artifact(), sort_keys=True)
+
+    def test_rerun_is_bit_identical(self, serial_result) -> None:
+        again = run_fleet_incidents(**_KW)
+        assert serial_result.artifact() == again.artifact()
+
+    def test_artifact_is_json_clean(self, serial_result) -> None:
+        artifact = serial_result.artifact()
+        assert json.loads(json.dumps(artifact)) == artifact
+
+
+class TestOutcome:
+    def test_offered_identical_across_modes(self, serial_result) -> None:
+        for by_mode in serial_result.exports:
+            offered = {
+                mode: export["ticks"][-1][1]
+                for mode, export in by_mode.items()
+            }
+            assert len(set(offered.values())) == 1
+
+    def test_remediation_strictly_helps(self, serial_result) -> None:
+        card = serial_result.scorecards[0]
+        assert card.total_damage_rem < card.total_damage_norem
+        for score in card.incidents:
+            assert score.detection_latency_s is not None
+            assert score.localization_correct
+
+    def test_formatter_renders(self, serial_result) -> None:
+        text = format_fleet_incidents(serial_result)
+        assert "fleet-incidents:" in text
+        assert "node-death" in text
+        assert "damage avoided" in text
+
+
+class TestScenarioResolution:
+    def test_scenario_file_round_trips_through_runner(
+        self, serial_result, tmp_path
+    ) -> None:
+        path = tmp_path / "scenario.json"
+        save_scenario(serial_result.schedule, str(path))
+        kwargs = {
+            k: v for k, v in _KW.items()
+            if k not in ("incident_seed", "classes")
+        }
+        from_file = run_fleet_incidents(scenario_path=str(path), **kwargs)
+        assert from_file.scenario_source == str(path)
+        assert from_file.artifact() == serial_result.artifact()
+
+    def test_schedule_and_scenario_path_conflict(self, tmp_path) -> None:
+        schedule = default_schedule(1200.0, nodes=3, seed=5)
+        with pytest.raises(ExperimentError):
+            run_fleet_incidents(
+                schedule=schedule,
+                scenario_path=str(tmp_path / "x.json"),
+                **{k: v for k, v in _KW.items() if k != "classes"},
+            )
+
+    def test_incident_beyond_fleet_rejected(self) -> None:
+        from repro.incidents.faults import IncidentSchedule, IncidentSpec
+
+        schedule = IncidentSchedule(
+            incidents=(
+                IncidentSpec(
+                    kind="node-death", start_s=100.0, duration_s=50.0, node=7
+                ),
+            ),
+            seed=5,
+        )
+        kwargs = {
+            k: v for k, v in _KW.items()
+            if k not in ("incident_seed", "classes")
+        }
+        with pytest.raises(ExperimentError, match="node"):
+            run_fleet_incidents(schedule=schedule, **kwargs)
+
+    def test_incident_beyond_horizon_rejected(self) -> None:
+        schedule = default_schedule(86400.0, nodes=3, seed=5)
+        kwargs = {
+            k: v for k, v in _KW.items()
+            if k not in ("incident_seed", "classes")
+        }
+        with pytest.raises(ExperimentError, match="horizon"):
+            run_fleet_incidents(schedule=schedule, **kwargs)
+
+    def test_trials_validated(self) -> None:
+        with pytest.raises(ExperimentError):
+            run_fleet_incidents(trials=0, **_KW)

@@ -1,0 +1,117 @@
+"""A member dying mid-run: accounting, batch requeue, routing updates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.config import FleetConfig, uniform_batch_jobs
+from repro.fleet.orchestrator import FleetHooks, run_fleet
+
+
+class _KillAt(FleetHooks):
+    """Kill one member through the orchestrator at a fixed control tick."""
+
+    def __init__(self, victim: int, at_tick: int) -> None:
+        self.victim = victim
+        self.at_tick = at_tick
+        self._ticks = 0
+        self.killed_at: float | None = None
+        self.dropped = 0
+
+    def on_tick(self, orchestrator, now: float) -> None:
+        self._ticks += 1
+        if self._ticks == self.at_tick and self.killed_at is None:
+            self.dropped = orchestrator.kill_member(self.victim)
+            self.killed_at = now
+
+
+def _config(**kwargs) -> FleetConfig:
+    defaults = dict(
+        nodes=2,
+        duration=6.0,
+        warmup=1.0,
+        seed=0,
+        routing="least-loaded",
+        batch_jobs=uniform_batch_jobs(4, workload="stream", intensity=4),
+    )
+    defaults.update(kwargs)
+    return FleetConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def death_run():
+    hooks = _KillAt(victim=0, at_tick=4)
+    result = run_fleet(_config(), hooks=hooks)
+    return hooks, result
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    return run_fleet(_config())
+
+
+class TestOrchestratedDeath:
+    def test_kill_happened_mid_trace(self, death_run) -> None:
+        hooks, result = death_run
+        assert hooks.killed_at is not None
+        assert 0.0 < hooks.killed_at < result.config.duration
+
+    def test_inflight_counted_requests_become_misses(
+        self, death_run, clean_run
+    ) -> None:
+        hooks, result = death_run
+        # Offered accounting is admission-epoch: identical streams.
+        assert result.offered_total == clean_run.offered_total
+        # The in-flight drops are accounted and each one is an SLO miss.
+        assert result.requests_dropped == hooks.dropped > 0
+        assert result.good_total < clean_run.good_total
+        assert (
+            clean_run.good_total - result.good_total
+            >= result.requests_dropped
+        )
+        assert "requests_dropped" in result.summary()
+
+    def test_batch_work_requeued_onto_survivors(self, death_run) -> None:
+        _, result = death_run
+        assert result.batch_requeues > 0
+        # Jobs live on the survivor at the end, none on the corpse.
+        assert result.node_stats[0].batch_jobs == 0
+        assert result.node_stats[1].batch_jobs > 0
+
+    def test_routing_updated_immediately(self, death_run, clean_run) -> None:
+        hooks, result = death_run
+        # The victim stops completing after the kill...
+        assert (
+            result.node_stats[0].completed
+            < clean_run.node_stats[0].completed
+        )
+        # ...and the survivor absorbs the re-routed traffic.
+        assert (
+            result.node_stats[1].completed
+            > clean_run.node_stats[1].completed
+        )
+
+    def test_deterministic(self, death_run) -> None:
+        _, result = death_run
+        again = run_fleet(_config(), hooks=_KillAt(victim=0, at_tick=4))
+        assert result.summary() == again.summary()
+
+
+class TestSilentDeath:
+    def test_silent_crash_black_holes_until_noticed(self, clean_run) -> None:
+        class _SilentFail(FleetHooks):
+            def __init__(self) -> None:
+                self._ticks = 0
+
+            def on_tick(self, orchestrator, now: float) -> None:
+                self._ticks += 1
+                if self._ticks == 4:
+                    member = orchestrator.members[0]
+                    orchestrator.requests_dropped += member.fail()
+
+        silent = run_fleet(_config(), hooks=_SilentFail())
+        # Nothing pulled the node from rotation: the router keeps feeding
+        # the corpse, so a silent crash hurts more than a clean kill.
+        clean_kill = run_fleet(_config(), hooks=_KillAt(victim=0, at_tick=4))
+        assert silent.offered_total == clean_kill.offered_total
+        assert silent.good_total < clean_kill.good_total

@@ -1,0 +1,131 @@
+"""Incident schedules: validation, determinism, scenario round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.incidents.faults import (
+    INCIDENT_KINDS,
+    IncidentSchedule,
+    IncidentSpec,
+    default_schedule,
+    load_scenario,
+    save_scenario,
+)
+
+
+class TestIncidentSpec:
+    def test_unknown_kind_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            IncidentSpec(kind="meteor-strike", start_s=1.0, duration_s=1.0)
+
+    def test_node_kinds_need_a_node(self) -> None:
+        with pytest.raises(ConfigurationError):
+            IncidentSpec(kind="node-death", start_s=1.0, duration_s=1.0)
+        spec = IncidentSpec(
+            kind="node-death", start_s=1.0, duration_s=2.0, node=1
+        )
+        assert spec.end_s == 3.0
+        assert spec.target == "node:1"
+
+    def test_bad_times_rejected(self) -> None:
+        with pytest.raises(ConfigurationError):
+            IncidentSpec(
+                kind="noisy-neighbor", start_s=-1.0, duration_s=1.0
+            )
+        with pytest.raises(ConfigurationError):
+            IncidentSpec(
+                kind="noisy-neighbor", start_s=0.0, duration_s=0.0
+            )
+
+    def test_targets_per_kind(self) -> None:
+        noisy = IncidentSpec(
+            kind="noisy-neighbor",
+            start_s=0.0,
+            duration_s=1.0,
+            params=(("tenant", "abuser"),),
+        )
+        assert noisy.target == "tenant:abuser"
+        misconfig = IncidentSpec(
+            kind="routing-misconfig", start_s=0.0, duration_s=1.0
+        )
+        assert misconfig.target == "layer:routing"
+
+    def test_param_last_write_wins(self) -> None:
+        spec = IncidentSpec(
+            kind="routing-misconfig",
+            start_s=0.0,
+            duration_s=1.0,
+            params=(("drop_fraction", 0.2), ("drop_fraction", 0.7)),
+        )
+        assert spec.param("drop_fraction") == 0.7
+        assert spec.param("missing", "dflt") == "dflt"
+
+
+class TestIncidentSchedule:
+    def test_out_of_order_rejected(self) -> None:
+        a = IncidentSpec(kind="routing-misconfig", start_s=5.0, duration_s=1.0)
+        b = IncidentSpec(kind="noisy-neighbor", start_s=1.0, duration_s=1.0)
+        with pytest.raises(ConfigurationError):
+            IncidentSchedule(incidents=(a, b))
+
+    def test_empty_schedule_allowed(self) -> None:
+        schedule = IncidentSchedule(seed=9)
+        assert len(schedule) == 0
+        assert schedule.kinds == ()
+
+
+class TestDefaultSchedule:
+    def test_deterministic_for_a_seed(self) -> None:
+        a = default_schedule(3600.0, nodes=3, seed=5)
+        b = default_schedule(3600.0, nodes=3, seed=5)
+        assert a == b
+        c = default_schedule(3600.0, nodes=3, seed=6)
+        assert [i.start_s for i in c.incidents] != [
+            i.start_s for i in a.incidents
+        ]
+
+    def test_covers_all_classes_without_overlap(self) -> None:
+        schedule = default_schedule(86400.0, nodes=3, seed=0)
+        assert schedule.kinds == INCIDENT_KINDS
+        for prev, cur in zip(schedule.incidents, schedule.incidents[1:]):
+            assert prev.end_s < cur.start_s
+        assert schedule.incidents[-1].end_s < 86400.0
+
+    def test_node_round_robin(self) -> None:
+        schedule = default_schedule(3600.0, nodes=2, seed=0)
+        node_targets = [
+            i.node for i in schedule.incidents if i.node is not None
+        ]
+        assert node_targets == [0, 1, 0]
+
+    def test_class_subset(self) -> None:
+        schedule = default_schedule(
+            3600.0, nodes=2, seed=0, classes=("node-death", "noisy-neighbor")
+        )
+        assert schedule.kinds == ("node-death", "noisy-neighbor")
+        with pytest.raises(ConfigurationError):
+            default_schedule(3600.0, nodes=2, classes=("bogus",))
+
+
+class TestScenarioFiles:
+    def test_round_trip(self, tmp_path) -> None:
+        schedule = default_schedule(3600.0, nodes=3, seed=5)
+        path = tmp_path / "scenario.json"
+        save_scenario(schedule, str(path))
+        loaded = load_scenario(str(path))
+        assert loaded.seed == schedule.seed
+        assert loaded.kinds == schedule.kinds
+        # Bit-exact: a reloaded scenario must replay identically.
+        assert loaded.incidents == schedule.incidents
+
+    def test_missing_file_rejected(self, tmp_path) -> None:
+        with pytest.raises(ConfigurationError):
+            load_scenario(str(tmp_path / "nope.json"))
+
+    def test_wrong_format_rejected(self, tmp_path) -> None:
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else"}', encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            load_scenario(str(path))

@@ -1,0 +1,134 @@
+"""Localization rules rank the right root-cause candidate first."""
+
+from __future__ import annotations
+
+from repro.incidents.detect import Alarm, FleetView, NodeView
+from repro.incidents.localize import localize
+
+_INTERVAL = 10.0
+
+
+def _node(index: int, time: float, **overrides) -> NodeView:
+    fields = dict(
+        index=index,
+        signals_time=time,
+        saturation=0.2,
+        latency_factor=1.0,
+        socket_bw_gbps=10.0,
+        inflight=2,
+        queued=0,
+        batch_jobs=0,
+        hot=False,
+        journal_failed=0,
+        journal_total=0,
+    )
+    fields.update(overrides)
+    return NodeView(**fields)
+
+
+def _view(
+    time: float,
+    offered: int = 100,
+    completed: int | None = None,
+    node_overrides: dict[int, dict] | None = None,
+) -> FleetView:
+    node_overrides = node_overrides or {}
+    return FleetView(
+        time=time,
+        interval=_INTERVAL,
+        offered=offered,
+        completed=completed if completed is not None else offered,
+        good=completed if completed is not None else offered,
+        nodes=tuple(
+            _node(i, time, **node_overrides.get(i, {})) for i in range(3)
+        ),
+    )
+
+
+_ALARM = Alarm(time=50.0, detector="test")
+
+
+def test_empty_history_yields_nothing() -> None:
+    assert localize(_ALARM, []) == ()
+
+
+def test_stale_telemetry_wins() -> None:
+    views = [
+        _view(40.0),
+        _view(50.0, node_overrides={0: {"signals_time": 20.0}}),
+    ]
+    ranked = localize(_ALARM, views)
+    assert ranked[0].label == "node:0"
+    assert ranked[0].score >= 0.9
+
+
+def test_failed_writes_implicate_the_stuck_node() -> None:
+    views = [
+        _view(40.0),
+        _view(
+            50.0,
+            node_overrides={1: {"journal_failed": 4, "journal_total": 4}},
+        ),
+    ]
+    ranked = localize(_ALARM, views)
+    assert ranked[0].label == "node:1"
+    assert 0.8 <= ranked[0].score < 0.9
+
+
+def test_load_spike_implicates_the_intruder_tenant() -> None:
+    hot = {i: {"inflight": 8, "queued": 4} for i in range(3)}
+    views = [_view(40.0, offered=100), _view(50.0, offered=100, node_overrides=hot)]
+    ranked = localize(_ALARM, views)
+    assert ranked[0].label == "tenant:intruder"
+    named = localize(_ALARM, views, intruder_name="abuser")
+    assert named[0].label == "tenant:abuser"
+
+
+def test_silent_shortfall_implicates_routing() -> None:
+    views = [
+        _view(40.0, offered=100, completed=100),
+        _view(50.0, offered=140, completed=110),
+    ]
+    ranked = localize(_ALARM, views)
+    assert ranked[0].label == "layer:routing"
+
+
+def test_saturation_outlier_is_the_fallback() -> None:
+    views = [_view(50.0, node_overrides={2: {"saturation": 0.8}})]
+    ranked = localize(_ALARM, views)
+    assert ranked[0].label == "node:2"
+    assert ranked[0].score < 0.5
+
+
+def test_alarm_named_node_gets_a_boost() -> None:
+    overrides = {
+        0: {"journal_failed": 2, "journal_total": 2},
+        1: {"journal_failed": 2, "journal_total": 2},
+    }
+    views = [_view(40.0), _view(50.0, node_overrides=overrides)]
+    tied = localize(_ALARM, views)
+    assert tied[0].label == "node:0"  # deterministic label tiebreak
+    named = localize(
+        Alarm(time=50.0, detector="actuation-divergence", node=1), views
+    )
+    assert named[0].label == "node:1"
+    assert "named by actuation-divergence" in named[0].evidence
+
+
+def test_ranking_is_deduplicated_and_sorted() -> None:
+    views = [
+        _view(40.0),
+        _view(
+            50.0,
+            node_overrides={
+                0: {"signals_time": 20.0, "saturation": 0.9},
+                1: {"journal_failed": 3, "journal_total": 3},
+            },
+        ),
+    ]
+    ranked = localize(_ALARM, views)
+    labels = [c.label for c in ranked]
+    assert labels == sorted(set(labels), key=lambda l: labels.index(l))
+    assert labels[0] == "node:0"
+    scores = [c.score for c in ranked]
+    assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,141 @@
+"""Scorecard arithmetic over synthetic engine exports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.incidents.faults import IncidentSchedule, IncidentSpec
+from repro.incidents.score import score_trial
+
+_INTERVAL = 10.0
+_DURATION = 300.0
+
+
+def _ticks(good_rate) -> list[list]:
+    """A cumulative tick series with a per-tick SLO-good rate function."""
+    ticks, offered, completed, good = [], 0, 0, 0
+    for k in range(1, 31):
+        time = _INTERVAL * k
+        offered += 10
+        completed += 10
+        good += good_rate(time)
+        ticks.append([time, offered, completed, good])
+    return ticks
+
+
+def _schedule() -> IncidentSchedule:
+    return IncidentSchedule(
+        incidents=(
+            IncidentSpec(
+                kind="node-death", start_s=50.0, duration_s=30.0, node=0
+            ),
+            IncidentSpec(
+                kind="routing-misconfig", start_s=200.0, duration_s=30.0
+            ),
+        ),
+        seed=1,
+    )
+
+
+def _exports():
+    clean = {"ticks": _ticks(lambda t: 10), "alarms": [], "remediations": []}
+    # Unremediated: both faults bleed good completions for their duration
+    # plus a little settle; remediated: one bad tick each.
+    norem = {
+        "ticks": _ticks(
+            lambda t: 2 if (50 < t <= 90) or (200 < t <= 240) else 10
+        ),
+        "alarms": [],
+        "remediations": [],
+    }
+    rem = {
+        "ticks": _ticks(lambda t: 4 if t in (60.0, 210.0) else 10),
+        "alarms": [
+            {"time": 60.0, "detector": "telemetry-silence", "node": 0,
+             "candidates": [{"label": "node:0", "score": 0.9}]},
+            {"time": 220.0, "detector": "attainment-drop",
+             "candidates": [{"label": "layer:routing", "score": 0.6}]},
+        ],
+        "remediations": [
+            {"time": 60.0, "playbook": "quarantine-reroute",
+             "target": "node:0"},
+            {"time": 220.0, "playbook": "restore-routing",
+             "target": "layer:routing"},
+        ],
+    }
+    return clean, norem, rem
+
+
+class TestScoreTrial:
+    def test_full_scorecard(self) -> None:
+        clean, norem, rem = _exports()
+        card = score_trial(
+            _schedule(), clean, norem, rem,
+            interval=_INTERVAL, duration=_DURATION,
+        )
+        assert len(card.incidents) == 2
+        death, misconfig = card.incidents
+
+        assert death.detection_latency_s == pytest.approx(10.0)
+        assert death.detected_by == "telemetry-silence"
+        assert death.localized_as == "node:0"
+        assert death.localization_correct
+        assert death.playbooks == ("quarantine-reroute",)
+        # Attribution window [50, 140]: norem loses 8 good x 4 ticks,
+        # rem loses 6 good x 1 tick.
+        assert death.window_end_s == pytest.approx(140.0)
+        assert death.damage_norem == 32
+        assert death.damage_rem == 6
+        assert death.damage_avoided == 26
+
+        assert misconfig.localization_correct
+        assert misconfig.playbooks == ("restore-routing",)
+        assert misconfig.damage_norem == 32
+        assert misconfig.damage_rem == 6
+
+        assert card.offered == 300
+        assert card.total_damage_norem == 64
+        assert card.total_damage_rem == 12
+
+    def test_window_clipped_by_next_incident(self) -> None:
+        schedule = IncidentSchedule(
+            incidents=(
+                IncidentSpec(
+                    kind="node-death", start_s=50.0, duration_s=30.0, node=0
+                ),
+                IncidentSpec(
+                    kind="routing-misconfig", start_s=100.0, duration_s=30.0
+                ),
+            ),
+            seed=1,
+        )
+        clean, norem, rem = _exports()
+        card = score_trial(
+            schedule, clean, norem, rem,
+            interval=_INTERVAL, duration=_DURATION,
+        )
+        assert card.incidents[0].window_end_s == pytest.approx(100.0)
+
+    def test_undetected_incident(self) -> None:
+        clean, norem, rem = _exports()
+        rem = dict(rem, alarms=[], remediations=[])
+        card = score_trial(
+            _schedule(), clean, norem, rem,
+            interval=_INTERVAL, duration=_DURATION,
+        )
+        for score in card.incidents:
+            assert score.detection_latency_s is None
+            assert score.detected_by is None
+            assert score.localized_as is None
+            assert not score.localization_correct
+            assert score.playbooks == ()
+
+    def test_as_dict_is_json_clean(self) -> None:
+        import json
+
+        clean, norem, rem = _exports()
+        card = score_trial(
+            _schedule(), clean, norem, rem,
+            interval=_INTERVAL, duration=_DURATION,
+        )
+        assert json.loads(json.dumps(card.as_dict())) == card.as_dict()

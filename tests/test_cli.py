@@ -110,3 +110,43 @@ class TestCliObservability:
         manifest = json.loads((out_dir / "fleet-sim.manifest.json").read_text())
         assert manifest["config"]["fleet_nodes"] == 2
         assert "fleet.seed" in manifest["seeds"]
+
+    def test_fleet_incidents_smoke(self, tmp_path, capsys) -> None:
+        scenario = tmp_path / "scenario.json"
+        code = main([
+            "fleet-incidents", "--trace-duration", "300", "--trace-rate", "2",
+            "--trace-seed", "3", "--nodes", "2", "--routing", "random",
+            "--interval", "10", "--warmup", "20", "--seed", "7",
+            "--incident-seed", "5", "--classes", "node-death",
+            "--save-scenario", str(scenario),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet-incidents:" in out
+        assert "node-death" in out
+        assert scenario.exists()
+        # Replaying the saved scenario must be accepted and identical.
+        code = main([
+            "fleet-incidents", "--trace-duration", "300", "--trace-rate", "2",
+            "--trace-seed", "3", "--nodes", "2", "--routing", "random",
+            "--interval", "10", "--warmup", "20", "--seed", "7",
+            "--scenario", str(scenario),
+        ])
+        assert code == 0
+        replay = capsys.readouterr().out
+        assert replay.splitlines()[3:] == out.splitlines()[3:-1]
+
+    def test_fleet_incidents_scenario_conflicts(self, tmp_path, capsys) -> None:
+        for extra in (["--classes", "node-death"], ["--incident-seed", "9"]):
+            code = main([
+                "fleet-incidents", "--scenario", str(tmp_path / "s.json"),
+                *extra,
+            ])
+            assert code == 2
+            assert "cannot be combined" in capsys.readouterr().err
+
+    def test_fleet_incidents_missing_scenario(self, capsys) -> None:
+        code = main(["fleet-incidents", "--scenario", "/does/not/exist.json"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "scenario file not found" in err

@@ -40,3 +40,23 @@ def test_checker_detects_violations(checker, tmp_path: Path) -> None:
     assert len(violations) == 3
     assert sum("'hostif' must not import 'repro.core'" in v for v in violations) == 2
     assert sum("'hw' must not import 'repro.control'" in v for v in violations) == 1
+
+
+def test_checker_detects_incidents_inversion(checker, tmp_path: Path) -> None:
+    # The incident layer sits on top: nothing below may import it.
+    (tmp_path / "fleet").mkdir()
+    (tmp_path / "fleet" / "bad.py").write_text(
+        "from repro.incidents.engine import IncidentEngine\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "obs").mkdir()
+    (tmp_path / "obs" / "bad.py").write_text(
+        "import repro.incidents.faults\n", encoding="utf-8"
+    )
+    violations = checker.check_layering(tmp_path)
+    assert sum(
+        "'fleet' must not import 'repro.incidents'" in v for v in violations
+    ) == 1
+    assert sum(
+        "'obs' must not import 'repro.incidents'" in v for v in violations
+    ) == 1
