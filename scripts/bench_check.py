@@ -2,16 +2,17 @@
 """Perf regression gate: fresh bench JSON vs the committed baseline.
 
 Compares the serial cache-on suite timings of a fresh ``bench_smoke.py``
-report against the committed baseline (``BENCH_PR8.json``), per experiment
+report against the committed baseline (``BENCH_PR9.json``), per experiment
 and in total, plus the trace-scale replay wall when both reports carry the
-probe at the same request count and the incident-loop probe wall, with a
+probe at the same request count, the fleet-replay scaling sweep (per-size
+wall and events/s throughput), and the incident-loop probe wall, with a
 generous tolerance — CI runners are noisy, so the gate only catches real
 regressions (default: 40% over baseline fails).
 
 Usage::
 
     python scripts/bench_smoke.py --out /tmp/bench-ci.json
-    python scripts/bench_check.py --baseline BENCH_PR8.json \
+    python scripts/bench_check.py --baseline BENCH_PR9.json \
         --current /tmp/bench-ci.json
 
 Exit status 0 when every comparison is within tolerance, 1 otherwise.
@@ -35,8 +36,8 @@ def load_report(path: str) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--baseline", default="BENCH_PR8.json",
-        help="committed reference report (default: BENCH_PR8.json)",
+        "--baseline", default="BENCH_PR9.json",
+        help="committed reference report (default: BENCH_PR9.json)",
     )
     parser.add_argument(
         "--current", required=True, help="freshly generated report to check"
@@ -54,12 +55,13 @@ def main(argv: list[str] | None = None) -> int:
     tolerance = args.tolerance
 
     failures: list[str] = []
-    rows: list[tuple[str, float, float, float]] = []
+    rows: list[tuple[str, float, float, float, bool]] = []
 
     def check(name: str, base_s: float, cur_s: float) -> None:
         limit = base_s * (1.0 + tolerance)
-        rows.append((name, base_s, cur_s, limit))
-        if cur_s > limit:
+        bad = cur_s > limit
+        rows.append((name, base_s, cur_s, limit, bad))
+        if bad:
             failures.append(
                 f"{name}: {cur_s:.3f}s exceeds {base_s:.3f}s "
                 f"+{tolerance:.0%} (limit {limit:.3f}s)"
@@ -98,6 +100,46 @@ def main(argv: list[str] | None = None) -> int:
     elif base_trace:
         print("note: current report has no trace probe; skipped")
 
+    # The fleet-replay scaling sweep gates both directions: wall-clock per
+    # fleet size (lower is better) and dispatch throughput (higher is
+    # better) — a change that keeps the wall flat by dispatching fewer
+    # events would otherwise slip through. Sizes are matched by node
+    # count; a reduced sweep (e.g. a quick local run) only gates the
+    # sizes it ran.
+    base_replay = baseline_report.get("fleet_replay")
+    cur_replay = current_report.get("fleet_replay")
+    if base_replay and cur_replay:
+        cur_by_nodes = {p["nodes"]: p for p in cur_replay["sweep"]}
+        for base_point in base_replay["sweep"]:
+            nodes = base_point["nodes"]
+            cur_point = cur_by_nodes.get(nodes)
+            if cur_point is None:
+                print(
+                    f"note: fleet-replay {nodes}-node point missing from "
+                    "current report; skipped"
+                )
+                continue
+            check(
+                f"fleet-replay {nodes}n wall",
+                base_point["wall_s"],
+                cur_point["wall_s"],
+            )
+            base_eps = base_point["events_per_s"]
+            cur_eps = cur_point["events_per_s"]
+            floor = base_eps * (1.0 - tolerance)
+            bad = cur_eps < floor
+            rows.append(
+                (f"fleet-replay {nodes}n ev/s", base_eps, cur_eps, floor, bad)
+            )
+            if bad:
+                failures.append(
+                    f"fleet-replay {nodes}n ev/s: {cur_eps:,.0f} below "
+                    f"{base_eps:,.0f} -{tolerance:.0%} "
+                    f"(floor {floor:,.0f})"
+                )
+    elif base_replay:
+        print("note: current report has no fleet-replay probe; skipped")
+
     base_incidents = baseline_report.get("incidents")
     cur_incidents = current_report.get("incidents")
     if base_incidents and cur_incidents:
@@ -111,8 +153,15 @@ def main(argv: list[str] | None = None) -> int:
 
     width = max(len(name) for name, *_ in rows)
     print(f"{'experiment':<{width}}  baseline  current   limit")
-    for name, base_s, cur_s, limit in rows:
-        flag = "  <-- REGRESSION" if cur_s > limit else ""
+    for name, base_s, cur_s, limit, bad in rows:
+        flag = "  <-- REGRESSION" if bad else ""
+        if name.endswith("ev/s"):
+            # Throughput row: the limit column is a floor, not a ceiling.
+            print(
+                f"{name:<{width}}  {base_s:8,.0f}  {cur_s:8,.0f}  "
+                f"{limit:8,.0f}{flag}"
+            )
+            continue
         print(
             f"{name:<{width}}  {base_s:7.3f}s  {cur_s:7.3f}s  {limit:7.3f}s"
             f"{flag}"

@@ -42,6 +42,7 @@ from repro.hw.contention import (  # noqa: E402
     reset_global_stats,
     set_cache_default,
 )
+from repro.parallel import maybe_profiled  # noqa: E402
 
 #: The fixed benchmark subset: cheap motivation figure, two sweeps, one
 #: policy matrix, and the workload table — a representative mix of solver-
@@ -141,11 +142,21 @@ def _timed_fleet(cache: bool) -> dict:
 def _timed_trace(requests_target: int) -> dict:
     """The trace-scale probe: synthesize a day of traffic, replay it.
 
-    Times the two halves separately — generation is vectorized numpy and
+    Times the halves separately — generation is vectorized numpy and
     should stay sub-second even at 1M requests, while replay is the
-    event-loop-bound half whose wall scales with the request count.
+    event-loop-bound half whose wall scales with the request count. The
+    replay trial runs through :class:`FleetOrchestrator` directly (the
+    exact config ``run_fleet_trace`` would build for trial 0) so the
+    probe can also report the orchestrator's own phase walls — the
+    replay loop vs the finalize/accounting pass.
     """
-    from repro.experiments.fleet_trace import run_fleet_trace
+    from dataclasses import replace
+
+    from repro.fleet.orchestrator import (
+        FleetOrchestrator,
+        fleet_config_for_trace,
+    )
+    from repro.parallel import point_seed
     from repro.traces import DAY_S, TraceGenConfig, generate_trace
 
     set_cache_default(True)
@@ -156,21 +167,112 @@ def _timed_trace(requests_target: int) -> dict:
     started = time.perf_counter()
     trace = generate_trace(gen)
     generate_wall = time.perf_counter() - started
+    base = fleet_config_for_trace(trace, nodes=4, seed=0)
+    config = replace(base, seed=point_seed(0, 0))
+    orchestrator = FleetOrchestrator(config, trace=trace)
     started = time.perf_counter()
-    result = run_fleet_trace(trace=trace, nodes=4, seed=0)
+    with maybe_profiled("fleet-trace-probe"):
+        run = orchestrator.run()
     replay_wall = time.perf_counter() - started
-    run = result.results[0]
     return {
         "requests_target": requests_target,
         "requests": len(trace),
+        "nodes": config.nodes,
+        "policy": config.policy,
+        "routing": config.routing,
         "generate_wall_s": round(generate_wall, 3),
         "replay_wall_s": round(replay_wall, 3),
+        "phases": {
+            "generate_s": round(generate_wall, 3),
+            "replay_s": round(
+                orchestrator.phase_walls.get("replay_s", 0.0), 3
+            ),
+            "accounting_s": round(
+                orchestrator.phase_walls.get("accounting_s", 0.0), 3
+            ),
+        },
         "events_dispatched": run.events_dispatched,
         "events_per_s": round(
             run.events_dispatched / max(replay_wall, 1e-9)
         ),
-        "serving_yield": round(result.serving_yield, 6),
-        "efficiency": round(result.efficiency, 6),
+        "serving_yield": round(run.serving_yield, 6),
+        "efficiency": round(run.efficiency, 6),
+    }
+
+
+#: Node counts for the fleet-replay scaling probe.
+FLEET_REPLAY_NODES = (16, 64, 256)
+#: Offered load for the scaling probe, requests/s over the full day. Low
+#: on purpose: the probe isolates the per-tick fleet costs (sampling,
+#: routing-index maintenance, batch-queue scans) that scale with node
+#: count, rather than re-measuring the arrival-bound path _timed_trace
+#: already covers.
+FLEET_REPLAY_RATE_QPS = 2.0
+
+
+def _timed_fleet_replay(node_counts=FLEET_REPLAY_NODES) -> dict:
+    """The fleet-scaling probe: one day trace over 16/64/256 nodes.
+
+    Every sweep point replays the *same* generated day-long trace, so the
+    walls are directly comparable across fleet sizes: the arrival stream
+    is constant and only the per-tick fleet work grows. Telemetry
+    collection is off — the probe times the replay hot path, not the
+    row-freezing of millions of telemetry samples.
+    """
+    from dataclasses import replace
+
+    from repro.fleet.orchestrator import (
+        FleetOrchestrator,
+        fleet_config_for_trace,
+    )
+    from repro.parallel import point_seed
+    from repro.traces import DAY_S, TraceGenConfig, generate_trace
+
+    set_cache_default(True)
+    _fresh_state()
+    gen = TraceGenConfig(
+        seed=0, duration_s=DAY_S, rate_qps=FLEET_REPLAY_RATE_QPS
+    )
+    started = time.perf_counter()
+    trace = generate_trace(gen)
+    generate_wall = time.perf_counter() - started
+    sweep = []
+    for nodes in node_counts:
+        base = fleet_config_for_trace(trace, nodes=nodes, seed=0)
+        config = replace(base, seed=point_seed(0, 0))
+        orchestrator = FleetOrchestrator(
+            config, collect_telemetry=False, trace=trace
+        )
+        started = time.perf_counter()
+        with maybe_profiled(f"fleet-replay-{nodes}n"):
+            run = orchestrator.run()
+        wall = time.perf_counter() - started
+        sweep.append(
+            {
+                "nodes": nodes,
+                "routing": config.routing,
+                "wall_s": round(wall, 3),
+                "phases": {
+                    "replay_s": round(
+                        orchestrator.phase_walls.get("replay_s", 0.0), 3
+                    ),
+                    "accounting_s": round(
+                        orchestrator.phase_walls.get("accounting_s", 0.0), 3
+                    ),
+                },
+                "events_dispatched": run.events_dispatched,
+                "events_per_s": round(
+                    run.events_dispatched / max(wall, 1e-9)
+                ),
+                "serving_yield": round(run.serving_yield, 6),
+            }
+        )
+    return {
+        "requests": len(trace),
+        "rate_qps": FLEET_REPLAY_RATE_QPS,
+        "trace_duration_s": DAY_S,
+        "generate_wall_s": round(generate_wall, 3),
+        "sweep": sweep,
     }
 
 
@@ -287,7 +389,18 @@ def main(argv: list[str] | None = None) -> int:
         help="request count for the trace-scale probe (default: 1M; "
         "0 skips the probe)",
     )
+    parser.add_argument(
+        "--fleet-replay-nodes", default=None,
+        help="comma-separated node counts for the fleet-replay scaling "
+        "probe (default: 16,64,256; 0 skips the probe)",
+    )
     args = parser.parse_args(argv)
+    if args.fleet_replay_nodes is None:
+        replay_nodes = FLEET_REPLAY_NODES
+    else:
+        replay_nodes = tuple(
+            int(n) for n in args.fleet_replay_nodes.split(",") if int(n) > 0
+        )
     cpu_count = os.cpu_count() or 1
     jobs = args.jobs if args.jobs is not None else min(4, cpu_count)
 
@@ -307,6 +420,9 @@ def main(argv: list[str] | None = None) -> int:
     fleet_off = _timed_fleet(cache=False)
     trace = (
         _timed_trace(args.trace_requests) if args.trace_requests > 0 else None
+    )
+    fleet_replay = (
+        _timed_fleet_replay(replay_nodes) if replay_nodes else None
     )
     incidents = _timed_incidents()
     set_cache_default(None)
@@ -364,6 +480,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
         },
         "trace": trace,
+        "fleet_replay": fleet_replay,
         "incidents": incidents,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
@@ -403,10 +520,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     if trace:
         print(
-            f"trace: {trace['requests']} requests generate "
+            f"trace: {trace['requests']} requests over {trace['nodes']} "
+            f"nodes ({trace['routing']}) generate "
             f"{trace['generate_wall_s']}s, replay {trace['replay_wall_s']}s "
-            f"({trace['events_per_s']} events/s)"
+            f"({trace['events_per_s']} events/s; accounting "
+            f"{trace['phases']['accounting_s']}s)"
         )
+    if fleet_replay:
+        for point in fleet_replay["sweep"]:
+            print(
+                f"fleet-replay: {point['nodes']:>3} nodes "
+                f"{point['wall_s']}s ({point['events_per_s']} events/s; "
+                f"replay {point['phases']['replay_s']}s, accounting "
+                f"{point['phases']['accounting_s']}s)"
+            )
     print(
         f"incidents: {incidents['wall_s']}s for 3 runs, "
         f"{incidents['detected']}/{incidents['incidents']} detected, "

@@ -357,6 +357,14 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: JSONL rows buffered per incremental flush for streaming commands.
+_METRICS_FLUSH_ROWS = 8192
+
+#: Commands whose record volume scales with the trace horizon: stream
+#: their JSONL rows to disk incrementally instead of holding them all.
+_STREAMING_COMMANDS = frozenset({"fleet-trace", "fleet-incidents"})
+
+
 def _make_observer(args: argparse.Namespace, name: str):
     """Build a RunObserver from the CLI flags (and ``REPRO_TRACE``)."""
     from repro.obs import ObsConfig, RunObserver
@@ -365,7 +373,8 @@ def _make_observer(args: argparse.Namespace, name: str):
         trace_out=getattr(args, "trace_out", None),
         metrics_out=getattr(args, "metrics_out", None),
     )
-    return RunObserver(config, name=name)
+    flush_every = _METRICS_FLUSH_ROWS if name in _STREAMING_COMMANDS else None
+    return RunObserver(config, name=name, flush_every=flush_every)
 
 
 def _finalize_observer(observer, command: str) -> None:
@@ -494,25 +503,28 @@ def main(argv: list[str] | None = None) -> int:
         sensors, faults = _control_plane_configs(args, args.seed)
         started = time.perf_counter()
         try:
-            result = run_fleet_trace(
-                trace_path=args.trace,
-                gen=gen,
-                nodes=args.nodes,
-                policy=args.policy,
-                routing=args.routing,
-                ml=args.ml,
-                duration=args.duration,
-                warmup=args.warmup,
-                interval=args.interval,
-                window_s=args.window,
-                trials=args.trials,
-                seed=args.seed,
-                jobs=args.jobs,
-                observer=observer if observer.enabled else None,
-                sensors=sensors,
-                faults=faults,
-                collect_telemetry=not args.no_telemetry,
-            )
+            # REPRO_PROFILE=1 dumps fleet-trace.prof (and forces trials
+            # serial so the profile sees the replay itself).
+            with maybe_profiled("fleet-trace"):
+                result = run_fleet_trace(
+                    trace_path=args.trace,
+                    gen=gen,
+                    nodes=args.nodes,
+                    policy=args.policy,
+                    routing=args.routing,
+                    ml=args.ml,
+                    duration=args.duration,
+                    warmup=args.warmup,
+                    interval=args.interval,
+                    window_s=args.window,
+                    trials=args.trials,
+                    seed=args.seed,
+                    jobs=args.jobs,
+                    observer=observer if observer.enabled else None,
+                    sensors=sensors,
+                    faults=faults,
+                    collect_telemetry=not args.no_telemetry,
+                )
         except ReproError as exc:
             print(f"fleet-trace: {exc}", file=sys.stderr)
             return 2

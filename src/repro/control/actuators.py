@@ -176,9 +176,10 @@ class HostControlPlane:
         cores = self._node.lo_subdomain_cores()
         count = max(0, min(count, len(cores)))
         writes = 0
+        states = self._node.msr.prefetcher_states(cores)
         for index, core in enumerate(cores):
             enabled = index < count
-            if self._node.msr.prefetchers_enabled(core) == enabled:
+            if states[index] == enabled:
                 continue
             writes += self._write(
                 "msr",

@@ -67,8 +67,11 @@ class ControlLoop:
         node = self.node
         plane = self.plane
         machine = node.machine
-        with machine.hold_recompute():
+        machine.begin_hold()
+        try:
             plane.begin_tick()
+        finally:
+            machine.end_hold()
         if node.sim.now < self._hold_until and self._held_sample is not None:
             m = self._held_sample
         else:
@@ -82,7 +85,8 @@ class ControlLoop:
         # coalesces their notify_change storm into (at most) one re-solve.
         # A fully-deduplicated tick — every knob already at its decided
         # value — performs zero writes and therefore never re-solves.
-        with machine.hold_recompute():
+        machine.begin_hold()
+        try:
             if decision.lo_task_mask is not None:
                 for task in node.lo_tasks:
                     plane.set_task_cpus(task, decision.lo_task_mask)
@@ -94,6 +98,8 @@ class ControlLoop:
             if decision.mb_percent is not None:
                 clos, percent = decision.mb_percent
                 plane.set_mb_percent(clos, percent)
+        finally:
+            machine.end_hold()
         if plane.writes_this_tick == 0:
             self.noop_ticks += 1
 

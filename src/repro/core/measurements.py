@@ -31,11 +31,13 @@ class KelpMeasurements:
 
 def measure_node(node: Node, reader: str = "kelp") -> KelpMeasurements:
     """Sample all four measurements since this reader's previous call."""
-    reading = node.perf.read(reader)
+    socket_bw, socket_latency, saturation, hipri_bw, elapsed = (
+        node.perf.read_kelp(reader, node.accel_socket, node.hi_subdomain)
+    )
     return KelpMeasurements(
-        socket_bw=reading.socket_bandwidth_gbps.get(node.accel_socket, 0.0),
-        socket_latency=reading.socket_latency_factor.get(node.accel_socket, 1.0),
-        saturation=reading.socket_saturation.get(node.accel_socket, 0.0),
-        hipri_bw=reading.subdomain_bandwidth_gbps.get(node.hi_subdomain, 0.0),
-        elapsed=reading.elapsed,
+        socket_bw=socket_bw,
+        socket_latency=socket_latency,
+        saturation=saturation,
+        hipri_bw=hipri_bw,
+        elapsed=elapsed,
     )

@@ -150,10 +150,20 @@ class FleetMember:
         #: frozen telemetry snapshot (nothing fleet-visible announces the
         #: death — detection is the incident layer's job).
         self.alive = True
+        #: Observer for events that may change this member's routing key
+        #: (load, telemetry, liveness, rotation). The orchestrator points
+        #: this at the incremental routing index; every key-changing event
+        #: below must call it — including paths that bypass the fleet
+        #: router, like the incident engine's direct intruder submissions.
+        self.on_state_change: (
+            Callable[["FleetMember", str], None] | None
+        ) = None
         #: Whether the admission router may send this member traffic. Stays
         #: True through a *silent* death (the black hole); remediation or
         #: an explicit orchestrator kill pulls the member from rotation.
-        self.in_rotation = True
+        #: A property so that every rotation flip notifies the routing
+        #: index, no matter who performs it.
+        self._in_rotation = True
         #: Whether the batch queue may place new jobs here.
         self.accepts_batch = True
         #: Times this member has died (salts the restart seed).
@@ -162,6 +172,21 @@ class FleetMember:
         #: snapshot while ``sim.now`` is before this instant.
         self.blackout_until = 0.0
         self._frozen_load = 0
+
+    @property
+    def in_rotation(self) -> bool:
+        """Whether the admission router may send this member traffic."""
+        return self._in_rotation
+
+    @in_rotation.setter
+    def in_rotation(self, value: bool) -> None:
+        self._in_rotation = bool(value)
+        if self.on_state_change is not None:
+            self.on_state_change(self, "rotation")
+
+    def _notify(self, kind: str) -> None:
+        if self.on_state_change is not None:
+            self.on_state_change(self, kind)
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> None:
@@ -230,6 +255,7 @@ class FleetMember:
                 task.stop()
         if self.last_signals is None:
             self.last_signals = self._offline_signals()
+        self._notify("load")
         return dropped
 
     def restart(self) -> None:
@@ -260,6 +286,7 @@ class FleetMember:
                 label=f"fleet:policy:{self.index}",
                 priority=PRIORITY_CONTROL,
             )
+        self._notify("load")  # the rebooted server starts empty
 
     def begin_blackout(self, until: float) -> None:
         """Black out telemetry until ``until``: the fleet sees a frozen
@@ -271,6 +298,7 @@ class FleetMember:
             loop.hold_sensors(until)
         if self.last_signals is None:
             self.last_signals = self._offline_signals()
+            self._notify("signals")
 
     # ------------------------------------------------------------- serving
     @property
@@ -308,8 +336,14 @@ class FleetMember:
             return
         self._owners.setdefault(self.sim.now, deque()).append((tenant, counted))
         self.server.submit(demand)
+        if self.on_state_change is not None:
+            self.on_state_change(self, "load")
 
     def _complete(self, start: float, end: float) -> None:
+        if self.on_state_change is not None:
+            # The server already released the request, so the load-keyed
+            # routing index must be refreshed even for unowned traffic.
+            self.on_state_change(self, "load")
         owners = self._owners.get(start)
         if not owners:  # pragma: no cover - foreign traffic, defensive
             return
@@ -335,13 +369,13 @@ class FleetMember:
         if not self.alive or self.sim.now < self.blackout_until:
             if self.last_signals is None:  # pragma: no cover - defensive
                 self.last_signals = self._offline_signals()
+                self._notify("signals")
             return self.last_signals
-        reading = self.node.perf.read("fleet")
         node = self.node
         profile = self.policy.profile
-        saturation = reading.socket_saturation.get(node.accel_socket, 0.0)
-        latency = reading.socket_latency_factor.get(node.accel_socket, 1.0)
-        socket_bw = reading.socket_bandwidth_gbps.get(node.accel_socket, 0.0)
+        socket_bw, latency, saturation, hipri_bw, _ = node.perf.read_kelp(
+            "fleet", node.accel_socket, node.hi_subdomain
+        )
         hot = (
             profile.saturation.above(saturation)
             or profile.socket_latency.above(latency)
@@ -353,9 +387,7 @@ class FleetMember:
             socket_bw_gbps=socket_bw,
             latency_factor=latency,
             saturation=saturation,
-            hipri_bw_gbps=reading.subdomain_bandwidth_gbps.get(
-                node.hi_subdomain, 0.0
-            ),
+            hipri_bw_gbps=hipri_bw,
             inflight=self.server.inflight,
             queued=self.server.queued,
             batch_jobs=len(self._jobs),
@@ -364,6 +396,8 @@ class FleetMember:
         )
         self.last_signals = signals
         self.hot_streak = self.hot_streak + 1 if hot else 0
+        if self.on_state_change is not None:
+            self.on_state_change(self, "signals")
         return signals
 
     def _offline_signals(self) -> NodeSignals:

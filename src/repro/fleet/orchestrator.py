@@ -16,6 +16,7 @@ summary bit-for-bit regardless of process parallelism around it.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from functools import partial
 from typing import TYPE_CHECKING
@@ -25,12 +26,14 @@ import numpy as np
 from repro.errors import ConfigurationError, ExperimentError
 from repro.fleet.batch import BatchQueue
 from repro.fleet.config import FleetConfig, TenantSpec
-from repro.fleet.member import FleetMember
+from repro.fleet.index import make_routing_index
+from repro.fleet.member import FleetMember, NodeSignals
 from repro.fleet.routing import Router, make_router
 from repro.fleet.slo import (
     TenantAccount,
     TenantSlo,
     WindowAccount,
+    bucket_window_completions,
     finalize_tenant,
     fleet_efficiency,
 )
@@ -180,9 +183,32 @@ class FleetOrchestrator:
         self._node_saturated: list[int] = []
         self._saturation_samples: list[float] = []
         self._post_warmup_samples = 0
-        self._telemetry: list[dict] = []
+        #: Lazy telemetry: raw per-tick NodeSignals, frozen to JSON-clean
+        #: dict rows only at finalize (at 256 nodes over a day this is
+        #: millions of rows — building the dicts per tick was the hidden
+        #: cost of every replay, hooks or not).
+        self._telemetry_signals: list[NodeSignals] = []
         #: (window index, tenant index) -> admission-bucketed SLO counters.
         self._windows: dict[tuple[int, int], WindowAccount] = {}
+        #: Deferred completion-side window bucketing: parallel buffers of
+        #: (admission time, tenant, latency), vectorized at finalize.
+        self._completion_starts: list[float] = []
+        self._completion_tenants: list[int] = []
+        self._completion_latencies: list[float] = []
+        #: Trace mode only: counted arrival timestamps (sorted) for O(log n)
+        #: live offered counters; per-tenant/per-window offered totals are
+        #: a pure function of the trace, precomputed in :meth:`run`.
+        self._counted_arrivals: np.ndarray | None = None
+        self._offered_by_tenant: np.ndarray | None = None
+        self._offered_by_window: dict[tuple[int, int], int] | None = None
+        #: The exact router instance the incremental index was built for;
+        #: admission falls back to the reference scan whenever
+        #: ``self.router`` is anything else (e.g. an incident wrapper).
+        self._indexed_router: Router | None = None
+        self._routing_index = None
+        #: Wall-clock phase breakdown of the last :meth:`run` (bench probes
+        #: read this; it never enters results or summaries).
+        self.phase_walls: dict[str, float] = {}
         #: window index -> [saturated samples, total samples] from ticks.
         self._window_saturation: dict[int, list[int]] = {}
         self._sim: Simulator | None = None
@@ -221,6 +247,13 @@ class FleetOrchestrator:
                 np.random.SeedSequence((config.seed, _STREAM_ROUTER))
             ),
         )
+        self._routing_index = make_routing_index(self.router, self.members)
+        if self._routing_index is not None:
+            self._indexed_router = self.router
+            for member in self.members:
+                member.on_state_change = self._routing_index.on_member_event
+        if self._trace is not None:
+            self._precompute_trace_offered()
         if self._trace is not None:
             # Trace-driven: one replay generator replaces the per-tenant
             # open-loop processes; tenant/demand come from the trace columns.
@@ -269,16 +302,72 @@ class FleetOrchestrator:
             priority=PRIORITY_OBSERVE,
         )
 
+        replay_start = time.perf_counter()
         sim.run_until(config.duration)
+        self.phase_walls["replay_s"] = time.perf_counter() - replay_start
 
         for generator in generators:
             generator.stop()
         events = sim.dispatched_events
+        accounting_start = time.perf_counter()
         batch_units, batch_nominal = self._batch_units(queue)
         result = self._finalize(queue, events, batch_units, batch_nominal)
+        self.phase_walls["accounting_s"] = (
+            time.perf_counter() - accounting_start
+        )
         for member in self.members:
             member.stop()
         return result
+
+    def _precompute_trace_offered(self) -> None:
+        """Freeze trace-mode offered accounting ahead of the replay.
+
+        In trace mode the offered side of the SLO accounting is a pure
+        function of the trace and the config — every arrival increments its
+        tenant (and window bucket) no matter how it routes or whether it is
+        dropped. Precomputing it here removes all per-arrival accounting
+        from the replay hot loop; live ``counters()`` reads become a binary
+        search over the counted arrival times.
+
+        Bit-identity: the replay generator chains relative ``after()``
+        events, so an arrival's simulated firing time is the float chain
+        ``e_i = e_{i-1} + max(0, a_i - e_{i-1})`` — not necessarily the raw
+        trace timestamp to the last ulp. The admission path keys ``counted``
+        and the window bucket off that firing time, so the precomputation
+        replays the exact chain (one pass of Python float arithmetic) rather
+        than using ``arrivals_s`` directly.
+        """
+        assert self._trace is not None
+        config = self.config
+        warmup = config.warmup
+        duration = config.duration
+        window_s = config.window_s
+        tenant_ids = self._trace.tenant_ids
+        counted_times: list[float] = []
+        counted_tenants: list[int] = []
+        prev = 0.0
+        for a, tenant in zip(
+            self._trace.arrivals_s.tolist(), tenant_ids.tolist()
+        ):
+            delay = a - prev
+            if delay > 0.0:
+                prev = prev + delay
+            if prev > duration:
+                break  # chained events beyond the horizon never fire
+            if prev >= warmup:
+                counted_times.append(prev)
+                counted_tenants.append(tenant)
+        self._counted_arrivals = np.asarray(counted_times, dtype=np.float64)
+        self._offered_by_tenant = np.bincount(
+            np.asarray(counted_tenants, dtype=np.int64),
+            minlength=len(config.tenants),
+        )
+        if window_s is not None:
+            offered_by_window: dict[tuple[int, int], int] = {}
+            for fire_time, tenant in zip(counted_times, counted_tenants):
+                key = (int(fire_time // window_s), tenant)
+                offered_by_window[key] = offered_by_window.get(key, 0) + 1
+            self._offered_by_window = offered_by_window
 
     # ------------------------------------------------------------ admission
     def _admit(self, tenant: int) -> None:
@@ -305,11 +394,23 @@ class FleetOrchestrator:
         never completes, i.e. an SLO miss.
         """
         assert self.router is not None and self._sim is not None
-        eligible = [m for m in self.members if m.in_rotation]
-        member = self.router.choose(eligible) if eligible else None
+        if (
+            self._routing_index is not None
+            and self.router is self._indexed_router
+        ):
+            # Incremental index: choice-identical to the scan below (see
+            # repro.fleet.index). Any router swap — e.g. the incident
+            # engine's null-route wrapper — drops to the reference path.
+            member = self._routing_index.choose()
+        else:
+            eligible = [m for m in self.members if m.in_rotation]
+            member = self.router.choose(eligible) if eligible else None
         now = self._sim.now
         counted = now >= self.config.warmup
-        if counted:
+        if counted and self._counted_arrivals is None:
+            # Live offered accounting; trace replays precompute it (the
+            # offered side is a pure function of the trace), so the hot
+            # loop skips it entirely there.
             self._accounts[tenant].offered += 1
             if self.config.window_s is not None:
                 key = (int(now // self.config.window_s), tenant)
@@ -339,12 +440,13 @@ class FleetOrchestrator:
         self._node_completed[member.index] += 1
         self._node_latency[member.index].add(latency)
         if self.config.window_s is not None:
-            # ``start`` is the admission timestamp, so this lands in the
-            # bucket _route_and_submit offered it to.
-            key = (int(start // self.config.window_s), tenant)
-            account = self._windows.get(key)
-            if account is not None:
-                account.record(latency, self._accounts[tenant].spec.slo_p99_s)
+            # ``start`` is the admission timestamp, so finalize buckets this
+            # completion into the window _route_and_submit offered it to.
+            # Three parallel appends beat a dict lookup + method call here;
+            # bucket_window_completions replays them in this exact order.
+            self._completion_starts.append(start)
+            self._completion_tenants.append(tenant)
+            self._completion_latencies.append(latency)
 
     # --------------------------------------------------------- control loop
     def _control_tick(self, queue: BatchQueue) -> None:
@@ -361,21 +463,9 @@ class FleetOrchestrator:
                     saturated += 1
                     self._node_saturated[member.index] += 1
             if self._collect_telemetry:
-                self._telemetry.append(
-                    {
-                        "time": signals.time,
-                        "node": signals.node_index,
-                        "socket_bw_gbps": signals.socket_bw_gbps,
-                        "latency_factor": signals.latency_factor,
-                        "saturation": signals.saturation,
-                        "hipri_bw_gbps": signals.hipri_bw_gbps,
-                        "inflight": signals.inflight,
-                        "queued": signals.queued,
-                        "batch_jobs": signals.batch_jobs,
-                        "saturated": signals.saturated,
-                        "hot": signals.hot,
-                    }
-                )
+                # Store the frozen signals object; the JSON-clean dict row
+                # is built once at finalize (see _telemetry_rows).
+                self._telemetry_signals.append(signals)
         if post_warmup:
             self._saturation_samples.append(saturated / len(self.members))
             self._post_warmup_samples += 1
@@ -442,7 +532,19 @@ class FleetOrchestrator:
     def counters(self) -> tuple[int, int, int, tuple[int, ...]]:
         """Live ``(offered, completed, good, per-node completed)`` counted
         totals — the attainment stream the incident detectors watch."""
-        offered = sum(a.offered for a in self._accounts)
+        if self._counted_arrivals is not None:
+            # Trace mode defers per-arrival accounting; the live offered
+            # count is a binary search over the precomputed counted arrival
+            # times. Callers run at observe priority, after every arrival
+            # at the current timestamp has fired, so "<= now" is exact.
+            assert self._sim is not None
+            offered = int(
+                np.searchsorted(
+                    self._counted_arrivals, self._sim.now, side="right"
+                )
+            )
+        else:
+            offered = sum(a.offered for a in self._accounts)
         completed = sum(a.completed for a in self._accounts)
         good = sum(a.good for a in self._accounts)
         return offered, completed, good, tuple(self._node_completed)
@@ -472,6 +574,25 @@ class FleetOrchestrator:
         window = config.duration - config.warmup
         if window <= 0:  # pragma: no cover - guarded by FleetConfig
             raise ExperimentError("fleet window must be positive")
+        if self._offered_by_tenant is not None:
+            # Trace mode: install the precomputed offered totals the replay
+            # loop skipped. Offered windows must exist before the deferred
+            # completions are bucketed (completions only land in windows the
+            # offered side created — same guard as the live path).
+            for index, account in enumerate(self._accounts):
+                account.offered = int(self._offered_by_tenant[index])
+            if self._offered_by_window is not None:
+                for key, count in self._offered_by_window.items():
+                    self._windows[key] = WindowAccount(offered=count)
+        if config.window_s is not None and self._completion_starts:
+            bucket_window_completions(
+                self._windows,
+                self._completion_starts,
+                self._completion_tenants,
+                self._completion_latencies,
+                config.window_s,
+                [t.slo_p99_s for t in config.tenants],
+            )
         tenants = tuple(
             finalize_tenant(account, window) for account in self._accounts
         )
@@ -517,7 +638,7 @@ class FleetOrchestrator:
             events_dispatched=events,
             requests_dropped=self.requests_dropped,
             batch_requeues=queue.stats.requeues,
-            telemetry=tuple(self._telemetry),
+            telemetry=self._telemetry_rows(),
             controller=self._controller_rows(),
             actuation=self._actuation_rows(),
             windows=window_rows,
@@ -583,6 +704,30 @@ class FleetOrchestrator:
                 }
             )
         return tuple(tenant_rows), tuple(fleet_rows)
+
+    def _telemetry_rows(self) -> tuple[dict, ...]:
+        """Freeze the per-tick signal samples into JSON-clean dict rows.
+
+        Same fields, same order, same row sequence as the dicts the control
+        tick used to build inline — just 8.6k × nodes dict constructions
+        moved out of the replay loop and into one finalize pass.
+        """
+        return tuple(
+            {
+                "time": signals.time,
+                "node": signals.node_index,
+                "socket_bw_gbps": signals.socket_bw_gbps,
+                "latency_factor": signals.latency_factor,
+                "saturation": signals.saturation,
+                "hipri_bw_gbps": signals.hipri_bw_gbps,
+                "inflight": signals.inflight,
+                "queued": signals.queued,
+                "batch_jobs": signals.batch_jobs,
+                "saturated": signals.saturated,
+                "hot": signals.hot,
+            }
+            for signals in self._telemetry_signals
+        )
 
     def _controller_rows(self) -> tuple[dict, ...]:
         """Every member's unified control tick records, node-tagged."""

@@ -27,6 +27,9 @@ class MsrInterface:
     def __init__(self, machine: Machine) -> None:
         self._machine = machine
         self._raw: dict[int, int] = {}
+        # The spec is frozen, so the core-range bound never changes; caching
+        # it keeps per-tick MSR read-backs off the sum-over-sockets path.
+        self._total_cores = machine.spec.total_cores
 
     def rdmsr(self, core: int, address: int) -> int:
         """Read an MSR; only ``0x1A4`` is modeled."""
@@ -56,6 +59,21 @@ class MsrInterface:
         """Whether all prefetchers are active on ``core``."""
         return self.rdmsr(core, MSR_MISC_FEATURE_CONTROL) == PREFETCH_ENABLE_ALL
 
+    def prefetcher_states(self, cores: tuple[int, ...]) -> list[bool]:
+        """Per-core prefetcher state for an ascending run of core ids.
+
+        Batch form of :meth:`prefetchers_enabled` for the per-tick MSR
+        read-back dedup: one range check instead of one rdmsr round-trip
+        per core.
+        """
+        if cores and not (0 <= cores[0] and cores[-1] < self._total_cores):
+            raise HostInterfaceError("core id out of range")
+        raw_get = self._raw.get
+        return [
+            raw_get(core, PREFETCH_ENABLE_ALL) == PREFETCH_ENABLE_ALL
+            for core in cores
+        ]
+
     def enable_all(self) -> None:
         """Restore prefetching on every core (teardown between experiments)."""
         self._raw.clear()
@@ -65,5 +83,5 @@ class MsrInterface:
     def _check(self, core: int, address: int) -> None:
         if address != MSR_MISC_FEATURE_CONTROL:
             raise HostInterfaceError(f"MSR {address:#x} is not modeled")
-        if not 0 <= core < self._machine.spec.total_cores:
+        if not 0 <= core < self._total_cores:
             raise HostInterfaceError(f"core {core} out of range")

@@ -46,6 +46,13 @@ class PerfCounters:
     def __init__(self, machine: Machine) -> None:
         self._machine = machine
         self._marks: dict[str, TelemetrySnapshot] = {}
+        # Topology is immutable; freeze the per-socket subdomain tuples once
+        # instead of re-deriving them on every windowed read.
+        topo = machine.topology
+        self._socket_subdomains: tuple[tuple[int, tuple[int, ...]], ...] = tuple(
+            (socket_id, topo.subdomains_of_socket(socket_id))
+            for socket_id in range(topo.num_sockets)
+        )
 
     def read(self, reader: str = "default") -> PerfReading:
         """Sample all Kelp counters since this reader's previous call.
@@ -60,24 +67,99 @@ class PerfCounters:
         window = telemetry.window_since(previous, now)
         self._marks[reader] = telemetry.copy_snapshot()
 
-        topo = self._machine.topology
         socket_bw: dict[int, float] = {}
         socket_lat: dict[int, float] = {}
         socket_sat: dict[int, float] = {}
-        for socket_id in range(topo.num_sockets):
-            subdomains = topo.subdomains_of_socket(socket_id)
+        for socket_id, subdomains in self._socket_subdomains:
             socket_bw[socket_id] = window.bandwidth_of(subdomains)
             socket_lat[socket_id] = window.max_latency_factor(subdomains)
             socket_sat[socket_id] = window.max_saturation(subdomains)
+        # The window's dicts are freshly built per read and never aliased, so
+        # they can be handed to the (frozen) reading without a copy.
         return PerfReading(
             elapsed=window.elapsed,
             socket_bandwidth_gbps=socket_bw,
             socket_latency_factor=socket_lat,
             socket_saturation=socket_sat,
-            subdomain_bandwidth_gbps=dict(window.mc_bandwidth_gbps),
-            socket_throttle=dict(window.socket_throttle),
+            subdomain_bandwidth_gbps=window.mc_bandwidth_gbps,
+            socket_throttle=window.socket_throttle,
         )
+
+    def read_kelp(
+        self, reader: str, socket: int, hi_subdomain: int
+    ) -> tuple[float, float, float, float, float]:
+        """The four Kelp scalars (plus elapsed) since the reader's last call.
+
+        Returns ``(socket_bw, socket_latency, saturation, hipri_bw,
+        elapsed)`` for one socket — the exact fields
+        :func:`repro.core.measurements.measure_node` and the fleet member
+        sampler consume every control tick. Bit-identical to deriving them
+        from :meth:`read` (same per-key delta/divide expressions, same
+        summation and max order over the socket's subdomain tuple), but
+        skips materializing the full per-socket/per-subdomain dicts — this
+        is the hottest call in a day-long fleet replay. The reader's mark is
+        a full snapshot, so mixing :meth:`read` and :meth:`read_kelp` on one
+        reader name stays windowed correctly.
+        """
+        telemetry = self._machine.telemetry
+        now = self._machine.sim.now
+        telemetry.advance(now)
+        current = telemetry.snapshot
+        previous = self._marks.get(reader)
+        self._marks[reader] = telemetry.copy_snapshot()
+        subdomains = self._socket_subdomains[socket][1]
+        if previous is None:
+            prev_time = 0.0
+            prev_bytes = prev_lat = prev_sat = _EMPTY
+        else:
+            prev_time = previous.time
+            prev_bytes = previous.mc_bytes
+            prev_lat = previous.mc_latency
+            prev_sat = previous.mc_saturation
+        elapsed = max(current.time - prev_time, 0.0)
+        if elapsed <= 0:
+            # Degenerate window: the documented defaults, as in window_since.
+            return 0.0, 1.0, 0.0, 0.0, elapsed
+        cur_bytes = current.mc_bytes
+        cur_lat = current.mc_latency
+        cur_sat = current.mc_saturation
+        # Explicit loops, but the same accumulation order as the dict-built
+        # path: ``sum()`` over the subdomain tuple starting from int 0, and
+        # ``max()`` keeping the first maximal element.
+        socket_bw = 0
+        socket_latency = saturation = None
+        for m in subdomains:
+            socket_bw += (
+                (cur_bytes[m] - prev_bytes.get(m, 0.0)) / elapsed
+                if m in cur_bytes
+                else 0.0
+            )
+            lat = (
+                (cur_lat[m] - prev_lat.get(m, 0.0)) / elapsed
+                if m in cur_lat
+                else 1.0
+            )
+            if socket_latency is None or lat > socket_latency:
+                socket_latency = lat
+            sat = (
+                (cur_sat[m] - prev_sat.get(m, 0.0)) / elapsed
+                if m in cur_sat
+                else 0.0
+            )
+            if saturation is None or sat > saturation:
+                saturation = sat
+        hipri_bw = (
+            (cur_bytes[hi_subdomain] - prev_bytes.get(hi_subdomain, 0.0))
+            / elapsed
+            if hi_subdomain in cur_bytes
+            else 0.0
+        )
+        return socket_bw, socket_latency, saturation, hipri_bw, elapsed
 
     def reset(self, reader: str = "default") -> None:
         """Forget a reader's mark; its next read starts a fresh window."""
         self._marks.pop(reader, None)
+
+
+#: Shared empty previous-integral mapping for first reads (never mutated).
+_EMPTY: dict[int, float] = {}

@@ -146,14 +146,28 @@ class Machine:
         solved from the final knob values — is identical to running the
         intermediate recomputes.
         """
-        self._hold += 1
+        self.begin_hold()
         try:
             yield
         finally:
-            self._hold -= 1
-            if self._hold == 0 and self._deferred:
-                self._deferred = False
-                self.notify_change()
+            self.end_hold()
+
+    def begin_hold(self) -> None:
+        """Enter a recompute hold (plain-call form of :meth:`hold_recompute`).
+
+        The per-tick control loop brackets its enforcement writes with
+        ``begin_hold``/``end_hold`` directly: at half a million ticks per
+        simulated fleet-day, the contextmanager-generator machinery is
+        measurable overhead.
+        """
+        self._hold += 1
+
+    def end_hold(self) -> None:
+        """Exit a recompute hold; runs the deferred recompute at depth 0."""
+        self._hold -= 1
+        if self._hold == 0 and self._deferred:
+            self._deferred = False
+            self.notify_change()
 
     def what_if(self, variants: Sequence[KnobVariant]) -> list[SolveResult]:
         """Evaluate knob variants against the current source set, batched.

@@ -150,6 +150,20 @@ class TelemetryAccumulator:
         def averages(
             cur: dict[int, float], prev: dict[int, float], default: float
         ) -> dict[int, float]:
+            # Integral dicts only grow, so a snapshot copied earlier from
+            # this accumulator satisfies ``prev.keys() <= cur.keys()`` and
+            # one pass over ``cur`` suffices (``value - prev.get(...)`` is
+            # the exact delta expression of the general path, so results
+            # are bit-identical). Snapshots from elsewhere fall back to the
+            # key-union walk.
+            if prev.keys() <= cur.keys():
+                prev_get = prev.get
+                if elapsed > 0:
+                    return {
+                        key: (value - prev_get(key, 0.0)) / elapsed
+                        for key, value in cur.items()
+                    }
+                return {key: default for key in cur}
             keys = set(cur) | set(prev)
             out = {}
             for key in keys:

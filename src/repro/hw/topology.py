@@ -30,20 +30,74 @@ from repro.hw.spec import MachineSpec
 
 @dataclass(frozen=True)
 class Topology:
-    """Derived topology facts for a :class:`~repro.hw.spec.MachineSpec`."""
+    """Derived topology facts for a :class:`~repro.hw.spec.MachineSpec`.
+
+    The spec is immutable, so every mapping below is precomputed once in
+    ``__post_init__`` and each query is a table lookup. This matters: the
+    per-tick measurement path (perf reads on every node of a fleet, every
+    control interval) goes through these queries millions of times in a
+    day-long 256-node replay.
+    """
 
     spec: MachineSpec
+
+    def __post_init__(self) -> None:
+        sockets = self.spec.sockets
+        first_core, first_sub = [], []
+        core_base = sub_base = 0
+        for socket in sockets:
+            first_core.append(core_base)
+            first_sub.append(sub_base)
+            core_base += socket.cores
+            sub_base += len(socket.memory_controllers)
+        subs_of_socket = tuple(
+            tuple(
+                range(first_sub[s], first_sub[s] + len(sockets[s].memory_controllers))
+            )
+            for s in range(len(sockets))
+        )
+        cores_of_socket = tuple(
+            tuple(range(first_core[s], first_core[s] + sockets[s].cores))
+            for s in range(len(sockets))
+        )
+        socket_of_sub, cores_of_sub = [], []
+        for s, socket in enumerate(sockets):
+            cores = cores_of_socket[s]
+            groups = len(socket.memory_controllers)
+            for local in range(groups):
+                socket_of_sub.append(s)
+                lo = (local * len(cores)) // groups
+                hi = ((local + 1) * len(cores)) // groups
+                cores_of_sub.append(cores[lo:hi])
+        socket_of_core = [
+            s for s in range(len(sockets)) for _ in range(sockets[s].cores)
+        ]
+        sub_of_core = [
+            sub for sub, cores in enumerate(cores_of_sub) for _ in cores
+        ]
+        # ``object.__setattr__``: the dataclass is frozen, the caches are not.
+        set_ = object.__setattr__
+        set_(self, "_first_core", tuple(first_core))
+        set_(self, "_first_subdomain", tuple(first_sub))
+        set_(self, "_subdomains_of_socket", subs_of_socket)
+        set_(self, "_cores_of_socket", cores_of_socket)
+        set_(self, "_socket_of_subdomain", tuple(socket_of_sub))
+        set_(self, "_cores_of_subdomain", tuple(cores_of_sub))
+        set_(self, "_socket_of_core", tuple(socket_of_core))
+        set_(self, "_subdomain_of_core", tuple(sub_of_core))
+        set_(self, "_num_sockets", len(sockets))
+        set_(self, "_num_subdomains", sub_base)
 
     # ----------------------------------------------------------- sockets
     @property
     def num_sockets(self) -> int:
         """Number of processor packages."""
-        return len(self.spec.sockets)
+        return self._num_sockets
 
     @property
     def num_subdomains(self) -> int:
         """Total channel groups across all sockets."""
-        return sum(len(s.memory_controllers) for s in self.spec.sockets)
+        return self._num_subdomains
 
     def cores_per_socket(self, socket: int) -> int:
         """Physical core count of ``socket``."""
@@ -53,17 +107,14 @@ class Topology:
     def subdomains_per_socket(self, socket: int) -> int:
         """Channel-group count of ``socket``."""
         self._check_socket(socket)
-        return len(self.spec.sockets[socket].memory_controllers)
+        return len(self._subdomains_of_socket[socket])
 
     # -------------------------------------------------------------- cores
     def socket_of_core(self, core: int) -> int:
         """Socket owning global core id ``core``."""
-        remaining = core
-        for socket_id, socket in enumerate(self.spec.sockets):
-            if remaining < socket.cores:
-                return socket_id
-            remaining -= socket.cores
-        raise TopologyError(f"core {core} out of range")
+        if not 0 <= core < len(self._socket_of_core):
+            raise TopologyError(f"core {core} out of range")
+        return self._socket_of_core[core]
 
     def subdomain_of_core(self, core: int) -> int:
         """Subdomain owning ``core``.
@@ -73,57 +124,40 @@ class Topology:
         lower half of a socket's cores belong to its even subdomain, upper
         half to the odd one).
         """
-        socket = self.socket_of_core(core)
-        offset = core - self.first_core(socket)
-        cores = self.spec.sockets[socket].cores
-        groups = self.subdomains_per_socket(socket)
-        for local in range(groups):
-            if offset < ((local + 1) * cores) // groups:
-                return self.first_subdomain(socket) + local
-        # Unreachable: offset < cores by construction.
-        raise TopologyError(f"core {core} not mapped to a subdomain")
+        if not 0 <= core < len(self._subdomain_of_core):
+            raise TopologyError(f"core {core} out of range")
+        return self._subdomain_of_core[core]
 
     def first_core(self, socket: int) -> int:
         """Global id of the first core on ``socket``."""
         self._check_socket(socket)
-        return sum(s.cores for s in self.spec.sockets[:socket])
+        return self._first_core[socket]
 
     def cores_of_socket(self, socket: int) -> tuple[int, ...]:
         """All global core ids on ``socket``."""
-        base = self.first_core(socket)
-        return tuple(range(base, base + self.spec.sockets[socket].cores))
+        self._check_socket(socket)
+        return self._cores_of_socket[socket]
 
     def cores_of_subdomain(self, subdomain: int) -> tuple[int, ...]:
         """All global core ids in ``subdomain``."""
-        socket = self.socket_of_subdomain(subdomain)
-        cores = self.cores_of_socket(socket)
-        groups = self.subdomains_per_socket(socket)
-        local = subdomain - self.first_subdomain(socket)
-        lo = (local * len(cores)) // groups
-        hi = ((local + 1) * len(cores)) // groups
-        return cores[lo:hi]
+        self._check_subdomain(subdomain)
+        return self._cores_of_subdomain[subdomain]
 
     # --------------------------------------------------------- subdomains
     def first_subdomain(self, socket: int) -> int:
         """Global id of the first subdomain on ``socket``."""
         self._check_socket(socket)
-        return sum(
-            len(s.memory_controllers) for s in self.spec.sockets[:socket]
-        )
+        return self._first_subdomain[socket]
 
     def socket_of_subdomain(self, subdomain: int) -> int:
         """Socket owning ``subdomain``."""
-        remaining = subdomain
-        for socket_id, socket in enumerate(self.spec.sockets):
-            if remaining < len(socket.memory_controllers):
-                return socket_id
-            remaining -= len(socket.memory_controllers)
-        raise TopologyError(f"subdomain {subdomain} out of range")
+        self._check_subdomain(subdomain)
+        return self._socket_of_subdomain[subdomain]
 
     def subdomains_of_socket(self, socket: int) -> tuple[int, ...]:
         """The subdomain ids of ``socket`` (ascending)."""
-        first = self.first_subdomain(socket)
-        return tuple(range(first, first + self.subdomains_per_socket(socket)))
+        self._check_socket(socket)
+        return self._subdomains_of_socket[socket]
 
     def sibling_subdomains(self, subdomain: int) -> tuple[int, ...]:
         """The other subdomains sharing ``subdomain``'s socket.
@@ -133,17 +167,17 @@ class Topology:
         """
         socket = self.socket_of_subdomain(subdomain)
         return tuple(
-            s for s in self.subdomains_of_socket(socket) if s != subdomain
+            s for s in self._subdomains_of_socket[socket] if s != subdomain
         )
 
     def mc_ids(self) -> tuple[int, ...]:
         """All global memory-controller (subdomain) ids, ascending."""
-        return tuple(range(self.num_subdomains))
+        return tuple(range(self._num_subdomains))
 
     def mc_spec_of_subdomain(self, subdomain: int):
         """The :class:`~repro.hw.spec.MemoryControllerSpec` of ``subdomain``."""
         socket = self.socket_of_subdomain(subdomain)
-        local = subdomain - self.first_subdomain(socket)
+        local = subdomain - self._first_subdomain[socket]
         return self.spec.sockets[socket].memory_controllers[local]
 
     def socket_memory_weights(self, socket: int) -> dict[int, float]:
@@ -154,5 +188,9 @@ class Topology:
 
     # ------------------------------------------------------------ helpers
     def _check_socket(self, socket: int) -> None:
-        if not 0 <= socket < self.num_sockets:
+        if not 0 <= socket < self._num_sockets:
             raise TopologyError(f"socket {socket} out of range")
+
+    def _check_subdomain(self, subdomain: int) -> None:
+        if not 0 <= subdomain < self._num_subdomains:
+            raise TopologyError(f"subdomain {subdomain} out of range")

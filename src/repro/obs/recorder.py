@@ -83,16 +83,71 @@ def _plain(value):
     return str(value)
 
 
-class RunObserver:
-    """Collects records, metrics and trace events for one run."""
+class _StreamingJsonlWriter:
+    """Buffered incremental JSONL emission: flush every N rows.
 
-    def __init__(self, config: ObsConfig, name: str = "run") -> None:
+    Rows are serialized on arrival and appended to the target file in
+    ``flush_every``-row batches, so a day-long fleet replay streams its
+    metric rows to disk instead of holding millions of dicts until
+    finalize. The file content is byte-identical to the buffered-in-memory
+    path: same rows, same order, same ``json.dumps(row) + "\\n"`` framing.
+    """
+
+    def __init__(self, path: Path, flush_every: int) -> None:
+        if flush_every <= 0:
+            raise ValueError("flush_every must be positive")
+        self.path = path
+        self.flush_every = flush_every
+        self._pending: list[str] = []
+        self._opened = False
+
+    def add(self, row: dict) -> None:
+        """Queue one row; flushes to disk when the buffer fills."""
+        self._pending.append(json.dumps(row))
+        if len(self._pending) >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Append every pending line to the file (creating it first)."""
+        if not self._pending and self._opened:
+            return
+        mode = "a" if self._opened else "w"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, mode, encoding="utf-8") as handle:
+            for line in self._pending:
+                handle.write(line + "\n")
+        self._pending.clear()
+        self._opened = True
+
+
+class RunObserver:
+    """Collects records, metrics and trace events for one run.
+
+    ``flush_every`` switches the JSONL record stream to incremental
+    buffered writes (see :class:`_StreamingJsonlWriter`): rows stream to
+    ``metrics_path`` in batches instead of accumulating in
+    :attr:`records`, bounding memory over day-long replays. The written
+    file is byte-identical either way; callers that introspect
+    :attr:`records` after a run should leave it unset.
+    """
+
+    def __init__(
+        self,
+        config: ObsConfig,
+        name: str = "run",
+        flush_every: int | None = None,
+    ) -> None:
         self.config = config
         self.name = name
         self.enabled = config.enabled
         self.metrics = MetricsRegistry()
         self.trace = ChromeTraceBuilder()
         self.records: list[dict] = []
+        self._writer: _StreamingJsonlWriter | None = None
+        if flush_every is not None and config.metrics_path is not None:
+            self._writer = _StreamingJsonlWriter(
+                config.metrics_path, flush_every
+            )
         self._seeds: dict[str, int] = {}
         self._run_config: dict = {}
         self._started = time.perf_counter()
@@ -103,7 +158,11 @@ class RunObserver:
         """Append one JSONL row of ``kind`` to the record stream."""
         if not self.enabled:
             return
-        self.records.append({"kind": kind, **_plain(fields)})
+        row = {"kind": kind, **_plain(fields)}
+        if self._writer is not None:
+            self._writer.add(row)
+        else:
+            self.records.append(row)
 
     def note_seed(self, name: str, seed: int) -> None:
         """Register a seed for the manifest."""
@@ -229,10 +288,17 @@ class RunObserver:
 
         metrics_path = self.config.metrics_path
         if metrics_path is not None:
-            metrics_path.parent.mkdir(parents=True, exist_ok=True)
-            with open(metrics_path, "w", encoding="utf-8") as handle:
-                for row in self.records + self.metrics.snapshot():
-                    handle.write(json.dumps(row) + "\n")
+            if self._writer is not None:
+                # Streaming mode: the record rows are already on disk (or
+                # pending); append the metrics snapshot and flush the tail.
+                for row in self.metrics.snapshot():
+                    self._writer.add(row)
+                self._writer.flush()
+            else:
+                metrics_path.parent.mkdir(parents=True, exist_ok=True)
+                with open(metrics_path, "w", encoding="utf-8") as handle:
+                    for row in self.records + self.metrics.snapshot():
+                        handle.write(json.dumps(row) + "\n")
             written.append(metrics_path)
 
         trace_dir = self.config.trace_dir

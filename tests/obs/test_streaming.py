@@ -1,0 +1,76 @@
+"""The buffered streaming JSONL writer vs the in-memory default."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import ObsConfig, RunObserver
+
+
+def _emit(obs: RunObserver, rows: int) -> None:
+    for i in range(rows):
+        obs.record("tick", seq=i, value=i * 0.5)
+    obs.metrics.counter("ticks").inc(rows)
+
+
+class TestStreamingWriter:
+    def test_file_identical_to_buffered_path(self, tmp_path) -> None:
+        buffered = RunObserver(
+            ObsConfig(metrics_path=tmp_path / "buffered.jsonl"), name="a"
+        )
+        streamed = RunObserver(
+            ObsConfig(metrics_path=tmp_path / "streamed.jsonl"),
+            name="b",
+            flush_every=7,
+        )
+        for obs in (buffered, streamed):
+            _emit(obs, 100)
+            obs.finalize()
+        assert (
+            (tmp_path / "buffered.jsonl").read_bytes()
+            == (tmp_path / "streamed.jsonl").read_bytes()
+        )
+
+    def test_rows_reach_disk_before_finalize(self, tmp_path) -> None:
+        path = tmp_path / "m.jsonl"
+        obs = RunObserver(
+            ObsConfig(metrics_path=path), name="s", flush_every=10
+        )
+        _emit(obs, 25)
+        # Two full batches flushed; the 5-row tail is still pending.
+        assert sum(1 for _ in path.open()) == 20
+        assert obs.records == []  # streamed rows are not retained
+        obs.finalize()
+        rows = [json.loads(line) for line in path.open()]
+        assert sum(1 for r in rows if r["kind"] == "tick") == 25
+        assert rows[-1]["kind"] == "metric"
+
+    def test_row_order_preserved(self, tmp_path) -> None:
+        path = tmp_path / "m.jsonl"
+        obs = RunObserver(
+            ObsConfig(metrics_path=path), name="s", flush_every=3
+        )
+        _emit(obs, 11)
+        obs.finalize()
+        ticks = [
+            json.loads(line)
+            for line in path.open()
+            if json.loads(line)["kind"] == "tick"
+        ]
+        assert [row["seq"] for row in ticks] == list(range(11))
+
+    def test_no_metrics_path_ignores_flush_every(self, tmp_path) -> None:
+        obs = RunObserver(
+            ObsConfig(trace_dir=tmp_path), name="t", flush_every=4
+        )
+        obs.record("tick", seq=0)
+        assert obs.records  # in-memory path still active
+        obs.finalize()
+
+    def test_empty_stream_still_writes_file(self, tmp_path) -> None:
+        path = tmp_path / "m.jsonl"
+        obs = RunObserver(
+            ObsConfig(metrics_path=path), name="e", flush_every=4
+        )
+        obs.finalize()
+        assert path.exists()
