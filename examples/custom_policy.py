@@ -17,7 +17,7 @@ Run:  python examples/custom_policy.py
 from __future__ import annotations
 
 from repro import MixConfig, Node, Simulator, run_colocation, standalone_performance
-from repro.cluster.node import HI_SUBDOMAIN, LO_SUBDOMAIN
+from repro.node import HI_SUBDOMAIN, LO_SUBDOMAIN
 from repro.core.policies.base import (
     CpuTaskPlan,
     IsolationPolicy,

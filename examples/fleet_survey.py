@@ -13,8 +13,8 @@ Run:  python examples/fleet_survey.py
 from __future__ import annotations
 
 from repro import Node, Placement, Simulator, tpu_host_spec
-from repro.cluster.fleet import FleetSurvey, fleet_bandwidth_cdf
-from repro.cluster.node import LO_SUBDOMAIN
+from repro.fleet.survey import FleetSurvey, fleet_bandwidth_cdf
+from repro.node import LO_SUBDOMAIN
 from repro.workloads import cpu_workload
 from repro.workloads.cpu.base import BatchTask
 

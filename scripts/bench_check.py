@@ -2,17 +2,20 @@
 """Perf regression gate: fresh bench JSON vs the committed baseline.
 
 Compares the serial cache-on suite timings of a fresh ``bench_smoke.py``
-report against the committed baseline (``BENCH_PR9.json``), per experiment
+report against the committed baseline (``BENCH_PR10.json``), per experiment
 and in total, plus the trace-scale replay wall when both reports carry the
 probe at the same request count, the fleet-replay scaling sweep (per-size
-wall and events/s throughput), and the incident-loop probe wall, with a
-generous tolerance — CI runners are noisy, so the gate only catches real
-regressions (default: 40% over baseline fails).
+wall and events/s throughput), the incident-loop probe wall, and the
+serving-control-plane probe (stepping wall, epochs/s throughput, and
+checkpoint save/restore walls — plus a hard failure if the restored run
+stopped being bit-identical), with a generous tolerance — CI runners are
+noisy, so the gate only catches real regressions (default: 40% over
+baseline fails).
 
 Usage::
 
     python scripts/bench_smoke.py --out /tmp/bench-ci.json
-    python scripts/bench_check.py --baseline BENCH_PR9.json \
+    python scripts/bench_check.py --baseline BENCH_PR10.json \
         --current /tmp/bench-ci.json
 
 Exit status 0 when every comparison is within tolerance, 1 otherwise.
@@ -36,8 +39,8 @@ def load_report(path: str) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--baseline", default="BENCH_PR9.json",
-        help="committed reference report (default: BENCH_PR9.json)",
+        "--baseline", default="BENCH_PR10.json",
+        help="committed reference report (default: BENCH_PR10.json)",
     )
     parser.add_argument(
         "--current", required=True, help="freshly generated report to check"
@@ -57,8 +60,13 @@ def main(argv: list[str] | None = None) -> int:
     failures: list[str] = []
     rows: list[tuple[str, float, float, float, bool]] = []
 
-    def check(name: str, base_s: float, cur_s: float) -> None:
-        limit = base_s * (1.0 + tolerance)
+    def check(
+        name: str, base_s: float, cur_s: float, slack_s: float = 0.0
+    ) -> None:
+        # slack_s is an absolute grace on top of the fractional tolerance,
+        # for millisecond-scale walls where 40% of the baseline is smaller
+        # than ordinary scheduler noise.
+        limit = base_s * (1.0 + tolerance) + slack_s
         bad = cur_s > limit
         rows.append((name, base_s, cur_s, limit, bad))
         if bad:
@@ -150,6 +158,44 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif base_incidents:
         print("note: current report has no incidents probe; skipped")
+
+    # The serving probe gates the epoch-stepping wall, the stepping
+    # throughput (a floor, like events/s), and the checkpoint round-trip
+    # walls. restore_identical is correctness, not performance: a current
+    # report that lost bit-identity fails outright, tolerance or not.
+    base_serve = baseline_report.get("serve")
+    cur_serve = current_report.get("serve")
+    if base_serve and cur_serve:
+        check("serve stepping", base_serve["wall_s"], cur_serve["wall_s"])
+        base_eps = base_serve["epochs_per_s"]
+        cur_eps = cur_serve["epochs_per_s"]
+        floor = base_eps * (1.0 - tolerance)
+        bad = cur_eps < floor
+        rows.append(("serve epochs ev/s", base_eps, cur_eps, floor, bad))
+        if bad:
+            failures.append(
+                f"serve epochs/s: {cur_eps:,.0f} below {base_eps:,.0f} "
+                f"-{tolerance:.0%} (floor {floor:,.0f})"
+            )
+        check(
+            "serve checkpoint save",
+            base_serve["save_wall_s"],
+            cur_serve["save_wall_s"],
+            slack_s=0.05,
+        )
+        check(
+            "serve checkpoint restore",
+            base_serve["restore_wall_s"],
+            cur_serve["restore_wall_s"],
+            slack_s=0.05,
+        )
+        if not cur_serve["restore_identical"]:
+            failures.append(
+                "serve restore_identical: restored run diverged from the "
+                "uninterrupted run"
+            )
+    elif base_serve:
+        print("note: current report has no serve probe; skipped")
 
     width = max(len(name) for name, *_ in rows)
     print(f"{'experiment':<{width}}  baseline  current   limit")

@@ -4,9 +4,10 @@
 Runs a fixed, representative slice of the experiment registry four ways —
 serial/parallel x cache-on/cache-off — plus one instrumented colocation mix,
 one small fleet-sim run, one trace-scale probe (synthesize a 1M-request
-24h trace, replay it over a 4-node fleet), and one incident-loop probe
-(inject / detect / remediate / score over an hour of traffic), and writes
-a JSON trajectory
+24h trace, replay it over a 4-node fleet), one incident-loop probe
+(inject / detect / remediate / score over an hour of traffic), and one
+serving-control-plane probe (epoch-stepped FleetService with a
+checkpoint/restore round trip), and writes a JSON trajectory
 (wall-clock per experiment, solver cache hit-rate, events dispatched) that
 later PRs can compare against.
 
@@ -320,6 +321,65 @@ def _timed_incidents() -> dict:
     }
 
 
+def _timed_serve() -> dict:
+    """The serving-control-plane probe: step, checkpoint, restore, verify.
+
+    Ten simulated minutes of trace-driven traffic stepped epoch by epoch
+    through :class:`FleetService`, checkpointed at the halfway epoch,
+    restored into a second service, and both run to the end. Reports the
+    stepping throughput (epochs/s), the checkpoint file size, the
+    save/restore walls, and whether the restored run finished
+    bit-identical to the uninterrupted one — the identity check doubles
+    as a committed regression probe for the checkpoint format.
+    """
+    import tempfile
+
+    from repro.fleet.orchestrator import fleet_config_for_trace
+    from repro.serve import FleetService
+    from repro.traces import TraceGenConfig, generate_trace
+
+    set_cache_default(True)
+    _fresh_state()
+    gen = TraceGenConfig(seed=11, duration_s=600.0, rate_qps=20.0)
+    trace = generate_trace(gen)
+    config = fleet_config_for_trace(trace, nodes=4, seed=5)
+    service = FleetService(
+        config, trace=trace, collect_telemetry=False, epoch_s=1.0
+    )
+    half = 300
+    started = time.perf_counter()
+    service.start()
+    while service.epoch < half:
+        service.step()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "serve-probe.ckpt")
+        save_started = time.perf_counter()
+        service.save(path)
+        save_wall = time.perf_counter() - save_started
+        checkpoint_bytes = os.path.getsize(path)
+        restore_started = time.perf_counter()
+        restored = FleetService.restore(path, trace=trace)
+        restore_wall = time.perf_counter() - restore_started
+    service.run_to_end()
+    result = service.finish()
+    wall = time.perf_counter() - started
+    restored.run_to_end()
+    restored_result = restored.finish()
+    epochs = service.epoch
+    return {
+        "wall_s": round(wall, 3),
+        "epochs": epochs,
+        "epoch_s": 1.0,
+        "requests": len(trace),
+        "nodes": config.nodes,
+        "epochs_per_s": round(epochs / max(wall, 1e-9)),
+        "checkpoint_bytes": checkpoint_bytes,
+        "save_wall_s": round(save_wall, 4),
+        "restore_wall_s": round(restore_wall, 4),
+        "restore_identical": repr(result) == repr(restored_result),
+    }
+
+
 def _timed_batch_probe(variants: int = 64) -> dict:
     """Vectorized what-if vs the scalar reference over one live source set.
 
@@ -425,6 +485,7 @@ def main(argv: list[str] | None = None) -> int:
         _timed_fleet_replay(replay_nodes) if replay_nodes else None
     )
     incidents = _timed_incidents()
+    serve = _timed_serve()
     set_cache_default(None)
 
     report = {
@@ -482,6 +543,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": trace,
         "fleet_replay": fleet_replay,
         "incidents": incidents,
+        "serve": serve,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
@@ -539,6 +601,13 @@ def main(argv: list[str] | None = None) -> int:
         f"{incidents['detected']}/{incidents['incidents']} detected, "
         f"{incidents['localized']}/{incidents['incidents']} localized, "
         f"damage {incidents['damage_norem']} -> {incidents['damage_rem']}"
+    )
+    print(
+        f"serve: {serve['epochs']} epochs in {serve['wall_s']}s "
+        f"({serve['epochs_per_s']} epochs/s), checkpoint "
+        f"{serve['checkpoint_bytes']} bytes, save {serve['save_wall_s']}s, "
+        f"restore {serve['restore_wall_s']}s, restore identical: "
+        f"{serve['restore_identical']}"
     )
     return 0
 

@@ -16,7 +16,14 @@ package imports a layer it must not know about:
   ``repro.core`` (a kernel interface does not know which policy drives it);
 * ``repro.fleet`` / ``repro.control`` / ``repro.obs`` — must not import
   ``repro.incidents`` (the incident layer watches and manipulates the
-  fleet through its public hooks; nothing below it may know it exists).
+  fleet through its public hooks; nothing below it may know it exists);
+* ``repro.serve`` — the serving control plane — sits directly below
+  ``repro.experiments``: it may import ``repro.fleet``, ``repro.control``,
+  ``repro.traces`` and ``repro.obs``, but nothing below the experiments
+  layer may import ``repro.serve`` back;
+* nothing in the modern stack may import the ``repro.cluster`` or
+  ``repro.distributed`` deprecation shims — those exist only for
+  out-of-tree callers and re-export from the modern homes.
 
 Exit status: 0 when clean, 1 with one ``file:line`` diagnostic per
 violation.
@@ -35,12 +42,22 @@ from pathlib import Path
 
 #: layer -> packages it must never import (checked transitively over every
 #: module file below the layer's directory).
+#: The seed-era compatibility shims; only out-of-tree code may import them.
+_SHIMS = frozenset({"cluster", "distributed"})
+
 FORBIDDEN: dict[str, frozenset[str]] = {
-    "hw": frozenset({"core", "control"}),
-    "control": frozenset({"experiments", "fleet", "incidents"}),
-    "hostif": frozenset({"core"}),
-    "fleet": frozenset({"incidents"}),
-    "obs": frozenset({"incidents"}),
+    "hw": frozenset({"core", "control", "serve"}) | _SHIMS,
+    "control": frozenset({"experiments", "fleet", "incidents", "serve"})
+    | _SHIMS,
+    "hostif": frozenset({"core", "serve"}) | _SHIMS,
+    "fleet": frozenset({"incidents", "serve"}) | _SHIMS,
+    "obs": frozenset({"incidents", "serve"}) | _SHIMS,
+    "sim": frozenset({"serve"}) | _SHIMS,
+    "traces": frozenset({"serve"}) | _SHIMS,
+    "workloads": frozenset({"serve"}) | _SHIMS,
+    "core": frozenset({"serve"}) | _SHIMS,
+    "incidents": frozenset({"serve"}) | _SHIMS,
+    "serve": frozenset({"experiments", "incidents"}) | _SHIMS,
 }
 
 _PACKAGE = "repro"

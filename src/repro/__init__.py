@@ -28,7 +28,7 @@ Quickstart::
 
 from repro.core import KelpRuntime, available_policies, make_policy
 from repro.core.watermarks import QosProfile, Watermark, default_profile
-from repro.cluster.node import Node
+from repro.node import Node
 from repro.errors import ReproError
 from repro.experiments.common import (
     ColocationResult,

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from functools import partial
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ConfigurationError
@@ -93,11 +94,14 @@ class AcceleratorDevice:
             return
         self._busy = True
         duration, on_complete = self._queue.popleft()
+        self.sim.after(
+            duration,
+            partial(self._finish, duration, on_complete),
+            label=f"{self.spec.name}:op",
+        )
 
-        def finish() -> None:
-            self.busy_time += duration
-            self.ops_completed += 1
-            on_complete()
-            self._dispatch_next()
-
-        self.sim.after(duration, finish, label=f"{self.spec.name}:op")
+    def _finish(self, duration: float, on_complete: Callable[[], None]) -> None:
+        self.busy_time += duration
+        self.ops_completed += 1
+        on_complete()
+        self._dispatch_next()

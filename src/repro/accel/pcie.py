@@ -7,6 +7,7 @@ concurrent transfers in one direction share the link's bandwidth equally.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ConfigurationError
@@ -56,7 +57,7 @@ class PcieLink:
             on_complete()
             return
         entry = _Transfer(FluidWork(size_gb, now=self.sim.now), on_complete)
-        entry.finisher = self._make_finisher(entry)
+        entry.finisher = partial(self._finish, entry)
         self._active.append(entry)
         self._rebalance()
 
@@ -75,17 +76,14 @@ class PcieLink:
                 entry.work.eta(), entry.finisher, label=label
             )
 
-    def _make_finisher(self, entry: _Transfer) -> Callable[[], None]:
-        def finish() -> None:
-            entry.work.sync(self.sim.now)
-            if not entry.work.done and not entry.work.retire_residue(
-                now=self.sim.now
-            ):
-                return  # stale event; a newer handle owns completion
-            if entry in self._active:
-                self._active.remove(entry)
-                self.bytes_moved_gb += entry.work.total
-                entry.on_complete()
-                self._rebalance()
-
-        return finish
+    def _finish(self, entry: _Transfer) -> None:
+        entry.work.sync(self.sim.now)
+        if not entry.work.done and not entry.work.retire_residue(
+            now=self.sim.now
+        ):
+            return  # stale event; a newer handle owns completion
+        if entry in self._active:
+            self._active.remove(entry)
+            self.bytes_moved_gb += entry.work.total
+            entry.on_complete()
+            self._rebalance()

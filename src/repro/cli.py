@@ -258,6 +258,106 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_control_plane_arguments(trace)
     _add_obs_arguments(trace)
 
+    serve = sub.add_parser(
+        "fleet-serve",
+        help="drive a trace through the epoch-stepped serving control "
+             "plane (live commands, autoscaling, checkpoint/restore)",
+    )
+    serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="trace file to serve (.jsonl or .jsonl.gz; default: generated)",
+    )
+    serve.add_argument(
+        "--trace-duration", type=float, default=120.0, metavar="SECONDS",
+        help="generated trace horizon (default: two minutes)",
+    )
+    serve.add_argument(
+        "--trace-rate", type=float, default=40.0, metavar="QPS",
+        help="generated long-run mean arrival rate across tenants",
+    )
+    serve.add_argument(
+        "--trace-seed", type=int, default=None,
+        help="generator seed (default: --seed)",
+    )
+    serve.add_argument("--nodes", type=int, default=4, help="fleet size")
+    serve.add_argument(
+        "--policy", default="KP", help="per-node policy: BL | CT | KP-SD | KP"
+    )
+    serve.add_argument(
+        "--routing", default="least-loaded",
+        help="random | least-loaded | interference-aware",
+    )
+    serve.add_argument("--ml", default="rnn1", help="served inference workload")
+    serve.add_argument(
+        "--duration", type=float, default=None,
+        help="serving horizon, seconds (default: the trace duration)",
+    )
+    serve.add_argument("--warmup", type=float, default=None)
+    serve.add_argument(
+        "--interval", type=float, default=None,
+        help="fleet control interval (default scales with the horizon)",
+    )
+    serve.add_argument(
+        "--window", type=float, default=None, metavar="SECONDS",
+        help="accounting window (default: horizon / 24)",
+    )
+    serve.add_argument(
+        "--epoch", type=float, default=None, metavar="SECONDS",
+        help="service epoch length (default: the control interval)",
+    )
+    serve.add_argument(
+        "--command", dest="serve_commands", action="append", default=[],
+        metavar="EPOCH:VERB[:ARG]",
+        help="control command to apply at an epoch boundary; verbs: "
+             "evict:TENANT admit:TENANT routing:NAME grow shrink "
+             "(repeatable)",
+    )
+    serve.add_argument(
+        "--autoscale", action="store_true",
+        help="enable the demand-driven autoscaler",
+    )
+    serve.add_argument(
+        "--min-nodes", type=int, default=1,
+        help="autoscaler floor (with --autoscale)",
+    )
+    serve.add_argument(
+        "--max-nodes", type=int, default=16,
+        help="autoscaler ceiling (with --autoscale)",
+    )
+    serve.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="checkpoint the live service to PATH at --save-at, then "
+             "continue to the horizon",
+    )
+    serve.add_argument(
+        "--save-at", type=int, default=None, metavar="EPOCH",
+        help="epoch boundary at which to write --save",
+    )
+    serve.add_argument(
+        "--restore", default=None, metavar="PATH",
+        help="resume a checkpoint against the same trace instead of "
+             "starting fresh",
+    )
+    serve.add_argument(
+        "--summary-json", default=None, metavar="PATH",
+        help="write the per-trial summaries and epoch snapshots as JSON",
+    )
+    serve.add_argument(
+        "--trials", type=int, default=1,
+        help="independent serves under different orchestrator seeds",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the trial sweep; results are identical "
+             "to a serial run (default REPRO_JOBS or 1)",
+    )
+    serve.add_argument(
+        "--no-telemetry", action="store_true",
+        help="skip per-interval telemetry collection (large serves)",
+    )
+    _add_obs_arguments(serve)
+
     incidents = sub.add_parser(
         "fleet-incidents",
         help="inject a fault scenario into a trace replay, detect, "
@@ -362,7 +462,9 @@ _METRICS_FLUSH_ROWS = 8192
 
 #: Commands whose record volume scales with the trace horizon: stream
 #: their JSONL rows to disk incrementally instead of holding them all.
-_STREAMING_COMMANDS = frozenset({"fleet-trace", "fleet-incidents"})
+_STREAMING_COMMANDS = frozenset(
+    {"fleet-trace", "fleet-serve", "fleet-incidents"}
+)
 
 
 def _make_observer(args: argparse.Namespace, name: str):
@@ -537,6 +639,81 @@ def main(argv: list[str] | None = None) -> int:
             observer.add_span("cli", "experiments", "fleet-trace", 0.0, wall)
             observer.note_seed("fleet.seed", args.seed)
             _finalize_observer(observer, "repro fleet-trace")
+        return 0
+
+    if args.command == "fleet-serve":
+        import json
+
+        from repro.errors import ReproError
+        from repro.experiments.fleet_serve import (
+            format_fleet_serve,
+            run_fleet_serve,
+        )
+        from repro.serve import AutoscalerConfig
+        from repro.traces import TraceGenConfig
+
+        observer = _make_observer(args, "fleet-serve")
+        gen = None
+        if args.trace is None:
+            gen = TraceGenConfig(
+                seed=args.trace_seed if args.trace_seed is not None else args.seed,
+                duration_s=args.trace_duration,
+                rate_qps=args.trace_rate,
+            )
+        autoscaler = None
+        if args.autoscale:
+            autoscaler = AutoscalerConfig(
+                min_nodes=args.min_nodes, max_nodes=args.max_nodes
+            )
+        started = time.perf_counter()
+        try:
+            with maybe_profiled("fleet-serve"):
+                result = run_fleet_serve(
+                    trace_path=args.trace,
+                    gen=gen,
+                    nodes=args.nodes,
+                    policy=args.policy,
+                    routing=args.routing,
+                    ml=args.ml,
+                    duration=args.duration,
+                    warmup=args.warmup,
+                    interval=args.interval,
+                    window_s=args.window,
+                    epoch_s=args.epoch,
+                    commands=args.serve_commands,
+                    autoscaler=autoscaler,
+                    save_path=args.save,
+                    save_at_epoch=args.save_at,
+                    restore_path=args.restore,
+                    trials=args.trials,
+                    seed=args.seed,
+                    jobs=args.jobs,
+                    observer=observer if observer.enabled else None,
+                    collect_telemetry=not args.no_telemetry,
+                )
+        except ReproError as exc:
+            print(f"fleet-serve: {exc}", file=sys.stderr)
+            return 2
+        print(format_fleet_serve(result))
+        if args.save:
+            print(f"wrote {args.save}")
+        if args.summary_json:
+            payload = {
+                "summaries": list(result.summaries),
+                "snapshots": list(result.snapshots),
+                "commands": [list(row) for row in result.commands],
+                "epochs": result.epochs,
+                "epoch_s": result.epoch_s,
+            }
+            with open(args.summary_json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.summary_json}")
+        if observer.enabled:
+            wall = time.perf_counter() - started
+            observer.add_span("cli", "experiments", "fleet-serve", 0.0, wall)
+            observer.note_seed("fleet.seed", args.seed)
+            _finalize_observer(observer, "repro fleet-serve")
         return 0
 
     if args.command == "fleet-incidents":

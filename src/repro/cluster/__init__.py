@@ -1,13 +1,26 @@
-"""Node- and fleet-level layers.
+"""Deprecated seed-era package — the cluster model moved into the modern stack.
 
-* :class:`~repro.cluster.node.Node` — one accelerated server with its host
-  control interfaces, playing the role of the machine the Borglet + Kelp pair
-  manages.
-* :mod:`repro.cluster.fleet` — the synthetic fleet used to regenerate the
-  Fig 2 memory-bandwidth survey.
+* :class:`Node` now lives at :mod:`repro.node` (also re-exported from the
+  top-level :mod:`repro` package).
+* The Fig 2 fleet survey (:class:`FleetSurvey`, :func:`fleet_bandwidth_cdf`)
+  now lives at :mod:`repro.fleet.survey`.
+
+This shim re-exports the old names and emits a single
+:class:`DeprecationWarning` on first import (module caching makes repeat
+imports silent); new code should import from the consolidated modules
+directly.
 """
 
-from repro.cluster.fleet import FleetSurvey, fleet_bandwidth_cdf
-from repro.cluster.node import Node
+import warnings
+
+from repro.fleet.survey import FleetSurvey, fleet_bandwidth_cdf
+from repro.node import Node
+
+warnings.warn(
+    "repro.cluster is deprecated: import Node from repro.node and the "
+    "Fig 2 survey from repro.fleet.survey",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["FleetSurvey", "Node", "fleet_bandwidth_cdf"]

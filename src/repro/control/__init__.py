@@ -1,7 +1,7 @@
 """The layered node control plane: sensors → governors → actuators.
 
 Every managed policy used to re-implement its own sense→decide→enforce tick
-against :class:`~repro.cluster.node.Node` internals. This package factors
+against :class:`~repro.node.Node` internals. This package factors
 that skeleton into three replaceable layers driven by one shared loop:
 
 * :mod:`repro.control.sensors` — a :class:`SensorSuite` wraps the perf-read

@@ -30,6 +30,7 @@ fault runs stay deterministic across process pools.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -38,7 +39,7 @@ from repro.control.records import ActuationRecord
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:
-    from repro.cluster.node import Node
+    from repro.node import Node
     from repro.hostif.cpuset import PlaceableTask
 
 #: Seed-stream tag for the fault draws.
@@ -154,7 +155,7 @@ class HostControlPlane:
                 "cpuset",
                 task.task_id,
                 "parked",
-                lambda: self._node.cpuset.set_cpus(task, cores),
+                partial(self._node.cpuset.set_cpus, task, cores),
             )
         if not task.parked and task.placement.cores == cores:
             return 0
@@ -162,7 +163,7 @@ class HostControlPlane:
             "cpuset",
             task.task_id,
             _render_mask(cores),
-            lambda: self._node.cpuset.set_cpus(task, cores),
+            partial(self._node.cpuset.set_cpus, task, cores),
         )
 
     # --------------------------------------------------------- prefetchers
@@ -185,9 +186,7 @@ class HostControlPlane:
                 "msr",
                 f"core{core}",
                 "on" if enabled else "off",
-                lambda core=core, enabled=enabled: (
-                    self._node.msr.set_prefetchers(core, enabled)
-                ),
+                partial(self._node.msr.set_prefetchers, core, enabled),
             )
         return writes
 
@@ -200,7 +199,7 @@ class HostControlPlane:
             "mba",
             f"clos{clos}",
             f"{percent}%",
-            lambda: self._node.resctrl.set_mb_percent(clos, percent),
+            partial(self._node.resctrl.set_mb_percent, clos, percent),
         )
 
     def create_clos_group(self, clos: int) -> int:
@@ -209,7 +208,7 @@ class HostControlPlane:
             "resctrl",
             f"clos{clos}",
             "create",
-            lambda: self._node.resctrl.create_group(clos),
+            partial(self._node.resctrl.create_group, clos),
             faultable=False,
         )
 
@@ -219,7 +218,7 @@ class HostControlPlane:
             "resctrl",
             f"clos{clos}",
             f"ways={ways}",
-            lambda: self._node.resctrl.dedicate_ways(clos, ways),
+            partial(self._node.resctrl.dedicate_ways, clos, ways),
             faultable=False,
         )
 
@@ -229,7 +228,7 @@ class HostControlPlane:
             "mba",
             f"clos{clos}",
             f"{percent}%",
-            lambda: self._node.resctrl.set_mb_percent(clos, percent),
+            partial(self._node.resctrl.set_mb_percent, clos, percent),
             faultable=False,
         )
 

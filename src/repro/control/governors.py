@@ -43,7 +43,7 @@ from repro.core.measurements import KelpMeasurements
 from repro.core.watermarks import QosProfile
 
 if TYPE_CHECKING:
-    from repro.cluster.node import Node
+    from repro.node import Node
 
 
 @dataclass(frozen=True)

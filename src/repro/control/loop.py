@@ -24,7 +24,7 @@ from repro.control.records import ControlTickRecord
 from repro.control.sensors import SensorSuite
 
 if TYPE_CHECKING:
-    from repro.cluster.node import Node
+    from repro.node import Node
 
 
 class ControlLoop:

@@ -32,7 +32,7 @@ from repro.core.measurements import KelpMeasurements, measure_node
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:
-    from repro.cluster.node import Node
+    from repro.node import Node
 
 #: Seed-stream tags (keep distinct from other subsystem tags).
 _STREAM_NOISE = 0x53_4E
@@ -61,6 +61,18 @@ class PerfectSensors:
     def sample(self) -> KelpMeasurements:
         """One fresh windowed perf read."""
         return measure_node(self._node, reader=self._reader)
+
+
+class _SimClock:
+    """Picklable ``now`` callable bound to a node's simulator clock."""
+
+    __slots__ = ("_node",)
+
+    def __init__(self, node: "Node") -> None:
+        self._node = node
+
+    def __call__(self) -> float:
+        return self._node.sim.now
 
 
 class StaleSensors:
@@ -218,7 +230,7 @@ def build_sensor_suite(
         )
     if config.staleness_period > 0:
         suite = StaleSensors(
-            suite, config.staleness_period, lambda: node.sim.now
+            suite, config.staleness_period, _SimClock(node)
         )
     if config.dropout_prob > 0:
         suite = DropoutSensors(

@@ -18,7 +18,7 @@ of the unified :class:`~repro.control.records.ControlTickRecord`.
 
 from __future__ import annotations
 
-from repro.cluster.node import Node
+from repro.node import Node
 from repro.control.actuators import ActuationFaultConfig, HostControlPlane
 from repro.control.governors import KelpGovernor
 from repro.control.loop import ControlLoop

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cluster.node import Node
+from repro.node import Node
 
 
 @dataclass(frozen=True)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.cluster.node import Node
+from repro.node import Node
 from repro.control.actuators import ActuationFaultConfig
 from repro.control.sensors import SensorConfig
 from repro.core.policies.base import (

@@ -22,7 +22,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
-from repro.cluster.node import Node
+from repro.node import Node
 from repro.control.actuators import ActuationFaultConfig, HostControlPlane
 from repro.control.governors import Governor
 from repro.control.loop import ControlLoop

@@ -1,21 +1,40 @@
-"""Distributed training substrate: parameter servers and lock-step barriers.
+"""Deprecated seed-era package — the distributed models moved into the stack.
 
-CNN3 trains with the distributed-TensorFlow architecture of Fig 1: workers
-compute gradients on accelerators, push them to parameter-server shards, and
-wait for updated variables. Training steps are processed in lock-step, so
-the *slowest* shard bounds service-level throughput — the "tail at scale"
-amplification the paper cites. This package models the shard fan-out and the
-barrier; the local shard's latency comes from the contention simulation while
-remote shards are drawn from calibrated distributions.
+* :class:`LockStepBarrier`, :class:`PsUpdateModel`,
+  :class:`ParameterServerShard` and :class:`WorkerModel` now live at
+  :mod:`repro.workloads.ml.distributed` (their only live consumer is the
+  CNN3 training workload).
+* :class:`TailAmplificationModel` now lives at :mod:`repro.fleet.validate`,
+  next to the fleet runs that cross-validate it.
+
+This shim re-exports the old names and emits a single
+:class:`DeprecationWarning` on first import (module caching makes repeat
+imports silent); new code should import from the consolidated modules
+directly.
 """
 
-from repro.distributed.parameter_server import ParameterServerShard, PsUpdateModel
-from repro.distributed.sync import LockStepBarrier
-from repro.distributed.worker import WorkerModel
+import warnings
+
+from repro.fleet.validate import TailAmplificationModel
+from repro.workloads.ml.distributed import (
+    LockStepBarrier,
+    ParameterServerShard,
+    PsUpdateModel,
+    WorkerModel,
+)
+
+warnings.warn(
+    "repro.distributed is deprecated: import the training models from "
+    "repro.workloads.ml.distributed and TailAmplificationModel from "
+    "repro.fleet.validate",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = [
     "LockStepBarrier",
     "ParameterServerShard",
     "PsUpdateModel",
+    "TailAmplificationModel",
     "WorkerModel",
 ]

@@ -1,56 +1,8 @@
-"""Parameter-server shard model.
+"""Deprecated alias for :mod:`repro.workloads.ml.distributed`."""
 
-A shard aggregates gradients and applies the optimizer update — a
-memory-bandwidth-intensive scan over the variable partition (Section I,
-step 3 of Fig 1). The update cost scales with the parameter bytes owned by
-the shard and the optimizer's bytes-per-parameter footprint.
-"""
+from repro.workloads.ml.distributed import (  # noqa: F401
+    ParameterServerShard,
+    PsUpdateModel,
+)
 
-from __future__ import annotations
-
-from dataclasses import dataclass
-
-from repro.errors import ConfigurationError
-
-
-@dataclass(frozen=True)
-class PsUpdateModel:
-    """Analytic cost model for one shard's per-step update."""
-
-    #: Parameter bytes owned by this shard, GB.
-    shard_params_gb: float
-    #: Optimizer traffic multiplier: bytes moved per parameter byte per step
-    #: (read params + read grads + write params; Adam adds moment reads).
-    optimizer_traffic_factor: float = 4.0
-    #: Effective per-shard memory bandwidth at standalone, GB/s.
-    standalone_bw_gbps: float = 18.0
-
-    def __post_init__(self) -> None:
-        if self.shard_params_gb <= 0:
-            raise ConfigurationError("shard_params_gb must be positive")
-        if self.optimizer_traffic_factor <= 0:
-            raise ConfigurationError("optimizer_traffic_factor must be positive")
-        if self.standalone_bw_gbps <= 0:
-            raise ConfigurationError("standalone_bw_gbps must be positive")
-
-    @property
-    def bytes_per_step_gb(self) -> float:
-        """Memory traffic of one update, GB."""
-        return self.shard_params_gb * self.optimizer_traffic_factor
-
-    @property
-    def standalone_update_time(self) -> float:
-        """Update latency at standalone bandwidth, seconds."""
-        return self.bytes_per_step_gb / self.standalone_bw_gbps
-
-
-@dataclass(frozen=True)
-class ParameterServerShard:
-    """One shard: an update model plus its position in the fan-out."""
-
-    shard_id: int
-    update: PsUpdateModel
-
-    def __post_init__(self) -> None:
-        if self.shard_id < 0:
-            raise ConfigurationError("shard_id must be >= 0")
+__all__ = ["ParameterServerShard", "PsUpdateModel"]

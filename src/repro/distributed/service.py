@@ -1,68 +1,5 @@
-"""Service-level tail amplification for lock-step distributed training.
+"""Deprecated alias for :mod:`repro.fleet.validate`."""
 
-Section II-D, factor 1: "service-level performance of distributed workloads
-is even more susceptible to interference due to 'tail amplification'" — in
-lock-step training every step waits for the slowest parameter-server shard,
-so as the shard fan-out grows, the probability that *some* shard sits on an
-interfered machine approaches one, and the whole service runs at the
-interfered speed.
+from repro.fleet.validate import TailAmplificationModel  # noqa: F401
 
-The model composes two measured quantities: the probability that a machine
-is bandwidth-saturated (the Fig 2 fleet statistic) and the local update-time
-stretch interference causes (measured on the simulated node). Monte Carlo
-over shard placements yields expected service slowdown vs fan-out.
-"""
-
-from __future__ import annotations
-
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.errors import ConfigurationError
-
-
-@dataclass(frozen=True)
-class TailAmplificationModel:
-    """Expected lock-step slowdown as shard fan-out grows."""
-
-    #: Probability a shard's machine suffers interference (Fig 2: ~0.16).
-    interference_probability: float
-    #: Local update-time stretch on an interfered machine (measured).
-    interfered_stretch: float
-    #: Shard latency coefficient of variation on clean machines.
-    latency_cv: float = 0.10
-
-    def __post_init__(self) -> None:
-        if not 0.0 <= self.interference_probability <= 1.0:
-            raise ConfigurationError("interference_probability must be in [0,1]")
-        if self.interfered_stretch < 1.0:
-            raise ConfigurationError("interfered_stretch must be >= 1")
-        if self.latency_cv < 0:
-            raise ConfigurationError("latency_cv must be >= 0")
-
-    def expected_slowdown(
-        self, shards: int, samples: int = 4000, seed: int = 0
-    ) -> float:
-        """Mean service-step slowdown for a ``shards``-way fan-out.
-
-        Each sample draws per-shard update latencies (Gamma noise around
-        1.0, scaled by the stretch on interfered machines) and takes the
-        max — the lock-step barrier. Slowdown is relative to a single clean
-        shard's expected latency.
-        """
-        if shards < 1:
-            raise ConfigurationError("shards must be >= 1")
-        rng = np.random.default_rng(seed)
-        if self.latency_cv > 0:
-            cv2 = self.latency_cv ** 2
-            base = rng.gamma(1.0 / cv2, cv2, size=(samples, shards))
-        else:
-            base = np.ones((samples, shards))
-        interfered = rng.random((samples, shards)) < self.interference_probability
-        latencies = np.where(interfered, base * self.interfered_stretch, base)
-        return float(np.mean(np.max(latencies, axis=1)))
-
-    def probability_any_interfered(self, shards: int) -> float:
-        """Probability at least one shard is on an interfered machine."""
-        return 1.0 - (1.0 - self.interference_probability) ** shards
+__all__ = ["TailAmplificationModel"]

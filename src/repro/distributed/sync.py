@@ -1,61 +1,5 @@
-"""Lock-step synchronization with tail amplification."""
+"""Deprecated alias for :mod:`repro.workloads.ml.distributed`."""
 
-from __future__ import annotations
+from repro.workloads.ml.distributed import LockStepBarrier  # noqa: F401
 
-import numpy as np
-
-from repro.errors import ConfigurationError
-
-
-class LockStepBarrier:
-    """The per-step barrier across parameter-server shards.
-
-    One shard is *local* — its update latency is produced by the contention
-    simulation. The remaining ``shards - 1`` are remote: their latencies are
-    drawn from a Gamma distribution around the nominal standalone update time
-    (shape set by the coefficient of variation). The barrier releases when
-    the slowest shard finishes, so the step pays
-    ``max(local_latency, max(remote draws))`` — amplifying any local
-    interference across the whole service (Dean & Barroso's tail-at-scale
-    effect, Section II-D).
-    """
-
-    def __init__(
-        self,
-        shards: int,
-        nominal_latency: float,
-        latency_cv: float = 0.12,
-        rng: np.random.Generator | None = None,
-    ) -> None:
-        if shards < 1:
-            raise ConfigurationError("need at least one shard")
-        if nominal_latency <= 0:
-            raise ConfigurationError("nominal_latency must be positive")
-        if latency_cv < 0:
-            raise ConfigurationError("latency_cv must be >= 0")
-        self.shards = shards
-        self.nominal_latency = nominal_latency
-        self.latency_cv = latency_cv
-        self._rng = rng if rng is not None else np.random.default_rng(0)
-
-    def remote_max(self) -> float:
-        """Draw the slowest remote shard's latency for one step."""
-        remote = self.shards - 1
-        if remote == 0:
-            return 0.0
-        if self.latency_cv == 0:
-            return self.nominal_latency
-        cv2 = self.latency_cv ** 2
-        shape = 1.0 / cv2
-        scale = self.nominal_latency * cv2
-        draws = self._rng.gamma(shape, scale, size=remote)
-        return float(np.max(draws))
-
-    def barrier_wait(self, local_latency: float) -> float:
-        """Extra time the step waits *after* the local shard finished.
-
-        Returns ``max(0, slowest_remote - local_latency)``.
-        """
-        if local_latency < 0:
-            raise ConfigurationError("local_latency must be >= 0")
-        return max(0.0, self.remote_max() - local_latency)
+__all__ = ["LockStepBarrier"]

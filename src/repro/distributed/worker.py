@@ -1,32 +1,5 @@
-"""Worker-side model for distributed training.
+"""Deprecated alias for :mod:`repro.workloads.ml.distributed`."""
 
-A worker computes gradients on its accelerator (step 1 of Fig 1), pushes
-them to the parameter servers (step 2), and pulls updated variables back
-(step 4). Push/pull cross the PCIe link and the datacenter network; the
-paper runs one GPU worker to keep network noise out, so the network term is
-a fixed per-step cost here.
-"""
+from repro.workloads.ml.distributed import WorkerModel  # noqa: F401
 
-from __future__ import annotations
-
-from dataclasses import dataclass
-
-from repro.errors import ConfigurationError
-
-
-@dataclass(frozen=True)
-class WorkerModel:
-    """Per-step worker costs around the accelerator compute."""
-
-    #: Gradient bytes pushed per step, GB.
-    gradient_gb: float
-    #: Variable bytes pulled per step, GB.
-    variable_gb: float
-    #: Fixed network round-trip overhead per step, seconds.
-    network_overhead: float = 2e-3
-
-    def __post_init__(self) -> None:
-        if self.gradient_gb < 0 or self.variable_gb < 0:
-            raise ConfigurationError("transfer sizes must be >= 0")
-        if self.network_overhead < 0:
-            raise ConfigurationError("network_overhead must be >= 0")
+__all__ = ["WorkerModel"]

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cluster.node import Node
+from repro.node import Node
 from repro.core.policies import IsolationPolicy, make_policy
 from repro.core.policies.base import ROLE_BACKFILL, ROLE_LO
 from repro.experiments.common import standalone_performance

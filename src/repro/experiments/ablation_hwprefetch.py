@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cluster.node import LO_SUBDOMAIN, Node
+from repro.node import LO_SUBDOMAIN, Node
 from repro.core.policies import IsolationPolicy, make_policy
 from repro.experiments.common import standalone_performance
 from repro.experiments.report import format_table

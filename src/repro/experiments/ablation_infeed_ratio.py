@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.cluster.node import ACCEL_SOCKET, Node
+from repro.node import ACCEL_SOCKET, Node
 from repro.experiments.report import format_series
 from repro.hw.placement import Placement
 from repro.sim import Simulator

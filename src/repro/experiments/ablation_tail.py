@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cluster.fleet import fleet_bandwidth_cdf
-from repro.distributed.service import TailAmplificationModel
+from repro.fleet.survey import fleet_bandwidth_cdf
+from repro.fleet.validate import TailAmplificationModel
 from repro.experiments.common import MixConfig, run_colocation
 from repro.experiments.report import format_series
 

@@ -12,7 +12,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.cluster.fleet import FleetSurvey, fleet_bandwidth_cdf
+from repro.fleet.survey import FleetSurvey, fleet_bandwidth_cdf
 from repro.experiments.report import format_series
 
 if TYPE_CHECKING:

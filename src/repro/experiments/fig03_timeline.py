@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.cluster.node import ACCEL_SOCKET, Node
+from repro.node import ACCEL_SOCKET, Node
 from repro.experiments.report import format_table
 from repro.hw.placement import Placement
 from repro.sim import Simulator

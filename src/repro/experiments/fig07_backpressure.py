@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cluster.node import ACCEL_SOCKET, HI_SUBDOMAIN, LO_SUBDOMAIN, Node
+from repro.node import ACCEL_SOCKET, HI_SUBDOMAIN, LO_SUBDOMAIN, Node
 from repro.control.actuators import HostControlPlane
 from repro.experiments.common import standalone_performance
 from repro.experiments.report import format_table

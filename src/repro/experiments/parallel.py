@@ -1,7 +1,7 @@
 """Experiment-facing alias of the deterministic sweep engine.
 
 The implementation lives in :mod:`repro.parallel` (a leaf module, so the
-low-level :mod:`repro.cluster` layer can use it without importing the
+low-level fleet survey can use it without importing the
 experiment drivers). Experiment code imports it from here.
 """
 

@@ -105,6 +105,15 @@ def _fleet_trace():
     return run_fleet_trace, format_fleet_trace
 
 
+def _fleet_serve():
+    from repro.experiments.fleet_serve import (
+        format_fleet_serve,
+        run_fleet_serve,
+    )
+
+    return run_fleet_serve, format_fleet_serve
+
+
 def _fleet_incidents():
     from repro.experiments.fleet_incidents import (
         format_fleet_incidents,
@@ -223,6 +232,7 @@ _REGISTRY: dict[str, Callable[[], tuple[Callable, Callable]]] = {
     "table1": _table1,
     "fleet-sim": _fleet_sim,
     "fleet-trace": _fleet_trace,
+    "fleet-serve": _fleet_serve,
     "fleet-incidents": _fleet_incidents,
     "ablation-hwqos": _ablation_hwqos,
     "ablation-backfill": _ablation_backfill,
@@ -239,7 +249,7 @@ _REGISTRY: dict[str, Callable[[], tuple[Callable, Callable]]] = {
 #: Experiments whose runners accept a ``jobs`` argument (internal sweeps
 #: that can fan out over a process pool; see :mod:`repro.parallel`).
 JOBS_AWARE = {
-    "fig02", "fig05", "fig16", "fleet-sim", "fleet-trace",
+    "fig02", "fig05", "fig16", "fleet-sim", "fleet-trace", "fleet-serve",
     "fleet-incidents", "ablation-sensor-noise",
 }
 
@@ -248,7 +258,7 @@ JOBS_AWARE = {
 #: run-level spans and a manifest from the CLI wrapper.
 OBS_AWARE = {
     "fig02", "fig03", "fig11", "fig12", "fig13", "fleet-sim", "fleet-trace",
-    "fleet-incidents", "ablation-sensor-noise",
+    "fleet-serve", "fleet-incidents", "ablation-sensor-noise",
 }
 
 

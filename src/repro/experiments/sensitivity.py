@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cluster.node import ACCEL_SOCKET, Node
+from repro.node import ACCEL_SOCKET, Node
 from repro.errors import ExperimentError
 from repro.hw.placement import Placement
 from repro.sim import Simulator

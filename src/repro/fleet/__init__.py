@@ -41,8 +41,10 @@ from repro.fleet.slo import (
     WindowAccount,
     fleet_efficiency,
 )
+from repro.fleet.survey import FleetCdf, FleetSurvey, fleet_bandwidth_cdf
 from repro.fleet.validate import (
     FleetInterferenceProfile,
+    TailAmplificationModel,
     empirical_probability_any_interfered,
     empirical_slowdown,
     interference_profile,
@@ -53,9 +55,11 @@ __all__ = [
     "BatchJobSpec",
     "BatchQueue",
     "BatchQueueStats",
+    "FleetCdf",
     "FleetConfig",
     "FleetInterferenceProfile",
     "FleetMember",
+    "FleetSurvey",
     "FleetOrchestrator",
     "FleetResult",
     "InterferenceAwareRouter",
@@ -66,6 +70,7 @@ __all__ = [
     "RandomRouter",
     "Router",
     "SATURATED_BW_FRACTION",
+    "TailAmplificationModel",
     "TenantAccount",
     "TenantSlo",
     "TenantSpec",
@@ -73,6 +78,7 @@ __all__ = [
     "default_tenants",
     "empirical_probability_any_interfered",
     "empirical_slowdown",
+    "fleet_bandwidth_cdf",
     "fleet_config_for_trace",
     "fleet_efficiency",
     "interference_profile",

@@ -1,7 +1,7 @@
 """One fleet node: machine + isolation policy + inference server + batch slots.
 
 A :class:`FleetMember` owns everything node-local that the single-node
-experiments build by hand — the :class:`~repro.cluster.node.Node`, the
+experiments build by hand — the :class:`~repro.node.Node`, the
 per-node isolation policy (prepared and ticking on its own control loop),
 and the pipelined inference server the fleet routes requests to. On top it
 adds the two things only a fleet needs: request attribution (which tenant
@@ -17,7 +17,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.cluster.node import Node
+from repro.node import Node
 from repro.control.actuators import ActuationFaultConfig
 from repro.control.records import ActuationRecord, ControlTickRecord
 from repro.control.sensors import SensorConfig

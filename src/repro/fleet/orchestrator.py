@@ -215,10 +215,37 @@ class FleetOrchestrator:
         self._queue: BatchQueue | None = None
         #: Offered-but-lost requests (dead members, empty rotation).
         self.requests_dropped = 0
+        #: Live generators between :meth:`setup` and :meth:`finish`.
+        self._generators: list = []
+        #: Tenant indices currently refused service (requests stay offered
+        #: but are black-holed — an SLO miss). Managed by the serving
+        #: control plane; empty for plain batch runs.
+        self.evicted_tenants: set[int] = set()
+        #: Member indices scaled back out of the fleet by the control
+        #: plane. Retired members stay in :attr:`members` so per-node
+        #: accounting stays index-aligned, but are skipped by the control
+        #: tick. Empty for plain batch runs.
+        self._retired: set[int] = set()
 
     # ------------------------------------------------------------------ run
     def run(self) -> FleetResult:
         """Execute the configured fleet run and return its measurements."""
+        self.setup()
+        assert self._sim is not None
+        replay_start = time.perf_counter()
+        self._sim.run_until(self.config.duration)
+        self.phase_walls["replay_s"] = time.perf_counter() - replay_start
+        return self.finish()
+
+    def setup(self) -> None:
+        """Assemble the fleet and start every process at t=0.
+
+        After ``setup`` the run is live: :meth:`advance` steps the clock
+        (any number of times — epoch stepping is bit-identical to one
+        :meth:`~repro.sim.Simulator.run_until` call) and :meth:`finish`
+        closes the books. :meth:`run` is exactly
+        ``setup(); advance(duration); finish()``.
+        """
         config = self.config
         sim = Simulator()
         self._sim = sim
@@ -247,11 +274,7 @@ class FleetOrchestrator:
                 np.random.SeedSequence((config.seed, _STREAM_ROUTER))
             ),
         )
-        self._routing_index = make_routing_index(self.router, self.members)
-        if self._routing_index is not None:
-            self._indexed_router = self.router
-            for member in self.members:
-                member.on_state_change = self._routing_index.on_member_event
+        self._rebuild_routing_index()
         if self._trace is not None:
             self._precompute_trace_offered()
         if self._trace is not None:
@@ -277,6 +300,7 @@ class FleetOrchestrator:
                 )
                 for index, tenant in enumerate(config.tenants)
             ]
+        self._generators = generators
         queue = BatchQueue(
             config.batch_jobs,
             max_jobs_per_node=config.max_jobs_per_node,
@@ -302,13 +326,18 @@ class FleetOrchestrator:
             priority=PRIORITY_OBSERVE,
         )
 
-        replay_start = time.perf_counter()
-        sim.run_until(config.duration)
-        self.phase_walls["replay_s"] = time.perf_counter() - replay_start
+    def advance(self, until: float) -> None:
+        """Run the live fleet's clock forward to ``until`` (absolute)."""
+        assert self._sim is not None, "setup() first"
+        self._sim.run_until(until)
 
-        for generator in generators:
+    def finish(self) -> FleetResult:
+        """Stop the processes and aggregate the result."""
+        assert self._sim is not None and self._queue is not None
+        queue = self._queue
+        for generator in self._generators:
             generator.stop()
-        events = sim.dispatched_events
+        events = self._sim.dispatched_events
         accounting_start = time.perf_counter()
         batch_units, batch_nominal = self._batch_units(queue)
         result = self._finalize(queue, events, batch_units, batch_nominal)
@@ -418,6 +447,12 @@ class FleetOrchestrator:
                 if account is None:
                     account = self._windows[key] = WindowAccount()
                 account.offered += 1
+        if tenant in self.evicted_tenants:
+            # Evicted *after* the offered accounting: the traffic keeps
+            # arriving (trace-mode offered totals are precomputed from the
+            # trace and must not shift), the fleet just refuses to serve it.
+            self.requests_dropped += 1
+            return
         if member is None or not member.alive:
             # Null-routed, no eligible member, or a silently dead member:
             # the request is black-holed.
@@ -456,7 +491,13 @@ class FleetOrchestrator:
         now = self._sim.now
         post_warmup = now > self.config.warmup
         saturated = 0
-        for member in self.members:
+        members = self.members
+        if self._retired:
+            # Scaled-out members are invisible to fleet-level accounting;
+            # the filter is built only when the control plane retired
+            # someone, so plain runs take the untouched fast path.
+            members = [m for m in members if m.index not in self._retired]
+        for member in members:
             signals = member.sample()
             if post_warmup:
                 if signals.saturated:
@@ -467,7 +508,7 @@ class FleetOrchestrator:
                 # is built once at finalize (see _telemetry_rows).
                 self._telemetry_signals.append(signals)
         if post_warmup:
-            self._saturation_samples.append(saturated / len(self.members))
+            self._saturation_samples.append(saturated / len(members))
             self._post_warmup_samples += 1
             if self.config.window_s is not None:
                 # The tick at exactly t=duration belongs to the last window:
@@ -481,7 +522,7 @@ class FleetOrchestrator:
                     min(int(now // self.config.window_s), last), [0, 0]
                 )
                 bucket[0] += saturated
-                bucket[1] += len(self.members)
+                bucket[1] += len(members)
         if self.hooks is not None:
             # Detection/remediation runs on this tick's fresh samples,
             # *before* the batch queue acts — a drain this tick re-places
@@ -490,7 +531,7 @@ class FleetOrchestrator:
         # Dead members are excluded too: placement is a synchronous RPC
         # that fails fast against a crashed node (unlike the datapath,
         # which black-holes silently).
-        queue.tick([m for m in self.members if m.alive and m.accepts_batch])
+        queue.tick([m for m in members if m.alive and m.accepts_batch])
 
     # ----------------------------------------------------------- lifecycle
     def kill_member(self, index: int, requeue: bool = True) -> int:
@@ -528,6 +569,140 @@ class FleetOrchestrator:
         member = self.members[index]
         member.in_rotation = True
         member.accepts_batch = True
+
+    # -------------------------------------------------- live membership
+    @property
+    def active_members(self) -> int:
+        """Members currently in the fleet (built minus retired)."""
+        return len(self.members) - len(self._retired)
+
+    def add_member(self) -> int:
+        """Grow the live fleet by one node; returns its index.
+
+        If a previously retired member exists it is recommissioned (its
+        instance, seed stream, and accounting slots are reused — scale
+        up/down cycles don't leak nodes). Otherwise a fresh member is built
+        with the same seed derivation a ``config.nodes = n+1`` run would
+        give node ``n``, started, and indexed for routing.
+        """
+        assert self._sim is not None, "setup() first"
+        if self._retired:
+            index = min(self._retired)
+            self._retired.discard(index)
+            self.restore_member(index)
+            self._rebuild_routing_index()
+            return index
+        index = len(self.members)
+        member = FleetMember(
+            index=index,
+            sim=self._sim,
+            factory=self._factory,
+            policy_name=self.config.policy,
+            interval=self.config.interval,
+            warmup=self.config.warmup,
+            seed=_derive_seed(self.config.seed, _STREAM_NODE, index),
+            on_complete=self._on_complete,
+            sensors=self.config.sensors,
+            faults=self.config.faults,
+        )
+        self.members.append(member)
+        self._node_completed.append(0)
+        self._node_latency.append(StreamingPercentiles())
+        self._node_saturated.append(0)
+        member.start()
+        self._rebuild_routing_index()
+        return index
+
+    def retire_member(self, index: int) -> int:
+        """Scale one member out of the live fleet; returns jobs requeued.
+
+        The node leaves rotation, its batch work is requeued, and the
+        control tick stops sampling it — but the instance stays in
+        :attr:`members` (accounting arrays are index-aligned) and can be
+        recommissioned by :meth:`add_member`. In-flight requests it holds
+        still complete: retirement is a drain, not a kill.
+        """
+        if index in self._retired:
+            return 0
+        requeued = self.quarantine_member(index)
+        self._retired.add(index)
+        self._rebuild_routing_index()
+        return requeued
+
+    def swap_router(self, routing: str, *, seed: int) -> None:
+        """Replace the admission routing policy on the live fleet.
+
+        The new router draws from a fresh ``(config.seed, router stream,
+        seed)`` RNG — deterministic in the swap's position, independent of
+        how much the old router consumed.
+        """
+        self.router = make_router(
+            routing,
+            rng=np.random.default_rng(
+                np.random.SeedSequence(
+                    (self.config.seed, _STREAM_ROUTER, seed)
+                )
+            ),
+        )
+        self._rebuild_routing_index()
+
+    # ------------------------------------------------------ checkpointing
+    def __getstate__(self) -> dict:
+        """Pickle the live run *without* the trace-derived arrays.
+
+        The trace columns and every precomputed view of them (demands,
+        counted arrivals, offered totals) are pure functions of the trace
+        and the config — a restore recomputes them bit-identically from the
+        same trace via :meth:`reattach_trace`, keeping checkpoints at
+        simulator-state size rather than trace size.
+        """
+        state = self.__dict__.copy()
+        if self._trace is not None:
+            state["_trace"] = None
+            state["_trace_demands"] = None
+            state["_counted_arrivals"] = None
+            state["_offered_by_tenant"] = None
+            state["_offered_by_window"] = None
+        return state
+
+    def reattach_trace(self, trace: "Trace") -> None:
+        """Re-bind the trace after a checkpoint restore.
+
+        Recomputes the precomputed offered accounting (the exact float
+        chain of :meth:`_precompute_trace_offered`) and re-attaches the
+        arrival schedule to the live replay generator.
+        """
+        if self._trace is not None:
+            raise ConfigurationError("trace already attached")
+        if len(self.config.tenants) != len(trace.tenants):
+            raise ConfigurationError(
+                "restored config and reattached trace disagree on tenants"
+            )
+        self._trace = trace
+        self._trace_demands = trace.demands
+        self._precompute_trace_offered()
+        for generator in self._generators:
+            if isinstance(generator, TraceReplayGenerator):
+                generator.reattach_arrivals(trace.arrivals_s)
+
+    def _rebuild_routing_index(self) -> None:
+        """(Re)build the incremental routing index for the current fleet.
+
+        Membership and router swaps invalidate the index wholesale (its
+        version vector is sized at construction), so any structural change
+        rebuilds from live state and re-hooks every member's state-change
+        notifier. Members out of rotation push their state as usual; the
+        index skips them at choose time.
+        """
+        self._routing_index = make_routing_index(self.router, self.members)
+        if self._routing_index is not None:
+            self._indexed_router = self.router
+            for member in self.members:
+                member.on_state_change = self._routing_index.on_member_event
+        else:
+            self._indexed_router = None
+            for member in self.members:
+                member.on_state_change = None
 
     def counters(self) -> tuple[int, int, int, tuple[int, ...]]:
         """Live ``(offered, completed, good, per-node completed)`` counted
@@ -618,7 +793,9 @@ class FleetOrchestrator:
                 ),
                 batch_jobs=self.members[i].job_count,
             )
-            for i in range(config.nodes)
+            # Over the *actual* membership: the control plane may have grown
+            # the fleet past config.nodes (equal for plain runs).
+            for i in range(len(self.members))
         )
         window_rows, window_fleet_rows = self._window_rows()
         return FleetResult(

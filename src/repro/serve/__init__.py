@@ -1,0 +1,25 @@
+"""repro.serve — the long-running fleet serving control plane.
+
+Wraps the fleet orchestrator as an epoch-stepped service with live
+control commands (admit/evict tenants, swap routing, grow/shrink the
+fleet), a demand-driven autoscaler, obs-fed snapshots, and bit-identical
+checkpoint/restore. See ``docs/serving.md``.
+"""
+
+from repro.serve.autoscaler import Autoscaler, AutoscalerConfig
+from repro.serve.service import (
+    CHECKPOINT_FORMAT,
+    FleetService,
+    checkpoint_meta,
+)
+from repro.serve.snapshot import ServiceSnapshot, take_snapshot
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "CHECKPOINT_FORMAT",
+    "FleetService",
+    "ServiceSnapshot",
+    "checkpoint_meta",
+    "take_snapshot",
+]

@@ -21,6 +21,55 @@ _COMPACT_MIN_HEAP = 64
 _COMPACT_FRACTION = 0.5
 
 
+class _PeriodicTask:
+    """State of one :meth:`Simulator.every` loop.
+
+    A class (rather than closures over local state) so a simulator with
+    periodic tasks pending remains picklable for checkpoint/restore.
+    """
+
+    __slots__ = ("sim", "interval", "callback", "label", "priority", "handle",
+                 "stopped")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        interval: float,
+        callback: Callable[[], None],
+        label: str,
+        priority: int,
+    ) -> None:
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.label = label
+        self.priority = priority
+        self.handle: Event | None = None
+        self.stopped = False
+
+    def __call__(self) -> None:
+        if self.stopped:
+            return
+        self.callback()
+        if not self.stopped:
+            self.handle = self.sim.after(
+                self.interval, self, label=self.label, priority=self.priority
+            )
+
+    def cancel(self) -> None:
+        self.stopped = True
+        if self.handle is not None:
+            self.handle.cancel()
+
+    def __getstate__(self):
+        return (self.sim, self.interval, self.callback, self.label,
+                self.priority, self.handle, self.stopped)
+
+    def __setstate__(self, state):
+        (self.sim, self.interval, self.callback, self.label,
+         self.priority, self.handle, self.stopped) = state
+
+
 class Simulator:
     """A deterministic calendar-queue discrete-event simulator.
 
@@ -127,27 +176,10 @@ class Simulator:
         """
         if interval <= 0:
             raise SimulationError(f"non-positive interval {interval} for {label!r}")
-        state = {"handle": None, "stopped": False}
-
-        def fire() -> None:
-            if state["stopped"]:
-                return
-            callback()
-            if not state["stopped"]:
-                state["handle"] = self.after(
-                    interval, fire, label=label, priority=priority
-                )
-
+        task = _PeriodicTask(self, interval, callback, label, priority)
         first = interval if start_after is None else start_after
-        state["handle"] = self.after(first, fire, label=label, priority=priority)
-
-        def cancel() -> None:
-            state["stopped"] = True
-            handle = state["handle"]
-            if handle is not None:
-                handle.cancel()
-
-        return cancel
+        task.handle = self.after(first, task, label=label, priority=priority)
+        return task.cancel
 
     # ------------------------------------------------------- rate listeners
     def add_rate_listener(self, sync: Callable[[float], None]) -> Callable[[], None]:

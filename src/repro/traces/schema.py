@@ -270,3 +270,30 @@ def load_trace(path: str | Path) -> Trace:
         duration_s=float(header["duration_s"]),
         meta=header.get("meta", {}),
     )
+
+
+def trace_digest(trace: Trace) -> str:
+    """A stable content digest of a trace's replayable substance.
+
+    Covers the arrival/tenant/family columns (exact bytes), the horizon,
+    and the tenant/family tables — everything replay behaviour depends on;
+    ``meta`` is excluded. Checkpoints store this digest so a restore can
+    refuse a trace that differs from the one the run was driven by.
+    """
+    import hashlib
+
+    hasher = hashlib.sha256()
+    hasher.update(np.ascontiguousarray(trace.arrivals_s, dtype=np.float64))
+    hasher.update(np.ascontiguousarray(trace.tenant_ids, dtype=np.int32))
+    hasher.update(np.ascontiguousarray(trace.family_ids, dtype=np.int32))
+    header = {
+        "duration_s": trace.duration_s,
+        "tenants": [
+            [t.name, t.weight, t.slo_p99_ms] for t in trace.tenants
+        ],
+        "families": [
+            [f.name, f.demand, f.weight] for f in trace.families
+        ],
+    }
+    hasher.update(json.dumps(header, sort_keys=True).encode("utf-8"))
+    return hasher.hexdigest()

@@ -162,6 +162,26 @@ class TraceReplayGenerator:
         self.submit(index)
         self._schedule_next()
 
+    # -------------------------------------------------------- checkpointing
+    def __getstate__(self) -> dict:
+        """Pickle everything *except* the arrival schedule.
+
+        The schedule is a pure function of the trace (potentially millions
+        of float64s); a checkpoint stores the replay cursor and the restorer
+        re-attaches the same trace via :meth:`reattach_arrivals`. The
+        pending arrival event pickles with the simulator heap — only the
+        array is detached.
+        """
+        state = self.__dict__.copy()
+        state["arrivals"] = None
+        return state
+
+    def reattach_arrivals(self, arrivals_s: np.ndarray) -> None:
+        """Re-bind the arrival schedule after a checkpoint restore."""
+        if self.arrivals is not None:  # pragma: no cover - defensive
+            raise ConfigurationError("arrivals already attached")
+        self.arrivals = np.asarray(arrivals_s, dtype=np.float64)
+
 
 class ClosedLoopGenerator:
     """Fixed-concurrency pipelined load (the paper's RNN1 generation mode).

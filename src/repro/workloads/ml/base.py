@@ -21,11 +21,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable
 
 from repro.accel.device import AcceleratorDevice, OpCost
 from repro.accel.pcie import PcieLink
-from repro.distributed.sync import LockStepBarrier
+from repro.workloads.ml.distributed import LockStepBarrier
 from repro.errors import ConfigurationError, WorkloadError
 from repro.hw.contention import Priority, SolveResult, TrafficSource
 from repro.hw.machine import Machine
@@ -36,6 +37,10 @@ from repro.sim.events import EventHandle
 from repro.sim.tracing import TimelineTracer
 from repro.sim.work import FluidWork
 from repro.workloads.base import HostPhaseProfile, Task, phase_speed
+
+
+def _noop() -> None:
+    """Default host-phase continuation (picklable, unlike ``lambda: None``)."""
 
 
 # --------------------------------------------------------------------------
@@ -100,7 +105,7 @@ class TrainingTask(Task):
         self._host_work: FluidWork | None = None
         self._host_profile: HostPhaseProfile | None = None
         self._host_handle: EventHandle | None = None
-        self._host_on_complete: Callable[[], None] = lambda: None
+        self._host_on_complete: Callable[[], None] = _noop
         self._host_speed = 1.0
         self._accel_pending = False
         self._host_pending = False
@@ -211,21 +216,23 @@ class TrainingTask(Task):
     def _serial_accel_done(self) -> None:
         if not self.started:
             return
-        host_start = self.sim.now
+        self._start_host_phase(
+            self.spec.host_time,
+            self.spec.host,
+            partial(self._after_update, self.sim.now),
+        )
 
-        def after_update() -> None:
-            wait = 0.0
-            if self._barrier is not None:
-                local_latency = self.sim.now - host_start
-                wait = self._barrier.barrier_wait(local_latency)
-            if wait > 0:
-                self.sim.after(
-                    wait, self._after_barrier, label=f"{self.task_id}:barrier"
-                )
-            else:
-                self._after_barrier()
-
-        self._start_host_phase(self.spec.host_time, self.spec.host, after_update)
+    def _after_update(self, host_start: float) -> None:
+        wait = 0.0
+        if self._barrier is not None:
+            local_latency = self.sim.now - host_start
+            wait = self._barrier.barrier_wait(local_latency)
+        if wait > 0:
+            self.sim.after(
+                wait, self._after_barrier, label=f"{self.task_id}:barrier"
+            )
+        else:
+            self._after_barrier()
 
     def _after_barrier(self) -> None:
         if not self.started:
@@ -534,7 +541,7 @@ class InferenceServerTask(Task):
     # ------------------------------------------------------------ internal
     def _start_lane(self, request_start: float, demand: float = 1.0) -> None:
         lane = _Lane(request_start=request_start, demand=demand)
-        lane.finisher = lambda: self._host_complete(lane)
+        lane.finisher = partial(self._host_complete, lane)
         self._lanes.add(lane)
         self._enter_host(lane)
 
@@ -607,7 +614,7 @@ class InferenceServerTask(Task):
         if self.tracer is not None:
             self.tracer.begin(self.task_id, "communication", self.sim.now)
         self.pcie_in.transfer(
-            self.spec.pcie_in_gb * lane.demand, lambda: self._enter_accel(lane)
+            self.spec.pcie_in_gb * lane.demand, partial(self._enter_accel, lane)
         )
 
     def _enter_accel(self, lane: _Lane) -> None:
@@ -615,7 +622,7 @@ class InferenceServerTask(Task):
             self.tracer.end(self.task_id, "communication", self.sim.now)
             self.tracer.begin(self.task_id, "tpu", self.sim.now)
         self.device.submit(
-            self._op_for(lane.demand), lambda: self._enter_pcie_out(lane)
+            self._op_for(lane.demand), partial(self._enter_pcie_out, lane)
         )
 
     def _enter_pcie_out(self, lane: _Lane) -> None:
@@ -626,7 +633,7 @@ class InferenceServerTask(Task):
             self.tracer.begin(self.task_id, "communication", self.sim.now)
         self.pcie_out.transfer(
             self.spec.pcie_out_gb * lane.demand,
-            lambda: self._iteration_complete(lane),
+            partial(self._iteration_complete, lane),
         )
 
     def _iteration_complete(self, lane: _Lane) -> None:

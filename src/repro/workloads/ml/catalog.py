@@ -14,7 +14,7 @@ import numpy as np
 from repro.accel.device import AcceleratorDevice
 from repro.accel.pcie import PcieLink
 from repro.accel.presets import cloud_tpu_device, gpu_device, tpu_v1_device
-from repro.distributed.sync import LockStepBarrier
+from repro.workloads.ml.distributed import LockStepBarrier
 from repro.errors import WorkloadError
 from repro.hw.machine import Machine
 from repro.hw.placement import Placement

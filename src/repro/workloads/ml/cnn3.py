@@ -10,7 +10,7 @@ simulation and the remaining shards from the barrier model.
 
 from __future__ import annotations
 
-from repro.distributed.parameter_server import PsUpdateModel
+from repro.workloads.ml.distributed import PsUpdateModel
 from repro.hw.prefetcher import PrefetchProfile
 from repro.workloads.base import HostPhaseProfile
 from repro.workloads.ml.base import TrainingSpec

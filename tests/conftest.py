@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster.node import Node
+from repro.node import Node
 from repro.hw.machine import Machine
 from repro.hw.spec import MachineSpec, cloud_tpu_host_spec, tpu_host_spec
 from repro.sim import Simulator

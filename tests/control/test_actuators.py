@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster.node import Node
+from repro.node import Node
 from repro.control.actuators import ActuationFaultConfig, HostControlPlane
 from repro.errors import ConfigurationError
 from repro.hw.placement import Placement

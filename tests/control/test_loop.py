@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.cluster.node import Node
+from repro.node import Node
 from repro.control.actuators import ActuationFaultConfig
 from repro.control.sensors import SensorConfig
 from repro.core.actions import Action
@@ -131,7 +131,7 @@ class TestDegradedModes:
         assert statuses & {"failed", "deferred"}
 
     def test_perfect_config_matches_default_run(self, node: Node, spec) -> None:
-        from repro.cluster.node import Node as NodeCls
+        from repro.node import Node as NodeCls
         from repro.sim import Simulator
 
         def trail(sensors, faults):

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.cluster.node import Node
+from repro.node import Node
 from repro.control.sensors import (
     DropoutSensors,
     NoisySensors,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster.node import LO_SUBDOMAIN, Node
+from repro.node import LO_SUBDOMAIN, Node
 from repro.core.policies import make_policy
 from repro.hw.placement import Placement
 from repro.sim.engine import PRIORITY_CONTROL

@@ -6,7 +6,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.cluster.node import LO_SUBDOMAIN, Node
+from repro.node import LO_SUBDOMAIN, Node
 from repro.core.actions import Action
 from repro.core.kelp import KelpRuntime
 from repro.core.watermarks import Watermark, default_profile

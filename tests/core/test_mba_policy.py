@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster.node import Node
+from repro.node import Node
 from repro.core.policies import make_policy
 from repro.core.policies.mba import LO_CLOS, MBA_MAX, MBA_MIN, MbaPolicy
 from repro.hw.placement import Placement

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster.node import HI_SUBDOMAIN, LO_SUBDOMAIN, Node
+from repro.node import HI_SUBDOMAIN, LO_SUBDOMAIN, Node
 from repro.core.measurements import measure_node
 from repro.hw.placement import Placement
 from repro.workloads.cpu.base import BatchTask

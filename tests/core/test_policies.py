@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster.node import HI_SUBDOMAIN, LO_SUBDOMAIN, Node
+from repro.node import HI_SUBDOMAIN, LO_SUBDOMAIN, Node
 from repro.core.policies import available_policies, make_policy
 from repro.core.policies.base import ML_CLOS, ROLE_BACKFILL, ROLE_LO
 from repro.errors import ConfigurationError

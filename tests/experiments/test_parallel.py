@@ -15,7 +15,7 @@ from concurrent.futures import Future
 import numpy as np
 import pytest
 
-from repro.cluster.fleet import FLEET_BLOCK_MACHINES, FleetSurvey
+from repro.fleet.survey import FLEET_BLOCK_MACHINES, FleetSurvey
 from repro.errors import ExperimentError
 from repro.experiments.suite import run_suite
 from repro.parallel import (

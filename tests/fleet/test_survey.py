@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.cluster.fleet import FleetSurvey, fleet_bandwidth_cdf
+from repro.fleet.survey import FleetSurvey, fleet_bandwidth_cdf
 from repro.errors import ConfigurationError
 
 

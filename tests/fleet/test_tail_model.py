@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.distributed.service import TailAmplificationModel
+from repro.fleet.validate import TailAmplificationModel
 from repro.errors import ConfigurationError
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.distributed.service import TailAmplificationModel
+from repro.fleet.validate import TailAmplificationModel
 from repro.errors import ExperimentError
 from repro.fleet.config import FleetConfig, uniform_batch_jobs
 from repro.fleet.orchestrator import FleetResult, NodeStats, run_fleet

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster.node import Node
+from repro.node import Node
 from repro.errors import HostInterfaceError
 from repro.hw.placement import Placement
 from repro.workloads.cpu.base import BatchTask

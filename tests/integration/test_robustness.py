@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster.node import LO_SUBDOMAIN, Node
+from repro.node import LO_SUBDOMAIN, Node
 from repro.core.kelp import KelpRuntime
 from repro.core.policies import make_policy
 from repro.core.watermarks import QosProfile, Watermark, default_profile

@@ -1,0 +1,106 @@
+"""The demand-driven autoscaler: validation, hysteresis, cooldown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import Autoscaler, AutoscalerConfig
+
+
+def _observe_rate(scaler, epoch, rate_qps, nodes, capacity=10.0):
+    """Feed one epoch at the given offered rate (1 s epochs)."""
+    offered = scaler._last_offered + int(rate_qps)
+    return scaler.observe(epoch, offered, 1.0, nodes, capacity)
+
+
+class TestConfig:
+    def test_defaults_valid(self) -> None:
+        AutoscalerConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_nodes": 0},
+            {"max_nodes": 2, "min_nodes": 4},
+            {"low_utilization": 0.9, "high_utilization": 0.8},
+            {"low_utilization": -0.1},
+            {"epochs_up": 0},
+            {"epochs_down": 0},
+            {"cooldown_epochs": -1},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs) -> None:
+        with pytest.raises(ConfigurationError):
+            AutoscalerConfig(**kwargs)
+
+
+class TestDecisions:
+    def test_steady_band_never_acts(self) -> None:
+        scaler = Autoscaler(AutoscalerConfig())
+        # 60% of one 10 qps node: inside [0.40, 0.85].
+        for epoch in range(1, 20):
+            assert _observe_rate(scaler, epoch, 6, 1) == 0
+        assert scaler.actions == []
+
+    def test_grow_needs_consecutive_epochs(self) -> None:
+        scaler = Autoscaler(AutoscalerConfig(epochs_up=3))
+        assert _observe_rate(scaler, 1, 9, 1) == 0
+        assert _observe_rate(scaler, 2, 9, 1) == 0
+        # A dip resets the streak.
+        assert _observe_rate(scaler, 3, 6, 1) == 0
+        assert _observe_rate(scaler, 4, 9, 1) == 0
+        assert _observe_rate(scaler, 5, 9, 1) == 0
+        assert _observe_rate(scaler, 6, 9, 1) == 1
+        assert scaler.actions == [(6, "grow", 2)]
+
+    def test_shrink_needs_longer_streak(self) -> None:
+        scaler = Autoscaler(
+            AutoscalerConfig(epochs_down=4, cooldown_epochs=0)
+        )
+        for epoch in range(1, 4):
+            assert _observe_rate(scaler, epoch, 2, 2) == 0
+        assert _observe_rate(scaler, 4, 2, 2) == -1
+        assert scaler.actions == [(4, "shrink", 1)]
+
+    def test_cooldown_holds_and_resets_streaks(self) -> None:
+        scaler = Autoscaler(
+            AutoscalerConfig(epochs_up=1, cooldown_epochs=2)
+        )
+        assert _observe_rate(scaler, 1, 9, 1) == 1
+        # Two cooldown epochs: overload is ignored entirely.
+        assert _observe_rate(scaler, 2, 19, 2) == 0
+        assert _observe_rate(scaler, 3, 19, 2) == 0
+        # Streaks restarted from zero after the hold.
+        assert _observe_rate(scaler, 4, 19, 2) == 1
+
+    def test_respects_bounds(self) -> None:
+        scaler = Autoscaler(
+            AutoscalerConfig(
+                min_nodes=2, max_nodes=2, epochs_up=1, epochs_down=1,
+                cooldown_epochs=0,
+            )
+        )
+        assert _observe_rate(scaler, 1, 30, 2) == 0  # at max
+        assert _observe_rate(scaler, 2, 1, 2) == 0  # at min
+        assert scaler.actions == []
+
+    def test_zero_capacity_is_idle(self) -> None:
+        scaler = Autoscaler(AutoscalerConfig())
+        assert scaler.observe(1, 100, 1.0, 0, 0.0) == 0
+
+    def test_replay_is_deterministic(self) -> None:
+        config = AutoscalerConfig(epochs_up=2, epochs_down=3)
+        rates = [9, 9, 9, 12, 3, 2, 2, 2, 2, 8, 9, 9, 9, 1, 1, 1, 1, 1]
+
+        def run() -> tuple:
+            scaler = Autoscaler(config)
+            nodes = 1
+            deltas = []
+            for epoch, rate in enumerate(rates, start=1):
+                delta = _observe_rate(scaler, epoch, rate, nodes)
+                nodes = max(1, nodes + delta)
+                deltas.append(delta)
+            return tuple(deltas), tuple(scaler.actions)
+
+        assert run() == run()

@@ -1,0 +1,175 @@
+"""FleetService: epoch stepping, control commands, live membership."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.fleet.orchestrator import FleetOrchestrator, fleet_config_for_trace
+from repro.serve import AutoscalerConfig, FleetService
+from repro.traces import TraceGenConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(
+        TraceGenConfig(seed=11, duration_s=20.0, rate_qps=12.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def config(trace):
+    return fleet_config_for_trace(trace, nodes=3, seed=5)
+
+
+def _serve(config, trace, **kwargs) -> FleetService:
+    service = FleetService(config, trace=trace, **kwargs)
+    service.start()
+    return service
+
+
+class TestStepping:
+    def test_stepped_equals_batch(self, config, trace) -> None:
+        batch = FleetOrchestrator(config, trace=trace).run()
+        service = _serve(config, trace)
+        service.run_to_end()
+        assert repr(service.finish()) == repr(batch)
+
+    def test_odd_epoch_length_equals_batch(self, config, trace) -> None:
+        batch = FleetOrchestrator(config, trace=trace).run()
+        service = _serve(config, trace, epoch_s=0.7)
+        service.run_to_end()
+        assert repr(service.finish()) == repr(batch)
+        assert service.epoch == math.ceil(config.duration / 0.7)
+
+    def test_snapshot_bookkeeping(self, config, trace) -> None:
+        service = _serve(config, trace, epoch_s=1.0)
+        service.run_to_end()
+        assert len(service.snapshots) == service.epoch
+        last = service.snapshots[-1]
+        assert last.time_s == config.duration
+        assert last.offered == sum(
+            s.epoch_offered for s in service.snapshots
+        )
+        assert last.completed == sum(
+            s.epoch_completed for s in service.snapshots
+        )
+        assert [s.epoch for s in service.snapshots] == list(
+            range(1, service.epoch + 1)
+        )
+
+    def test_lifecycle_guards(self, config, trace) -> None:
+        service = FleetService(config, trace=trace)
+        with pytest.raises(ExperimentError, match="not started"):
+            service.step()
+        service.start()
+        with pytest.raises(ExperimentError, match="already started"):
+            service.start()
+        with pytest.raises(ExperimentError, match="not reached the horizon"):
+            service.finish()
+        service.run_to_end()
+        service.finish()
+        with pytest.raises(ExperimentError, match="already finished"):
+            service.step()
+
+    def test_rejects_bad_epoch_length(self, config, trace) -> None:
+        with pytest.raises(ConfigurationError, match="epoch_s"):
+            FleetService(config, trace=trace, epoch_s=0.0)
+
+
+class TestCommands:
+    def test_evict_drops_and_admit_restores(self, config, trace) -> None:
+        service = _serve(config, trace, epoch_s=1.0)
+        tenant = config.tenants[0].name
+        for _ in range(5):
+            service.step()
+        before = service.snapshots[-1]
+        assert before.dropped == 0
+        service.evict_tenant(tenant)
+        for _ in range(5):
+            service.step()
+        during = service.snapshots[-1]
+        assert during.dropped > 0
+        service.admit_tenant(tenant)
+        service.run_to_end()
+        after = service.snapshots[-1]
+        # No further drops once re-admitted.
+        assert after.dropped == during.dropped
+        result = service.finish()
+        assert result.requests_dropped == during.dropped
+        assert service.commands == [
+            (5, f"evict:{tenant}"), (10, f"admit:{tenant}"),
+        ]
+
+    def test_unknown_tenant_rejected(self, config, trace) -> None:
+        service = _serve(config, trace)
+        with pytest.raises(ConfigurationError, match="unknown tenant"):
+            service.evict_tenant("nobody")
+
+    def test_grow_and_shrink_membership(self, config, trace) -> None:
+        service = _serve(config, trace, epoch_s=1.0)
+        service.step()
+        assert service.grow() == config.nodes
+        snap = service.step()
+        assert snap.nodes_active == config.nodes + 1
+        assert snap.nodes_built == config.nodes + 1
+        assert service.shrink() == config.nodes
+        snap = service.step()
+        assert snap.nodes_active == config.nodes
+        assert snap.nodes_retired == 1
+        # Regrowing recommissions the retired node, not a new build.
+        assert service.grow() == config.nodes
+        assert service.step().nodes_built == config.nodes + 1
+        service.run_to_end()
+        service.finish()
+
+    def test_shrink_floor(self, config, trace) -> None:
+        service = _serve(config, trace)
+        for _ in range(config.nodes - 1):
+            service.shrink()
+        with pytest.raises(ExperimentError, match="below one node"):
+            service.shrink()
+
+    def test_swap_routing_validates_name(self, config, trace) -> None:
+        service = _serve(config, trace)
+        with pytest.raises(ConfigurationError, match="unknown routing"):
+            service.swap_routing("bogus")
+        service.swap_routing("random")
+        assert service.commands == [(0, "routing:random")]
+        service.run_to_end()
+        service.finish()
+
+
+class TestAutoscaler:
+    def test_low_load_shrinks_toward_floor(self, config, trace) -> None:
+        service = _serve(
+            config,
+            trace,
+            autoscaler=AutoscalerConfig(
+                min_nodes=1, max_nodes=4, epochs_down=2, cooldown_epochs=0
+            ),
+            epoch_s=1.0,
+        )
+        service.run_to_end()
+        assert service.snapshots[-1].nodes_active == 1
+        assert any(
+            command.startswith("autoscale-shrink:")
+            for _, command in service.commands
+        )
+        service.finish()
+
+    def test_autoscaled_run_is_reproducible(self, config, trace) -> None:
+        def run() -> tuple:
+            service = _serve(
+                config,
+                trace,
+                autoscaler=AutoscalerConfig(min_nodes=1, max_nodes=4),
+                epoch_s=1.0,
+            )
+            service.run_to_end()
+            result = service.finish()
+            return repr(result), tuple(service.commands)
+
+        assert run() == run()

@@ -111,6 +111,54 @@ class TestCliObservability:
         assert manifest["config"]["fleet_nodes"] == 2
         assert "fleet.seed" in manifest["seeds"]
 
+    def test_fleet_serve_smoke(self, tmp_path, capsys) -> None:
+        import json
+
+        summary = tmp_path / "serve.json"
+        code = main([
+            "fleet-serve", "--trace-duration", "20", "--trace-rate", "12",
+            "--trace-seed", "11", "--nodes", "2", "--seed", "5",
+            "--epoch", "1", "--no-telemetry",
+            "--command", "3:evict:search", "--command", "8:admit:search",
+            "--summary-json", str(summary),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet-serve:" in out
+        assert "evict:search" in out
+        payload = json.loads(summary.read_text())
+        assert payload["epochs"] == 20
+        assert len(payload["snapshots"]) == 20
+        assert ["3", "evict:search"] != payload["commands"][0]  # ints kept
+        assert payload["commands"][0] == [3, "evict:search"]
+
+    def test_fleet_serve_save_restore_identical(self, tmp_path, capsys) -> None:
+        ckpt = tmp_path / "ckpt.bin"
+        base = [
+            "fleet-serve", "--trace-duration", "20", "--trace-rate", "12",
+            "--trace-seed", "11", "--nodes", "2", "--seed", "5",
+            "--epoch", "1", "--no-telemetry", "--command", "3:evict:search",
+        ]
+        assert main(base + ["--save", str(ckpt), "--save-at", "6"]) == 0
+        saved = capsys.readouterr().out
+        assert ckpt.exists()
+        assert main(base + ["--restore", str(ckpt)]) == 0
+        restored = capsys.readouterr().out
+        # Identical apart from the provenance line and the "wrote" echo.
+        strip = lambda text: [  # noqa: E731
+            line for line in text.splitlines()
+            if "trace source" not in line and not line.startswith("wrote ")
+        ]
+        assert strip(restored) == strip(saved)
+
+    def test_fleet_serve_bad_command_spec(self, capsys) -> None:
+        code = main([
+            "fleet-serve", "--trace-duration", "10",
+            "--command", "5:reboot",
+        ])
+        assert code == 2
+        assert "verb" in capsys.readouterr().err
+
     def test_fleet_incidents_smoke(self, tmp_path, capsys) -> None:
         scenario = tmp_path / "scenario.json"
         code = main([

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.cluster.node import ACCEL_SOCKET, HI_SUBDOMAIN, LO_SUBDOMAIN, Node
+from repro.node import ACCEL_SOCKET, HI_SUBDOMAIN, LO_SUBDOMAIN, Node
 from repro.control.actuators import HostControlPlane
 
 

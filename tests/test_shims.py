@@ -1,0 +1,120 @@
+"""The seed-era ``repro.cluster`` / ``repro.distributed`` shims.
+
+Each shim package warns exactly once per process (module caching does the
+de-duplication: the warning lives in the package ``__init__``) and
+re-exports the moved symbols by identity. Subprocesses give each test a
+clean import state — in-process the shims may already be imported.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def _run(code: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(_SRC), "PATH": "/usr/bin:/bin"},
+    )
+
+
+_COUNT_TEMPLATE = """
+import warnings
+with warnings.catch_warnings(record=True) as caught:
+    warnings.simplefilter("always")
+{imports}
+hits = [
+    w for w in caught
+    if issubclass(w.category, DeprecationWarning)
+    and "{package}" in str(w.message)
+]
+assert len(hits) == {expected}, [str(w.message) for w in hits]
+print("ok")
+"""
+
+
+@pytest.mark.parametrize(
+    "package, imports",
+    [
+        ("repro.cluster", ["import repro.cluster"]),
+        (
+            "repro.cluster",
+            [
+                "import repro.cluster.node",
+                "import repro.cluster.fleet",
+                "from repro.cluster import Node",
+            ],
+        ),
+        ("repro.distributed", ["import repro.distributed"]),
+        (
+            "repro.distributed",
+            [
+                "import repro.distributed.sync",
+                "import repro.distributed.parameter_server",
+                "import repro.distributed.worker",
+                "import repro.distributed.service",
+            ],
+        ),
+    ],
+)
+def test_shim_warns_exactly_once(package: str, imports: list[str]) -> None:
+    code = _COUNT_TEMPLATE.format(
+        imports="\n".join(f"    {line}" for line in imports),
+        package=package,
+        expected=1,
+    )
+    proc = _run(code)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "ok"
+
+
+def test_modern_homes_do_not_warn() -> None:
+    code = _COUNT_TEMPLATE.format(
+        imports=(
+            "    import repro.node\n"
+            "    import repro.fleet.survey\n"
+            "    import repro.fleet.validate\n"
+            "    import repro.workloads.ml.distributed\n"
+            "    import repro.serve"
+        ),
+        package="deprecated",
+        expected=0,
+    )
+    proc = _run(code)
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_shims_reexport_by_identity() -> None:
+    code = """
+import warnings
+warnings.simplefilter("ignore", DeprecationWarning)
+import repro.cluster, repro.cluster.node, repro.cluster.fleet
+import repro.distributed.sync, repro.distributed.parameter_server
+import repro.distributed.worker, repro.distributed.service
+from repro.node import Node
+from repro.fleet.survey import FleetSurvey, fleet_bandwidth_cdf
+from repro.fleet.validate import TailAmplificationModel
+from repro.workloads.ml.distributed import (
+    LockStepBarrier, PsUpdateModel, WorkerModel,
+)
+assert repro.cluster.Node is Node
+assert repro.cluster.node.Node is Node
+assert repro.cluster.FleetSurvey is FleetSurvey
+assert repro.cluster.fleet.fleet_bandwidth_cdf is fleet_bandwidth_cdf
+assert repro.distributed.sync.LockStepBarrier is LockStepBarrier
+assert repro.distributed.parameter_server.PsUpdateModel is PsUpdateModel
+assert repro.distributed.worker.WorkerModel is WorkerModel
+assert repro.distributed.service.TailAmplificationModel is TailAmplificationModel
+print("ok")
+"""
+    proc = _run(code)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "ok"

@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.distributed.parameter_server import ParameterServerShard, PsUpdateModel
-from repro.distributed.worker import WorkerModel
+from repro.workloads.ml.distributed import ParameterServerShard, PsUpdateModel
+from repro.workloads.ml.distributed import WorkerModel
 from repro.errors import ConfigurationError
 
 

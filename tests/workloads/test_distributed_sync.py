@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.distributed.sync import LockStepBarrier
+from repro.workloads.ml.distributed import LockStepBarrier
 from repro.errors import ConfigurationError
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.distributed.sync import LockStepBarrier
+from repro.workloads.ml.distributed import LockStepBarrier
 from repro.hw.machine import Machine
 from repro.hw.placement import Placement
 from repro.hw.spec import cloud_tpu_host_spec, gpu_host_spec
